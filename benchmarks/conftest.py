@@ -1,0 +1,46 @@
+"""Benchmark fixtures: one paper-scale simulation shared by every module.
+
+The simulation (five months, 800 wearable + 600 general accounts, ~1M log
+records) runs once per session; benchmarks then time the *analyses* over
+the shared dataset and print paper-vs-measured tables for each figure.
+Each module also writes its table to ``benchmarks/reports/`` so the figure
+reproductions survive the run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.dataset import StudyDataset
+from repro.core.pipeline import WearableStudy
+from repro.simnet.config import SimulationConfig
+from repro.simnet.simulator import Simulator
+
+PAPER_SEED = 2018
+
+REPORTS_DIR = Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def paper_dataset() -> StudyDataset:
+    output = Simulator(SimulationConfig.paper(seed=PAPER_SEED)).run()
+    return StudyDataset.from_simulation(output)
+
+
+@pytest.fixture(scope="session")
+def paper_study(paper_dataset: StudyDataset) -> WearableStudy:
+    return WearableStudy(paper_dataset)
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> Path:
+    REPORTS_DIR.mkdir(exist_ok=True)
+    return REPORTS_DIR
+
+
+def emit(report_dir: Path, name: str, text: str) -> None:
+    """Print a figure reproduction and persist it under reports/."""
+    print("\n" + text)
+    (report_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")

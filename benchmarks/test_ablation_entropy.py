@@ -1,0 +1,94 @@
+"""Ablation — entropy estimator choice for the §4.4 mobility gap.
+
+The paper computes "the Shannon entropy of visited location (normalized by
+the time a user stays in a single location)".  This ablation compares
+three estimators on the same timelines:
+
+* raw visit-count entropy (every MME event weighted equally),
+* dwell-time-weighted entropy (the paper's normalisation),
+* max-normalised visit entropy (scale-free).
+
+The wearable-over-general entropy gap must survive all three — i.e. the
+paper's finding is not an artefact of its normalisation choice.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.mobility import build_timelines
+from repro.core.report import format_table
+from repro.stats.entropy import (
+    dwell_weighted_entropy,
+    normalized_entropy,
+    shannon_entropy,
+)
+
+
+@pytest.fixture(scope="module")
+def timelines(paper_study):
+    dataset = paper_study.dataset
+    window = dataset.window
+    owner_accounts = dataset.wearable_accounts
+    wearable = build_timelines(
+        r for r in dataset.wearable_mme if window.in_detailed(r.timestamp)
+    )
+    general = build_timelines(
+        r
+        for r in dataset.phone_mme
+        if window.in_detailed(r.timestamp)
+        and dataset.account_of(r.subscriber_id) not in owner_accounts
+    )
+    return wearable, general
+
+
+def estimator_gap(timelines, estimator) -> tuple[float, float, float]:
+    wearable, general = timelines
+
+    def mean(group):
+        values = [estimator(t) for t in group.values()]
+        return sum(values) / len(values)
+
+    w, g = mean(wearable), mean(general)
+    return w, g, 100.0 * (w / g - 1.0)
+
+
+ESTIMATORS = {
+    "visit-count entropy": lambda t: shannon_entropy(
+        sector for _, sectors in sorted(t.daily_sectors(0.0).items())
+        for sector in sectors
+    ),
+    "dwell-weighted entropy (paper)": lambda t: dwell_weighted_entropy(
+        t.dwell_seconds(0.0)
+    ),
+    "max-normalised visit entropy": lambda t: normalized_entropy(
+        sector for _, sectors in sorted(t.daily_sectors(0.0).items())
+        for sector in sectors
+    ),
+}
+
+
+def test_entropy_estimator_ablation(benchmark, timelines, report_dir):
+    benchmark.pedantic(
+        estimator_gap,
+        args=(timelines, ESTIMATORS["dwell-weighted entropy (paper)"]),
+        rounds=2,
+        iterations=1,
+    )
+    rows = []
+    gaps = {}
+    for name, estimator in ESTIMATORS.items():
+        wearable, general, gap = estimator_gap(timelines, estimator)
+        rows.append((name, wearable, general, f"+{gap:.0f}%"))
+        gaps[name] = gap
+    text = format_table(
+        ("estimator", "wearable mean", "general mean", "gap"),
+        rows,
+        title="Ablation — entropy estimator choice (paper: +70%)",
+    )
+    emit(report_dir, "ablation_entropy", text)
+
+    # The finding survives every estimator.
+    for name, gap in gaps.items():
+        assert gap > 20.0, f"{name}: gap collapsed to {gap:.0f}%"
+    # And the paper's dwell normalisation is the one we calibrate to ~70%.
+    assert 40.0 <= gaps["dwell-weighted entropy (paper)"] <= 110.0

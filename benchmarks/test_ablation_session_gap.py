@@ -1,0 +1,86 @@
+"""Ablation — sensitivity of §5 results to the session-gap threshold.
+
+The paper delimits "a single usage" with a one-minute inter-transaction
+gap.  This sweep re-sessionises the same attributed traffic under gaps
+from 15 s to 10 min and reports how session counts and per-usage sizes
+move: the figures should be stable in a neighbourhood of 60 s, which is
+what makes the paper's choice robust.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.report import format_table
+from repro.core.sessions import sessionize
+
+GAPS_S = (15.0, 30.0, 60.0, 120.0, 300.0, 600.0)
+
+
+@pytest.fixture(scope="module")
+def sweep(paper_study):
+    results = {}
+    for gap in GAPS_S:
+        sessions = sessionize(paper_study.attributed, gap_seconds=gap)
+        tx_total = sum(s.tx_count for s in sessions)
+        kb_per_usage = (
+            sum(s.bytes_total for s in sessions) / len(sessions) / 1000.0
+        )
+        results[gap] = {
+            "sessions": len(sessions),
+            "tx_per_usage": tx_total / len(sessions),
+            "kb_per_usage": kb_per_usage,
+        }
+    return results
+
+
+def test_session_gap_sweep(benchmark, paper_study, sweep, report_dir):
+    benchmark.pedantic(
+        sessionize,
+        args=(paper_study.attributed,),
+        kwargs={"gap_seconds": 60.0},
+        rounds=3,
+        iterations=1,
+    )
+    rows = [
+        (
+            f"{int(gap)} s",
+            stats["sessions"],
+            stats["tx_per_usage"],
+            stats["kb_per_usage"],
+        )
+        for gap, stats in sweep.items()
+    ]
+    text = format_table(
+        ("gap", "usages", "tx / usage", "KB / usage"),
+        rows,
+        title="Ablation — session gap threshold sweep",
+    )
+    emit(report_dir, "ablation_session_gap", text)
+
+
+def test_larger_gaps_merge_sessions(benchmark, sweep):
+    benchmark.pedantic(lambda: [sweep[g]["sessions"] for g in GAPS_S], rounds=1, iterations=1)
+    counts = [sweep[gap]["sessions"] for gap in GAPS_S]
+    assert counts == sorted(counts, reverse=True)
+
+
+def test_results_stable_near_one_minute(benchmark, sweep):
+    benchmark.pedantic(lambda: sweep[60.0], rounds=1, iterations=1)
+    base = sweep[60.0]["sessions"]
+    # Above the paper's threshold the sessionisation is stable: doubling
+    # or quintupling the gap merges few additional usages...
+    assert base / sweep[120.0]["sessions"] <= 1.25
+    assert base / sweep[300.0]["sessions"] <= 1.6
+    # ...whereas halving it cuts *inside* app request bursts and shatters
+    # usages — which is exactly why the paper picked one minute.
+    assert sweep[30.0]["sessions"] / base >= 1.5
+
+
+def test_transactions_conserved_across_gaps(benchmark, paper_study, sweep):
+    benchmark.pedantic(lambda: sum(1 for a in paper_study.attributed if a.app is not None), rounds=1, iterations=1)
+    attributed_tx = sum(1 for a in paper_study.attributed if a.app is not None)
+    for gap in GAPS_S:
+        assert (
+            sweep[gap]["sessions"] * sweep[gap]["tx_per_usage"]
+            == pytest.approx(attributed_tx)
+        )

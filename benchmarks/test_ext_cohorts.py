@@ -1,0 +1,71 @@
+"""Extension — the full retention surface behind Fig. 2(b).
+
+The paper reports one retention data point (first week vs last week).
+With the same MME log a longitudinal view is free: per-adoption-cohort
+weekly retention, the size-weighted mean retention curve, and the user
+lifetime survival function.  The Fig. 2(b) numbers fall out of this
+surface as special cases.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.cohorts import analyze_cohorts
+from repro.core.report import format_table
+
+
+@pytest.fixture(scope="module")
+def result(paper_dataset):
+    return analyze_cohorts(paper_dataset)
+
+
+def test_retention_surface(benchmark, paper_dataset, result, report_dir):
+    benchmark.pedantic(
+        analyze_cohorts, args=(paper_dataset,), rounds=2, iterations=1
+    )
+    # Show the first 8 cohorts over their first 8 observable weeks.
+    rows = []
+    for cohort in result.cohorts[:8]:
+        retention = " ".join(f"{r:.2f}" for r in cohort.retention[:8])
+        rows.append((f"week {cohort.cohort_week}", cohort.size, retention))
+    text = format_table(
+        ("cohort", "size", "retention w+0..w+7"),
+        rows,
+        title="Extension — adoption-cohort weekly retention",
+    )
+    text += "\n\n" + format_table(
+        ("weeks since adoption", "mean retention"),
+        [
+            (offset, value)
+            for offset, value in enumerate(result.mean_retention_by_offset[:12])
+        ],
+        title="Size-weighted mean retention curve",
+    )
+    text += "\n\n" + format_table(
+        ("lifetime >= weeks", "fraction of users"),
+        [(k, v) for k, v in enumerate(result.lifetime_survival[:12])],
+        title="User lifetime survival",
+    )
+    emit(report_dir, "ext_cohorts", text)
+
+
+def test_retention_consistent_with_fig2b(benchmark, result, paper_study):
+    benchmark.pedantic(lambda: result.mean_retention_by_offset, rounds=1, iterations=1)
+    adoption = paper_study.adoption
+    # The first cohort's last-week retention is the Fig. 2(b) measurement
+    # for the dominant cohort; they should agree within a few points.
+    first = result.cohorts[0]
+    last_offset_retention = first.retention[-1]
+    assert last_offset_retention == pytest.approx(
+        adoption.still_active_fraction, abs=0.10
+    )
+
+
+def test_retention_shape(benchmark, result):
+    benchmark.pedantic(lambda: result.lifetime_survival, rounds=1, iterations=1)
+    curve = result.mean_retention_by_offset
+    # High week-over-week stickiness, no cliff: regular users dominate.
+    assert curve[1] > 0.75
+    assert min(curve) > 0.5
+    survival = result.lifetime_survival
+    assert all(a >= b - 1e-12 for a, b in zip(survival, survival[1:]))

@@ -1,0 +1,87 @@
+"""Extension — the full through-device analysis the paper defers (§6).
+
+"A detailed analysis of traffic and users of those devices is left as
+future work."  This benchmark runs that analysis over the fingerprintable
+through-device population: sync-traffic microscopics, a three-way
+behaviour comparison (through-device vs SIM-wearable vs general) and the
+hourly-profile similarity score that quantifies "similar macroscopic
+behavior".
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.report import format_table
+from repro.core.throughdevice_full import analyze_through_device_full
+
+
+@pytest.fixture(scope="module")
+def result(paper_dataset):
+    return analyze_through_device_full(paper_dataset)
+
+
+def test_through_device_full_characterisation(
+    benchmark, paper_dataset, result, report_dir
+):
+    benchmark.pedantic(
+        analyze_through_device_full, args=(paper_dataset,), rounds=2, iterations=1
+    )
+    rows = []
+    for label, g in (
+        ("through-device", result.through_device),
+        ("SIM wearable", result.sim_wearable),
+        ("general base", result.general),
+    ):
+        rows.append(
+            (
+                label,
+                g.users,
+                g.mean_daily_tx,
+                g.mean_daily_bytes / 1000.0,
+                g.mean_displacement_km,
+                g.mean_entropy_bits,
+            )
+        )
+    text = format_table(
+        ("group", "users", "tx/day", "KB/day", "km/day", "entropy bits"),
+        rows,
+        title="Extension §6 — three-way behaviour comparison",
+    )
+    text += "\n\n" + format_table(
+        ("metric", "value"),
+        [
+            ("sync flows per user-day", result.sync_tx_per_user_day),
+            ("sync KB per user-day", result.sync_bytes_per_user_day / 1000.0),
+            (
+                "hourly-profile similarity (TD sync vs SIM wearable)",
+                result.hourly_similarity_td_vs_sim,
+            ),
+        ],
+        title="Sync-traffic microscopics",
+    )
+    emit(report_dir, "ext_throughdevice_full", text)
+
+
+def test_td_mobility_clusters_with_sim_users(benchmark, result):
+    benchmark.pedantic(lambda: result.through_device, rounds=1, iterations=1)
+    td = result.through_device.mean_displacement_km
+    sim = result.sim_wearable.mean_displacement_km
+    base = result.general.mean_displacement_km
+    # TD users sit closer to the SIM-wearable mobility level than to the
+    # base — the quantified version of the paper's conjecture.
+    assert abs(td - sim) < abs(td - base)
+
+
+def test_sync_profile_tracks_wearable_usage(benchmark, result):
+    benchmark.pedantic(
+        lambda: result.hourly_similarity_td_vs_sim, rounds=1, iterations=1
+    )
+    assert result.hourly_similarity_td_vs_sim > 0.5
+
+
+def test_sync_traffic_is_a_small_overlay(benchmark, result):
+    benchmark.pedantic(lambda: result.sync_bytes_per_user_day, rounds=1, iterations=1)
+    assert (
+        result.sync_bytes_per_user_day
+        < 0.5 * result.through_device.mean_daily_bytes
+    )

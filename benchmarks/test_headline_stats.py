@@ -1,0 +1,103 @@
+"""All prose headline statistics, in one paper-vs-measured table.
+
+This is the reproduction scoreboard: every number the paper states in
+running text, next to the value recovered from the synthetic logs.  The
+full per-figure detail lives in the other benchmark modules; this one
+gives the one-screen summary recorded in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.report import format_comparison
+
+
+@pytest.fixture(scope="module")
+def report(paper_study):
+    return paper_study.run_all()
+
+
+def test_headline_scoreboard(benchmark, paper_study, report, report_dir):
+    benchmark.pedantic(lambda: paper_study.run_all(), rounds=1, iterations=1)
+    a, act, c, m, ap, d, td = (
+        report.adoption,
+        report.activity,
+        report.comparison,
+        report.mobility,
+        report.apps,
+        report.domains,
+        report.through_device,
+    )
+    entries = [
+        ("§4.1 growth %/month", "1.5", f"{a.monthly_growth_percent:.2f}"),
+        ("§4.1 growth over 5 months", "9%", f"{a.total_growth_percent:.1f}%"),
+        ("§4.1 abandoned after 5 months", "7%", f"{100 * a.abandoned_fraction:.1f}%"),
+        ("§4.1 still active last week", "77%", f"{100 * a.still_active_fraction:.1f}%"),
+        ("§4.1 data-active users", "34%", f"{100 * a.data_active_fraction:.1f}%"),
+        ("§4.3 active days/week", "1", f"{act.mean_active_days_per_week:.2f}"),
+        ("§4.3 active hours/day", "3", f"{act.mean_active_hours_per_day:.2f}"),
+        ("§4.3 users >10 h/day", "7%", f"{100 * act.fraction_users_over_10h:.1f}%"),
+        ("§4.3 users <5 h/day", "80%", f"{100 * act.fraction_users_under_5h:.1f}%"),
+        ("§4.3 median transaction", "3 KB", f"{act.median_tx_bytes / 1000:.1f} KB"),
+        ("§4.3 tx <10 KB", "80%", f"{100 * act.fraction_tx_under_10kb:.1f}%"),
+        ("§4.3 owners extra data", "+26%", f"+{c.extra_data_percent:.0f}%"),
+        ("§4.3 owners extra tx", "+48%", f"+{c.extra_tx_percent:.0f}%"),
+        (
+            "§4.3 wearable share magnitude",
+            "3 orders below",
+            f"{c.median_share_orders_of_magnitude:.1f} orders",
+        ),
+        (
+            "§4.3 owners with share >=3%",
+            "10%",
+            f"{100 * c.fraction_share_at_least_3pct:.1f}%",
+        ),
+        ("§4.3 apps per user", "8", f"{ap.mean_apps_per_user:.1f}"),
+        (
+            "§4.3 users <20 apps",
+            "90%",
+            f"{100 * ap.fraction_users_under_20_apps:.1f}%",
+        ),
+        (
+            "§4.3 one-app-per-day users",
+            "93%",
+            f"{100 * ap.fraction_single_app_users:.1f}%",
+        ),
+        (
+            "§4.4 daily displacement",
+            "20 km",
+            f"{m.mean_daily_displacement_wearable_km:.1f} km",
+        ),
+        (
+            "§4.4 users moving <30 km",
+            "90%",
+            f"{100 * m.fraction_users_under_30km:.1f}%",
+        ),
+        (
+            "§4.4 wearable vs general displacement",
+            "31 vs 16 km",
+            f"{m.mean_user_displacement_wearable_km:.1f} vs "
+            f"{m.mean_user_displacement_general_km:.1f} km",
+        ),
+        ("§4.4 entropy excess", "+70%", f"+{m.entropy_excess_percent:.0f}%"),
+        (
+            "§4.4 single tx location",
+            "60%",
+            f"{100 * m.single_tx_location_fraction:.1f}%",
+        ),
+        (
+            "§5.2 third-party/first-party data",
+            "same order",
+            f"{d.third_party_data_ratio:.2f}",
+        ),
+        (
+            "§6 TD detected (of general base)",
+            "~16% of TD owners",
+            f"{100 * td.detected_fraction_of_general:.1f}% of generals",
+        ),
+    ]
+    text = format_comparison("Headline statistics: paper vs measured", entries)
+    emit(report_dir, "headline_scoreboard", text)
+
+    # Sanity floor for the scoreboard itself.
+    assert len(entries) >= 25

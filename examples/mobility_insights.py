@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Mobility scenario: wearable users through the MME's eyes (§4.4 + §6).
+
+The paper's most operator-specific asset is the MME feed: who is attached
+to which antenna, when.  This example rebuilds sector timelines and shows:
+
+* daily max-displacement CDFs for wearable vs general users (Fig. 4(c));
+* the dwell-time entropy gap;
+* the single-transaction-location share;
+* the Section 6 epilogue: through-device wearable owners fingerprinted
+  from phone traffic move like SIM-wearable users, not like the base.
+
+Run with::
+
+    python examples/mobility_insights.py [--seed N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import SimulationConfig, Simulator, StudyDataset, WearableStudy
+from repro.core.report import format_table
+from repro.stats.cdf import ECDF
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=33)
+    return parser.parse_args()
+
+
+def cdf_row(label: str, ecdf: ECDF) -> tuple[str, str, str, str, str]:
+    return (
+        label,
+        f"{ecdf.quantile(0.25):.1f}",
+        f"{ecdf.median:.1f}",
+        f"{ecdf.quantile(0.9):.1f}",
+        f"{ecdf.mean:.1f}",
+    )
+
+
+def main() -> None:
+    args = parse_args()
+    print(f"Simulating (medium preset, seed {args.seed})...")
+    output = Simulator(SimulationConfig.medium(seed=args.seed)).run()
+    study = WearableStudy(StudyDataset.from_simulation(output))
+    mobility = study.mobility
+
+    print()
+    print(
+        format_table(
+            ("population", "p25 km", "median km", "p90 km", "mean km"),
+            [
+                cdf_row("wearable users", mobility.wearable_user_displacement),
+                cdf_row("general users", mobility.general_user_displacement),
+            ],
+            title="Daily max displacement per user (Fig. 4(c))",
+        )
+    )
+    ratio = (
+        mobility.mean_user_displacement_wearable_km
+        / mobility.mean_user_displacement_general_km
+    )
+    print(
+        f"\nWearable users cover {ratio:.1f}x the distance of the general "
+        f"base (paper: 'almost double', 31 km vs 16 km)."
+    )
+
+    print(
+        format_table(
+            ("metric", "wearable", "general"),
+            [
+                (
+                    "dwell-entropy (bits)",
+                    f"{mobility.mean_entropy_wearable_bits:.2f}",
+                    f"{mobility.mean_entropy_general_bits:.2f}",
+                ),
+            ],
+            title=f"\nLocation entropy (+{mobility.entropy_excess_percent:.0f}%"
+            " for wearable users; paper: +70%)",
+        )
+    )
+    print(
+        f"\n{100 * mobility.single_tx_location_fraction:.0f}% of data-active "
+        "wearable users transact from a single sector (paper: 60%) — mobile "
+        "on the map, stationary on the network."
+    )
+
+    # --- Section 6: through-device owners ------------------------------
+    td = study.through_device
+    print()
+    print(
+        format_table(
+            ("metric", "TD owners", "other customers"),
+            [
+                (
+                    "mean daily flows",
+                    f"{td.mean_daily_tx_td:.2f}",
+                    f"{td.mean_daily_tx_other:.2f}",
+                ),
+                (
+                    "mean daily displacement",
+                    f"{td.mean_displacement_td_km:.1f} km",
+                    f"{td.mean_displacement_other_km:.1f} km",
+                ),
+                (
+                    "mean handset release year",
+                    f"{td.mean_phone_year_td:.1f}",
+                    f"{td.mean_phone_year_other:.1f}",
+                ),
+            ],
+            title=(
+                f"Through-device wearable owners ({td.detected_users} "
+                f"fingerprinted; est. {td.estimated_total_td_users:.0f} total)"
+            ),
+        )
+    )
+    print(
+        "\nFingerprinted through-device owners look like SIM-wearable "
+        "users on every axis — the paper's closing conjecture."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``.  This file
+exists so the package can be installed in environments without the
+``wheel`` package (PEP 660 editable installs need it; ``python setup.py
+develop`` does not).
+"""
+
+from setuptools import setup
+
+setup()

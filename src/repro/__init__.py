@@ -1,0 +1,38 @@
+"""repro — a reproduction of "A First Look at SIM-Enabled Wearables in the
+Wild" (Kolamunna et al., IMC 2018).
+
+The package has two halves:
+
+* :mod:`repro.simnet` (plus :mod:`repro.devicedb`, :mod:`repro.logs`,
+  :mod:`repro.stats`) — a synthetic mobile-ISP substrate standing in for
+  the paper's proprietary traces: it emits transparent-proxy logs, MME
+  logs and a device database from a generative model calibrated to the
+  paper's published statistics;
+* :mod:`repro.core` — the paper's analysis pipeline: wearable
+  identification by TAC, SNI/URL→app attribution, sessionisation, and the
+  adoption / activity / mobility / app-popularity / third-party-domain
+  analyses behind every figure.
+
+Quickstart::
+
+    from repro import SimulationConfig, Simulator, StudyDataset, WearableStudy
+
+    output = Simulator(SimulationConfig.medium(seed=1)).run()
+    study = WearableStudy(StudyDataset.from_simulation(output))
+    report = study.run_all()
+"""
+
+from repro.core import StudyDataset, StudyReport, WearableStudy
+from repro.simnet import SimulationConfig, SimulationOutput, Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SimulationConfig",
+    "SimulationOutput",
+    "Simulator",
+    "StudyDataset",
+    "StudyReport",
+    "WearableStudy",
+    "__version__",
+]

@@ -1,0 +1,241 @@
+"""Command-line interface.
+
+Four subcommands cover the full workflow::
+
+    python -m repro simulate  --scale medium --seed 7 --out trace/
+    python -m repro validate  trace/
+    python -m repro analyze   trace/ [--figures fig2a,fig5a] [--out reports/]
+    python -m repro scoreboard trace/
+
+``simulate`` runs the synthetic operator and exports the trace directory
+(optionally pseudonymised); ``validate`` checks trace integrity;
+``analyze`` regenerates paper figures from the trace; ``scoreboard``
+prints the paper-vs-measured headline table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.core.dataset import StudyDataset
+from repro.core.export import write_report_json
+from repro.core.figures import FIGURE_RENDERERS, render_all
+from repro.core.pipeline import WearableStudy
+from repro.core.report import format_comparison
+from repro.logs.anonymize import Anonymizer
+from repro.logs.validate import validate_trace
+from repro.simnet.config import SimulationConfig
+from repro.simnet.simulator import Simulator
+
+
+def _build_config(args: argparse.Namespace) -> SimulationConfig:
+    config = getattr(SimulationConfig, args.scale)(seed=args.seed)
+    overrides = {}
+    if args.wearable_users is not None:
+        overrides["n_wearable_users"] = args.wearable_users
+    if args.general_users is not None:
+        overrides["n_general_users"] = args.general_users
+    if args.days is not None:
+        overrides["total_days"] = args.days
+    if args.detailed_days is not None:
+        overrides["detailed_days"] = args.detailed_days
+    if overrides:
+        from dataclasses import replace
+
+        config = replace(config, **overrides)
+    return config
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    config = _build_config(args)
+    print(
+        f"simulating: {config.n_wearable_users} wearable + "
+        f"{config.n_general_users} general accounts over "
+        f"{config.total_days} days (seed {config.seed})",
+        file=sys.stderr,
+    )
+    started = time.time()
+    output = Simulator(config).run()
+    if args.anonymize:
+        anonymizer = Anonymizer()
+        output.proxy_records = anonymizer.proxy_records(output.proxy_records)
+        output.mme_records = anonymizer.mme_records(output.mme_records)
+        output.account_directory = anonymizer.account_directory(
+            output.account_directory
+        )
+        print("trace pseudonymised (fresh key, discarded)", file=sys.stderr)
+    paths = output.write(args.out, compress=args.compress)
+    elapsed = time.time() - started
+    print(
+        f"wrote {len(output.proxy_records):,} proxy / "
+        f"{len(output.mme_records):,} MME records to {args.out} "
+        f"in {elapsed:.1f}s",
+        file=sys.stderr,
+    )
+    for name in sorted(paths):
+        print(paths[name])
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    dataset = StudyDataset.load(args.trace)
+    report = validate_trace(dataset)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    dataset = StudyDataset.load(args.trace)
+    study = WearableStudy(dataset)
+    full_report = study.run_all()
+    if args.json:
+        path = write_report_json(full_report, args.json)
+        print(f"wrote JSON report to {path}", file=sys.stderr)
+    if args.figures:
+        wanted = args.figures.split(",")
+        unknown = [name for name in wanted if name not in FIGURE_RENDERERS]
+        if unknown:
+            print(
+                f"unknown figures: {', '.join(unknown)}; "
+                f"available: {', '.join(sorted(FIGURE_RENDERERS))}",
+                file=sys.stderr,
+            )
+            return 2
+        rendered = {name: FIGURE_RENDERERS[name](full_report) for name in wanted}
+    else:
+        rendered = render_all(full_report)
+
+    if args.out:
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for name, text in rendered.items():
+            (out_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        print(f"wrote {len(rendered)} figures to {out_dir}", file=sys.stderr)
+    else:
+        for name, text in rendered.items():
+            print(f"==== {name} " + "=" * max(0, 66 - len(name)))
+            print(text)
+            print()
+    return 0
+
+
+def cmd_scoreboard(args: argparse.Namespace) -> int:
+    dataset = StudyDataset.load(args.trace)
+    report = WearableStudy(dataset).run_all()
+    entries = [
+        ("growth %/month", "1.5", f"{report.adoption.monthly_growth_percent:.2f}"),
+        (
+            "data-active users",
+            "34%",
+            f"{100 * report.adoption.data_active_fraction:.1f}%",
+        ),
+        (
+            "abandoned after window",
+            "7%",
+            f"{100 * report.adoption.abandoned_fraction:.1f}%",
+        ),
+        (
+            "median transaction",
+            "3 KB",
+            f"{report.activity.median_tx_bytes / 1000:.1f} KB",
+        ),
+        (
+            "active hours/day",
+            "3",
+            f"{report.activity.mean_active_hours_per_day:.2f}",
+        ),
+        ("owners extra data", "+26%", f"{report.comparison.extra_data_percent:+.0f}%"),
+        ("owners extra tx", "+48%", f"{report.comparison.extra_tx_percent:+.0f}%"),
+        (
+            "entropy excess",
+            "+70%",
+            f"{report.mobility.entropy_excess_percent:+.0f}%",
+        ),
+        (
+            "single tx location",
+            "60%",
+            f"{100 * report.mobility.single_tx_location_fraction:.1f}%",
+        ),
+        (
+            "third-party data ratio",
+            "same order",
+            f"{report.domains.third_party_data_ratio:.2f}",
+        ),
+    ]
+    print(format_comparison("Paper vs this trace", entries))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SIM-enabled wearables study: simulate, validate, analyze.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    simulate = subparsers.add_parser(
+        "simulate", help="run the synthetic operator and export a trace"
+    )
+    simulate.add_argument("--scale", choices=("small", "medium", "paper"),
+                          default="medium")
+    simulate.add_argument("--seed", type=int, default=2018)
+    simulate.add_argument("--out", required=True, help="trace output directory")
+    simulate.add_argument("--wearable-users", type=int, default=None)
+    simulate.add_argument("--general-users", type=int, default=None)
+    simulate.add_argument("--days", type=int, default=None)
+    simulate.add_argument("--detailed-days", type=int, default=None)
+    simulate.add_argument(
+        "--anonymize",
+        action="store_true",
+        help="pseudonymise subscriber ids and IMEI serials before export",
+    )
+    simulate.add_argument(
+        "--compress",
+        action="store_true",
+        help="write the proxy and MME logs gzip-compressed",
+    )
+    simulate.set_defaults(func=cmd_simulate)
+
+    validate = subparsers.add_parser("validate", help="check trace integrity")
+    validate.add_argument("trace", help="trace directory")
+    validate.set_defaults(func=cmd_validate)
+
+    analyze = subparsers.add_parser(
+        "analyze", help="regenerate paper figures from a trace"
+    )
+    analyze.add_argument("trace", help="trace directory")
+    analyze.add_argument(
+        "--figures",
+        default=None,
+        help="comma-separated figure ids (default: all); "
+        "ids: " + ", ".join(sorted(FIGURE_RENDERERS)),
+    )
+    analyze.add_argument("--out", default=None, help="write figures to a directory")
+    analyze.add_argument(
+        "--json",
+        default=None,
+        help="additionally write the full report as JSON to this path",
+    )
+    analyze.set_defaults(func=cmd_analyze)
+
+    scoreboard = subparsers.add_parser(
+        "scoreboard", help="print the paper-vs-measured headline table"
+    )
+    scoreboard.add_argument("trace", help="trace directory")
+    scoreboard.set_defaults(func=cmd_scoreboard)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,115 @@
+"""Adoption-cohort retention analysis (extends §4.1).
+
+Fig. 2(b) compares exactly two snapshots: the first week against the last.
+A longitudinal ISP would track the full retention surface — for each
+*adoption cohort* (users first registered in week *w*), the fraction still
+registering 1, 2, 3 … weeks later — plus a survival curve over all users.
+This module computes both from the same MME log, generalising the paper's
+single data point.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.core.dataset import StudyDataset
+
+
+@dataclass(frozen=True, slots=True)
+class CohortRow:
+    """Retention of one adoption cohort."""
+
+    cohort_week: int
+    size: int
+    #: retention[k] = fraction of the cohort registering in week
+    #: cohort_week + k (retention[0] == 1.0 by construction).
+    retention: tuple[float, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class CohortResult:
+    """The retention surface plus aggregate curves."""
+
+    cohorts: list[CohortRow]
+    #: Mean retention at each week-offset, weighted by cohort size,
+    #: over cohorts that can be observed that far.
+    mean_retention_by_offset: list[float]
+    #: Fraction of all users whose last registration is >= k weeks after
+    #: their first (survival function over user lifetime).
+    lifetime_survival: list[float]
+    #: Users observed in total.
+    total_users: int
+
+
+def analyze_cohorts(
+    dataset: StudyDataset,
+    max_offset_weeks: int | None = None,
+) -> CohortResult:
+    """Compute cohort retention from wearable MME registrations."""
+    window = dataset.window
+    total_weeks = window.total_days // 7
+    if total_weeks < 2:
+        raise ValueError("need at least two observed weeks")
+    if max_offset_weeks is None:
+        max_offset_weeks = total_weeks - 1
+
+    user_weeks: dict[str, set[int]] = defaultdict(set)
+    for record in dataset.wearable_mme:
+        day = window.day_of(record.timestamp)
+        if not 0 <= day < total_weeks * 7:
+            continue
+        user_weeks[record.subscriber_id].add(day // 7)
+
+    if not user_weeks:
+        raise ValueError("no wearable registrations observed")
+
+    cohort_members: dict[int, list[str]] = defaultdict(list)
+    for subscriber, weeks in user_weeks.items():
+        cohort_members[min(weeks)].append(subscriber)
+
+    cohorts: list[CohortRow] = []
+    offset_weighted: dict[int, float] = defaultdict(float)
+    offset_weight: dict[int, int] = defaultdict(int)
+    for cohort_week in sorted(cohort_members):
+        members = cohort_members[cohort_week]
+        horizon = min(max_offset_weeks, total_weeks - 1 - cohort_week)
+        retention: list[float] = []
+        for offset in range(horizon + 1):
+            alive = sum(
+                1
+                for subscriber in members
+                if cohort_week + offset in user_weeks[subscriber]
+            )
+            fraction = alive / len(members)
+            retention.append(fraction)
+            offset_weighted[offset] += fraction * len(members)
+            offset_weight[offset] += len(members)
+        cohorts.append(
+            CohortRow(
+                cohort_week=cohort_week,
+                size=len(members),
+                retention=tuple(retention),
+            )
+        )
+
+    mean_retention = [
+        offset_weighted[offset] / offset_weight[offset]
+        for offset in sorted(offset_weight)
+    ]
+
+    lifetimes = [
+        (max(weeks) - min(weeks)) for weeks in user_weeks.values()
+    ]
+    n = len(lifetimes)
+    survival = [
+        sum(1 for lifetime in lifetimes if lifetime >= k) / n
+        for k in range(max(lifetimes) + 1)
+    ]
+
+    return CohortResult(
+        cohorts=cohorts,
+        mean_retention_by_offset=mean_retention,
+        lifetime_survival=survival,
+        total_users=n,
+    )

@@ -1,0 +1,194 @@
+"""The study dataset: the raw artefacts every analysis consumes.
+
+A :class:`StudyDataset` bundles the transparent-proxy log, the MME log, the
+device database, the cell plan, the billing directory and the window
+metadata — nothing else.  It can be built directly from a
+:class:`~repro.simnet.simulator.SimulationOutput` (in-memory) or loaded
+from a trace directory written by :meth:`SimulationOutput.write`, so the
+analyses run identically on live objects and on exported CSVs (or, with
+the same schemas, on a real operator export).
+
+The class also owns the cheap, widely shared partitions — wearable vs.
+non-wearable records, the detailed-window slice — computed once and cached.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass
+from functools import cached_property
+from pathlib import Path
+
+from repro.devicedb.database import DeviceDatabase
+from repro.logs.io import read_mme_log, read_proxy_log
+from repro.logs.records import MmeRecord, ProxyRecord
+from repro.logs.timeutil import SECONDS_PER_DAY
+from repro.simnet.topology import SectorMap
+
+
+@dataclass(frozen=True, slots=True)
+class StudyWindow:
+    """Observation-window metadata."""
+
+    study_start: float
+    total_days: int
+    detailed_days: int
+
+    @property
+    def study_end(self) -> float:
+        return self.study_start + self.total_days * SECONDS_PER_DAY
+
+    @property
+    def detailed_start(self) -> float:
+        return self.study_end - self.detailed_days * SECONDS_PER_DAY
+
+    @property
+    def detailed_first_day(self) -> int:
+        """Index of the first day of the detailed window."""
+        return self.total_days - self.detailed_days
+
+    def day_of(self, timestamp: float) -> int:
+        """Study-day index of a timestamp."""
+        return int((timestamp - self.study_start) // SECONDS_PER_DAY)
+
+    def in_study(self, timestamp: float) -> bool:
+        return self.study_start <= timestamp < self.study_end
+
+    def in_detailed(self, timestamp: float) -> bool:
+        return self.detailed_start <= timestamp < self.study_end
+
+
+class StudyDataset:
+    """Raw measurement artefacts plus cached shared partitions."""
+
+    def __init__(
+        self,
+        proxy_records: list[ProxyRecord],
+        mme_records: list[MmeRecord],
+        device_db: DeviceDatabase,
+        sector_map: SectorMap,
+        account_directory: dict[str, str],
+        window: StudyWindow,
+    ) -> None:
+        self.proxy_records = proxy_records
+        self.mme_records = mme_records
+        self.device_db = device_db
+        self.sector_map = sector_map
+        self.account_directory = account_directory
+        self.window = window
+
+    # ------------------------------------------------------------ loading
+    @classmethod
+    def from_simulation(cls, output) -> "StudyDataset":
+        """Wrap a :class:`SimulationOutput` without copying records."""
+        return cls(
+            proxy_records=output.proxy_records,
+            mme_records=output.mme_records,
+            device_db=output.device_db,
+            sector_map=output.sector_map,
+            account_directory=output.account_directory,
+            window=StudyWindow(
+                study_start=output.config.study_start,
+                total_days=output.config.total_days,
+                detailed_days=output.config.detailed_days,
+            ),
+        )
+
+    @staticmethod
+    def _log_path(base: Path, stem: str) -> Path:
+        """The plain or gzip-compressed variant of a log, whichever exists."""
+        plain = base / f"{stem}.csv"
+        if plain.exists():
+            return plain
+        compressed = base / f"{stem}.csv.gz"
+        if compressed.exists():
+            return compressed
+        raise FileNotFoundError(f"neither {plain} nor {compressed} exists")
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "StudyDataset":
+        """Load a trace directory written by ``SimulationOutput.write``.
+
+        Both plain and gzip-compressed (``.csv.gz``) proxy/MME logs are
+        accepted.
+        """
+        base = Path(directory)
+        with (base / "metadata.json").open("r", encoding="utf-8") as handle:
+            meta = json.load(handle)
+        account_directory: dict[str, str] = {}
+        with (base / "accounts.csv").open("r", newline="", encoding="utf-8") as handle:
+            for row in csv.DictReader(handle):
+                account_directory[row["subscriber_id"]] = row["account_id"]
+        return cls(
+            proxy_records=list(read_proxy_log(cls._log_path(base, "proxy"))),
+            mme_records=list(read_mme_log(cls._log_path(base, "mme"))),
+            device_db=DeviceDatabase.read_csv(base / "devices.csv"),
+            sector_map=SectorMap.read_csv(base / "sectors.csv"),
+            account_directory=account_directory,
+            window=StudyWindow(
+                study_start=float(meta["study_start"]),
+                total_days=int(meta["total_days"]),
+                detailed_days=int(meta["detailed_days"]),
+            ),
+        )
+
+    # ------------------------------------------------------------ partitions
+    @cached_property
+    def wearable_tacs(self) -> frozenset[str]:
+        """TACs of SIM-enabled wearables per the device database (§3.2)."""
+        return self.device_db.wearable_tacs()
+
+    def is_wearable_imei(self, imei: str) -> bool:
+        return imei[:8] in self.wearable_tacs
+
+    @cached_property
+    def wearable_proxy(self) -> list[ProxyRecord]:
+        """Proxy transactions originating from wearable devices."""
+        tacs = self.wearable_tacs
+        return [r for r in self.proxy_records if r.tac in tacs]
+
+    @cached_property
+    def phone_proxy(self) -> list[ProxyRecord]:
+        """Proxy transactions from non-wearable devices."""
+        tacs = self.wearable_tacs
+        return [r for r in self.proxy_records if r.tac not in tacs]
+
+    @cached_property
+    def wearable_mme(self) -> list[MmeRecord]:
+        """MME events of wearable SIMs."""
+        tacs = self.wearable_tacs
+        return [r for r in self.mme_records if r.tac in tacs]
+
+    @cached_property
+    def phone_mme(self) -> list[MmeRecord]:
+        """MME events of non-wearable SIMs."""
+        tacs = self.wearable_tacs
+        return [r for r in self.mme_records if r.tac not in tacs]
+
+    @cached_property
+    def wearable_proxy_detailed(self) -> list[ProxyRecord]:
+        """Wearable transactions inside the detailed seven-week window."""
+        window = self.window
+        return [r for r in self.wearable_proxy if window.in_detailed(r.timestamp)]
+
+    @cached_property
+    def wearable_subscribers(self) -> frozenset[str]:
+        """Every subscriber id seen on a wearable SIM (via MME or proxy)."""
+        ids = {r.subscriber_id for r in self.wearable_mme}
+        ids.update(r.subscriber_id for r in self.wearable_proxy)
+        return frozenset(ids)
+
+    @cached_property
+    def wearable_accounts(self) -> frozenset[str]:
+        """Accounts owning at least one wearable SIM (billing join)."""
+        directory = self.account_directory
+        return frozenset(
+            directory[subscriber]
+            for subscriber in self.wearable_subscribers
+            if subscriber in directory
+        )
+
+    def account_of(self, subscriber_id: str) -> str | None:
+        """Billing account of a subscriber, when known."""
+        return self.account_directory.get(subscriber_id)

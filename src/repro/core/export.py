@@ -1,0 +1,65 @@
+"""Machine-readable export of a study report.
+
+Dashboards and downstream notebooks want the analysis results as data,
+not text tables.  :func:`report_to_dict` flattens a
+:class:`~repro.core.pipeline.StudyReport` into plain JSON-serialisable
+structures (dataclasses → dicts, ECDFs → decile summaries), and
+:func:`write_report_json` puts it on disk.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.pipeline import StudyReport
+from repro.stats.cdf import ECDF
+
+#: Quantiles exported for every ECDF.
+EXPORT_QUANTILES = (0.1, 0.25, 0.5, 0.75, 0.9, 0.99)
+
+
+def _ecdf_summary(ecdf: ECDF) -> dict[str, Any]:
+    return {
+        "count": len(ecdf),
+        "mean": ecdf.mean,
+        "min": ecdf.minimum,
+        "max": ecdf.maximum,
+        "quantiles": {
+            f"p{int(100 * q)}": ecdf.quantile(q) for q in EXPORT_QUANTILES
+        },
+    }
+
+
+def _convert(value: Any) -> Any:
+    """Recursively convert analysis objects into JSON-friendly values."""
+    if isinstance(value, ECDF):
+        return _ecdf_summary(value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: _convert(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(key): _convert(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_convert(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def report_to_dict(report: StudyReport) -> dict[str, Any]:
+    """The full study report as nested plain dicts."""
+    return _convert(report)
+
+
+def write_report_json(report: StudyReport, path: str | Path) -> Path:
+    """Serialise the report to pretty-printed JSON; returns the path."""
+    target = Path(path)
+    with target.open("w", encoding="utf-8") as handle:
+        json.dump(report_to_dict(report), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return target

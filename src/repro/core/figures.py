@@ -1,0 +1,289 @@
+"""Canonical text renderings of every paper figure.
+
+One function per figure panel, each taking the corresponding analysis
+result and returning the plotted series as an aligned text table (plus an
+ASCII chart where the figure is a curve).  The CLI's ``figures`` command
+and the examples use these; the benchmark harness layers paper-vs-measured
+comparisons on top.
+"""
+
+from __future__ import annotations
+
+from repro.core.activity import ActivityResult
+from repro.core.adoption import AdoptionResult
+from repro.core.apps import AppsResult
+from repro.core.comparison import ComparisonResult
+from repro.core.domains import DomainsResult
+from repro.core.mobility import MobilityResult
+from repro.core.pipeline import StudyReport
+from repro.core.report import format_cdf, format_hourly, format_table
+from repro.core.throughdevice import ThroughDeviceResult
+from repro.core.weekly import WEEKDAY_NAMES, WeeklyResult
+from repro.stats.cdf import ECDF
+
+
+def ascii_series(values: list[float], width: int = 60, height: int = 10) -> str:
+    """Render a series as a crude ASCII line chart."""
+    if not values:
+        return "(empty series)"
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        hi = lo + 1.0
+    # Downsample to the chart width.
+    step = max(1, len(values) // width)
+    sampled = values[::step][:width]
+    rows: list[str] = []
+    for level in range(height, 0, -1):
+        threshold = lo + (hi - lo) * (level - 0.5) / height
+        line = "".join("█" if value >= threshold else " " for value in sampled)
+        rows.append(f"{lo + (hi - lo) * level / height:10.3f} |{line}")
+    rows.append(" " * 11 + "+" + "-" * len(sampled))
+    return "\n".join(rows)
+
+
+def ascii_cdf(ecdf: ECDF, width: int = 60, height: int = 10) -> str:
+    """Render a CDF curve as an ASCII chart (x = value, y = F(x))."""
+    series = [point[1] for point in ecdf.series(points=width)]
+    return ascii_series(series, width=width, height=height)
+
+
+def render_fig2a(adoption: AdoptionResult) -> str:
+    chart = ascii_series(adoption.normalized_daily)
+    table = format_table(
+        ("metric", "value"),
+        [
+            ("growth per month", f"{adoption.monthly_growth_percent:+.2f}%"),
+            ("growth over window", f"{adoption.total_growth_percent:+.1f}%"),
+            ("data-active fraction", f"{adoption.data_active_fraction:.2f}"),
+        ],
+    )
+    return (
+        "Fig. 2(a) — daily SIM-wearable users (normalized to final day)\n"
+        + chart
+        + "\n\n"
+        + table
+    )
+
+
+def render_fig2b(adoption: AdoptionResult) -> str:
+    return format_table(
+        ("metric", "value"),
+        [
+            ("first-week users", adoption.first_week_users),
+            ("abandoned", f"{100 * adoption.abandoned_fraction:.1f}%"),
+            (
+                "still active in last week",
+                f"{100 * adoption.still_active_fraction:.1f}%",
+            ),
+        ],
+        title="Fig. 2(b) — first week vs last week",
+    )
+
+
+def render_fig3a(activity: ActivityResult) -> str:
+    return format_hourly(
+        "Fig. 3(a) — hourly transactions (fraction of weekly total)",
+        activity.hourly.weekday_tx,
+        activity.hourly.weekend_tx,
+    )
+
+
+def render_fig3b(activity: ActivityResult) -> str:
+    return (
+        format_cdf(activity.active_days_per_week, "active days/week", points=10)
+        + "\n\n"
+        + format_cdf(activity.active_hours_per_day, "active hours/day", points=10)
+    )
+
+
+def render_fig3c(activity: ActivityResult) -> str:
+    chart = ascii_cdf(activity.transaction_sizes)
+    return (
+        "Fig. 3(c) — transaction size CDF (x spans sample range)\n"
+        + chart
+        + "\n\n"
+        + format_cdf(activity.transaction_sizes, "bytes", points=10)
+    )
+
+
+def render_fig3d(activity: ActivityResult) -> str:
+    rows = [
+        (f"{t.bin_low:.1f}-{t.bin_high:.1f} h", t.count, t.mean_y)
+        for t in activity.tx_rate_vs_hours
+    ]
+    return format_table(
+        ("active hours/day", "users", "mean tx per active hour"),
+        rows,
+        title="Fig. 3(d) — transactions/hour vs active hours/day",
+    )
+
+
+def render_fig4a(comparison: ComparisonResult) -> str:
+    return (
+        format_cdf(
+            comparison.bytes_cdf_wearable_owner, "owner bytes (norm.)", points=10
+        )
+        + "\n\n"
+        + format_cdf(comparison.bytes_cdf_general, "general bytes (norm.)", points=10)
+        + f"\n\nowners: +{comparison.extra_data_percent:.0f}% data, "
+        f"+{comparison.extra_tx_percent:.0f}% transactions"
+    )
+
+
+def render_fig4b(comparison: ComparisonResult) -> str:
+    return (
+        format_cdf(comparison.wearable_share, "wearable/total share", points=10)
+        + f"\n\nmedian share: {comparison.median_share_orders_of_magnitude:.1f} "
+        "orders of magnitude below the user's total; "
+        f"{100 * comparison.fraction_share_at_least_3pct:.1f}% of owners ≥3%"
+    )
+
+
+def render_fig4c(mobility: MobilityResult) -> str:
+    return (
+        format_cdf(
+            mobility.wearable_user_displacement, "wearable users km", points=10
+        )
+        + "\n\n"
+        + format_cdf(
+            mobility.general_user_displacement, "general users km", points=10
+        )
+        + f"\n\nmeans: {mobility.mean_user_displacement_wearable_km:.1f} vs "
+        f"{mobility.mean_user_displacement_general_km:.1f} km; entropy "
+        f"+{mobility.entropy_excess_percent:.0f}%; single-location "
+        f"{100 * mobility.single_tx_location_fraction:.0f}%"
+    )
+
+
+def render_fig4d(mobility: MobilityResult) -> str:
+    rows = [
+        (f"{t.bin_low:.0f}-{t.bin_high:.0f} km", t.count, t.mean_y)
+        for t in mobility.displacement_vs_tx_rate
+    ]
+    return format_table(
+        ("daily displacement", "users", "mean tx per active hour"),
+        rows,
+        title="Fig. 4(d) — displacement vs hourly activity",
+    )
+
+
+def render_fig5a(apps: AppsResult, top_n: int = 30) -> str:
+    rows = [
+        (row.app, row.daily_users_pct, row.used_days_per_user_pct)
+        for row in apps.per_app[:top_n]
+    ]
+    return format_table(
+        ("app", "daily users %", "used days per user %"),
+        rows,
+        title=f"Fig. 5(a) — top {top_n} apps by daily associated users",
+    )
+
+
+def render_fig5b(apps: AppsResult, top_n: int = 30) -> str:
+    ordered = sorted(apps.per_app, key=lambda r: r.usage_freq_pct, reverse=True)
+    rows = [
+        (row.app, row.usage_freq_pct, row.tx_pct, row.data_pct)
+        for row in ordered[:top_n]
+    ]
+    return format_table(
+        ("app", "usage freq %", "transactions %", "data %"),
+        rows,
+        title=f"Fig. 5(b) — top {top_n} apps by frequency of usage",
+    )
+
+
+def render_fig6(apps: AppsResult) -> str:
+    rows = [
+        (row.category, row.users_pct, row.usage_freq_pct, row.tx_pct, row.data_pct)
+        for row in apps.per_category
+    ]
+    return format_table(
+        ("category", "users %", "freq %", "tx %", "data %"),
+        rows,
+        title="Fig. 6 — daily popularity of app categories",
+    )
+
+
+def render_fig7(domains: DomainsResult) -> str:
+    rows = [
+        (row.app, row.mean_tx_per_usage, row.mean_kb_per_usage, row.usage_count)
+        for row in domains.per_app_usage
+    ]
+    return format_table(
+        ("app", "tx / usage", "KB / usage", "usages"),
+        rows,
+        title="Fig. 7 — data and transactions during a single usage",
+    )
+
+
+def render_fig8(domains: DomainsResult) -> str:
+    rows = [
+        (row.category, row.users_pct, row.usage_freq_pct, row.data_pct)
+        for row in domains.per_domain_category
+    ]
+    return (
+        format_table(
+            ("domain category", "users %", "frequency %", "data %"),
+            rows,
+            title="Fig. 8 — applications and the services they talk to",
+        )
+        + f"\n\nthird-party/first-party data ratio: "
+        f"{domains.third_party_data_ratio:.2f}"
+    )
+
+
+def render_sec42(weekly: WeeklyResult) -> str:
+    rows = [
+        (WEEKDAY_NAMES[dow], weekly.weekday_tx_index[dow])
+        for dow in range(7)
+    ]
+    return (
+        format_table(
+            ("day", "tx index (1.0 = mean)"),
+            rows,
+            title="§4.2 — weekly pattern",
+        )
+        + f"\n\nrelative usage: weekend {weekly.weekend_relative_boost:.2f}x, "
+        f"evenings {weekly.evening_relative_boost:.2f}x"
+    )
+
+
+def render_sec6(through_device: ThroughDeviceResult) -> str:
+    rows = sorted(through_device.detected_by_kind.items())
+    return (
+        format_table(
+            ("kind", "detected users"),
+            rows,
+            title="§6 — fingerprinted through-device wearables",
+        )
+        + f"\n\nestimated total: {through_device.estimated_total_td_users:.0f}; "
+        f"TD vs other displacement: {through_device.mean_displacement_td_km:.1f}"
+        f" vs {through_device.mean_displacement_other_km:.1f} km"
+    )
+
+
+#: Figure id → renderer over a full StudyReport.
+FIGURE_RENDERERS = {
+    "fig2a": lambda report: render_fig2a(report.adoption),
+    "fig2b": lambda report: render_fig2b(report.adoption),
+    "fig3a": lambda report: render_fig3a(report.activity),
+    "fig3b": lambda report: render_fig3b(report.activity),
+    "fig3c": lambda report: render_fig3c(report.activity),
+    "fig3d": lambda report: render_fig3d(report.activity),
+    "fig4a": lambda report: render_fig4a(report.comparison),
+    "fig4b": lambda report: render_fig4b(report.comparison),
+    "fig4c": lambda report: render_fig4c(report.mobility),
+    "fig4d": lambda report: render_fig4d(report.mobility),
+    "fig5a": lambda report: render_fig5a(report.apps),
+    "fig5b": lambda report: render_fig5b(report.apps),
+    "fig6": lambda report: render_fig6(report.apps),
+    "fig7": lambda report: render_fig7(report.domains),
+    "fig8": lambda report: render_fig8(report.domains),
+    "sec42": lambda report: render_sec42(report.weekly),
+    "sec6": lambda report: render_sec6(report.through_device),
+}
+
+
+def render_all(report: StudyReport) -> dict[str, str]:
+    """Render every figure; figure id → text."""
+    return {name: renderer(report) for name, renderer in FIGURE_RENDERERS.items()}

@@ -1,0 +1,160 @@
+"""End-to-end study orchestration.
+
+:class:`WearableStudy` wires the whole paper pipeline over one
+:class:`~repro.core.dataset.StudyDataset`:
+
+1. identify wearable traffic by TAC (§3.2),
+2. attribute hosts to apps with the timeframe rule (§3.3),
+3. sessionise usages with the one-minute gap (§5.1),
+4. run every section's analysis lazily, caching shared intermediates.
+
+Use :meth:`WearableStudy.run_all` for a single :class:`StudyReport` with
+every figure's series, or call the per-figure properties individually.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Mapping
+
+from repro.core.activity import ActivityResult, analyze_activity
+from repro.core.adoption import AdoptionResult, analyze_adoption
+from repro.core.app_mapping import (
+    AttributedRecord,
+    SignatureCatalog,
+    attribute_records,
+)
+from repro.core.apps import AppsResult, analyze_apps
+from repro.core.comparison import ComparisonResult, analyze_comparison
+from repro.core.dataset import StudyDataset
+from repro.core.devices import DeviceResult, analyze_devices
+from repro.core.domains import DomainsResult, analyze_domains
+from repro.core.identification import DeviceCensus, WearableIdentifier
+from repro.core.mobility import MobilityResult, analyze_mobility
+from repro.core.protocols import ProtocolResult, analyze_protocols
+from repro.core.sessions import UsageSession, sessionize
+from repro.core.throughdevice import ThroughDeviceResult, analyze_through_device
+from repro.core.weekly import WeeklyResult, analyze_weekly
+from repro.simnet.appcatalog import AppCatalog, builtin_app_catalog
+
+
+@dataclass(frozen=True)
+class StudyReport:
+    """Every analysis result the paper's evaluation reports."""
+
+    census: DeviceCensus
+    adoption: AdoptionResult
+    activity: ActivityResult
+    comparison: ComparisonResult
+    mobility: MobilityResult
+    apps: AppsResult
+    domains: DomainsResult
+    through_device: ThroughDeviceResult
+    weekly: WeeklyResult
+    protocols: ProtocolResult
+    devices: DeviceResult
+
+
+class WearableStudy:
+    """Lazy, cached execution of the full analysis pipeline."""
+
+    def __init__(
+        self,
+        dataset: StudyDataset,
+        app_catalog: AppCatalog | None = None,
+    ) -> None:
+        """``app_catalog`` supplies the host signatures and the public
+        Play-store categorisation; it defaults to the built-in catalog the
+        simulator also uses (the analogue of the paper's lab-collected
+        signature set)."""
+        self.dataset = dataset
+        self._catalog = app_catalog or builtin_app_catalog()
+
+    # ------------------------------------------------------------ shared
+    @cached_property
+    def identifier(self) -> WearableIdentifier:
+        return WearableIdentifier(self.dataset.device_db)
+
+    @cached_property
+    def signatures(self) -> SignatureCatalog:
+        return SignatureCatalog.from_app_catalog(self._catalog)
+
+    @cached_property
+    def app_categories(self) -> Mapping[str, str]:
+        return {app.name: app.category for app in self._catalog}
+
+    @cached_property
+    def attributed(self) -> list[AttributedRecord]:
+        """Wearable transactions with resolved apps (whole study)."""
+        return attribute_records(self.dataset.wearable_proxy, self.signatures)
+
+    @cached_property
+    def sessions(self) -> list[UsageSession]:
+        """One-minute-gap usage sessions over the attributed traffic."""
+        return sessionize(self.attributed)
+
+    # ------------------------------------------------------------ analyses
+    @cached_property
+    def census(self) -> DeviceCensus:
+        return self.identifier.census(self.dataset.wearable_mme)
+
+    @cached_property
+    def adoption(self) -> AdoptionResult:
+        return analyze_adoption(self.dataset)
+
+    @cached_property
+    def activity(self) -> ActivityResult:
+        return analyze_activity(self.dataset)
+
+    @cached_property
+    def comparison(self) -> ComparisonResult:
+        return analyze_comparison(self.dataset)
+
+    @cached_property
+    def mobility(self) -> MobilityResult:
+        return analyze_mobility(self.dataset)
+
+    @cached_property
+    def apps(self) -> AppsResult:
+        return analyze_apps(
+            self.dataset, self.attributed, self.sessions, self.app_categories
+        )
+
+    @cached_property
+    def domains(self) -> DomainsResult:
+        return analyze_domains(self.dataset, self.attributed, self.sessions)
+
+    @cached_property
+    def through_device(self) -> ThroughDeviceResult:
+        return analyze_through_device(self.dataset)
+
+    @cached_property
+    def weekly(self) -> WeeklyResult:
+        return analyze_weekly(self.dataset)
+
+    @cached_property
+    def protocols(self) -> ProtocolResult:
+        return analyze_protocols(
+            self.dataset, self.attributed, self.app_categories
+        )
+
+    @cached_property
+    def devices(self) -> DeviceResult:
+        return analyze_devices(self.dataset)
+
+    def run_all(self) -> StudyReport:
+        """Run every analysis and bundle the results."""
+        return StudyReport(
+            census=self.census,
+            adoption=self.adoption,
+            activity=self.activity,
+            comparison=self.comparison,
+            mobility=self.mobility,
+            apps=self.apps,
+            domains=self.domains,
+            through_device=self.through_device,
+            weekly=self.weekly,
+            protocols=self.protocols,
+            devices=self.devices,
+        )

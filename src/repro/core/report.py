@@ -1,0 +1,86 @@
+"""Plain-text rendering of figure series.
+
+The benchmark harness "regenerates" each paper figure as the series the
+plot would carry; these helpers format those series as aligned text tables
+so bench output reads like the figure captions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.stats.cdf import ECDF
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned monospace table."""
+    rendered_rows = [
+        [_cell(value) for value in row] for row in rows
+    ]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value != 0 and abs(value) < 0.01:
+            return f"{value:.2e}"
+        return f"{value:,.2f}"
+    return str(value)
+
+
+def format_cdf(
+    ecdf: ECDF,
+    label: str,
+    points: int = 11,
+    unit: str = "",
+) -> str:
+    """Render a CDF as decile rows."""
+    rows = []
+    for index in range(points):
+        q = (index + 1) / points
+        rows.append((f"p{int(100 * q):02d}", f"{ecdf.quantile(q):,.2f}{unit}"))
+    return format_table(("quantile", label), rows)
+
+
+def format_comparison(
+    title: str,
+    entries: Sequence[tuple[str, object, object]],
+) -> str:
+    """Paper-vs-measured table used by every benchmark module."""
+    return format_table(
+        ("metric", "paper", "measured"),
+        entries,
+        title=title,
+    )
+
+
+def format_hourly(
+    label: str,
+    weekday: Sequence[float],
+    weekend: Sequence[float],
+) -> str:
+    """Render a 24-hour weekday/weekend profile pair."""
+    rows = [
+        (f"{hour:02d}h", 100.0 * weekday[hour], 100.0 * weekend[hour])
+        for hour in range(24)
+    ]
+    return format_table(
+        ("hour", "weekday %", "weekend %"),
+        rows,
+        title=label,
+    )

@@ -1,0 +1,211 @@
+"""Full through-device characterisation — the paper's stated future work.
+
+Section 6 closes with: "A detailed analysis of traffic and users of those
+devices is left as future work."  This module is that analysis, run over
+the fingerprintable through-device population:
+
+* **sync-traffic microscopics** — flows per user-day, bytes per user-day
+  and the hourly profile of wearable sync traffic relayed through phones;
+* **three-way behaviour comparison** — through-device owners vs
+  SIM-wearable owners vs the remaining customers, on daily traffic,
+  daily max displacement and dwell-time location entropy;
+* **similarity scores** — cosine similarity between the through-device
+  sync hourly profile and the SIM-wearable transaction profile, making
+  "similar macroscopic behavior" a number instead of a remark.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from math import sqrt
+
+from repro.core.dataset import StudyDataset
+from repro.core.mobility import build_timelines
+from repro.core.throughdevice import TD_FINGERPRINT_HOSTS
+from repro.logs.timeutil import hour_of_day
+from repro.stats.cdf import ECDF
+from repro.stats.entropy import dwell_weighted_entropy
+from repro.stats.geo import GeoPoint, max_displacement_km
+
+
+@dataclass(frozen=True, slots=True)
+class GroupBehaviour:
+    """Per-user-group behaviour aggregates."""
+
+    users: int
+    mean_daily_tx: float
+    mean_daily_bytes: float
+    mean_displacement_km: float
+    mean_entropy_bits: float
+
+
+@dataclass(frozen=True, slots=True)
+class ThroughDeviceFullResult:
+    """The future-work §6 analysis."""
+
+    #: Sync traffic relayed through the phone, per detected user-day.
+    sync_tx_per_user_day: float
+    sync_bytes_per_user_day: float
+    #: Hourly share of sync transactions (24 values summing to 1).
+    sync_hourly_profile: list[float]
+    #: Daily bytes per user, per group.
+    daily_bytes_td: ECDF
+    daily_bytes_general: ECDF
+    #: Behaviour aggregates for the three populations.
+    through_device: GroupBehaviour
+    sim_wearable: GroupBehaviour
+    general: GroupBehaviour
+    #: Cosine similarity between the TD sync hourly profile and the
+    #: SIM-wearable transaction hourly profile (1.0 = identical shape).
+    hourly_similarity_td_vs_sim: float
+
+
+def _cosine(a: list[float], b: list[float]) -> float:
+    dot = sum(x * y for x, y in zip(a, b))
+    norm_a = sqrt(sum(x * x for x in a))
+    norm_b = sqrt(sum(y * y for y in b))
+    if norm_a == 0.0 or norm_b == 0.0:
+        return 0.0
+    return dot / (norm_a * norm_b)
+
+
+def _hourly_share(counts: list[int]) -> list[float]:
+    total = sum(counts)
+    if total == 0:
+        return [0.0] * 24
+    return [count / total for count in counts]
+
+
+def analyze_through_device_full(dataset: StudyDataset) -> ThroughDeviceFullResult:
+    """Run the full §6 characterisation over the detailed window."""
+    window = dataset.window
+    owner_accounts = dataset.wearable_accounts
+    fingerprints = set(TD_FINGERPRINT_HOSTS)
+
+    # ---------------------------------------------------------- partitions
+    td_users: set[str] = set()
+    phone_tx: dict[str, int] = defaultdict(int)
+    phone_bytes: dict[str, int] = defaultdict(int)
+    phone_daily_bytes: dict[tuple[str, int], int] = defaultdict(int)
+    sync_tx = 0
+    sync_bytes = 0
+    sync_user_days: set[tuple[str, int]] = set()
+    sync_hourly = [0] * 24
+    for record in dataset.phone_proxy:
+        if not window.in_detailed(record.timestamp):
+            continue
+        if dataset.account_of(record.subscriber_id) in owner_accounts:
+            continue
+        subscriber = record.subscriber_id
+        day = window.day_of(record.timestamp)
+        phone_tx[subscriber] += 1
+        phone_bytes[subscriber] += record.total_bytes
+        phone_daily_bytes[(subscriber, day)] += record.total_bytes
+        if record.host in fingerprints:
+            td_users.add(subscriber)
+            sync_tx += 1
+            sync_bytes += record.total_bytes
+            sync_user_days.add((subscriber, day))
+            sync_hourly[hour_of_day(record.timestamp)] += 1
+
+    if not td_users:
+        raise ValueError("no fingerprintable through-device users in trace")
+    general_users = set(phone_tx) - td_users
+
+    # ------------------------------------------------------- SIM wearables
+    wearable_tx: dict[str, int] = defaultdict(int)
+    wearable_bytes: dict[str, int] = defaultdict(int)
+    wearable_hourly = [0] * 24
+    for record in dataset.wearable_proxy_detailed:
+        wearable_tx[record.subscriber_id] += 1
+        wearable_bytes[record.subscriber_id] += record.total_bytes
+        wearable_hourly[hour_of_day(record.timestamp)] += 1
+
+    # ------------------------------------------------------------ mobility
+    detailed_phone_mme = [
+        r
+        for r in dataset.phone_mme
+        if window.in_detailed(r.timestamp)
+        and dataset.account_of(r.subscriber_id) not in owner_accounts
+    ]
+    phone_timelines = build_timelines(detailed_phone_mme)
+    wearable_timelines = build_timelines(
+        r for r in dataset.wearable_mme if window.in_detailed(r.timestamp)
+    )
+
+    def mobility_means(
+        users: set[str], timelines
+    ) -> tuple[float, float]:
+        displacements: list[float] = []
+        entropies: list[float] = []
+        for subscriber in users:
+            timeline = timelines.get(subscriber)
+            if timeline is None:
+                continue
+            per_day: list[float] = []
+            for sectors in timeline.daily_sectors(window.study_start).values():
+                points: list[GeoPoint] = []
+                for sector in sectors:
+                    location = dataset.sector_map.get(sector)
+                    if location is not None:
+                        points.append(location)
+                per_day.append(max_displacement_km(points))
+            if per_day:
+                displacements.append(sum(per_day) / len(per_day))
+            entropies.append(
+                dwell_weighted_entropy(
+                    timeline.dwell_seconds(window.study_start)
+                )
+            )
+        mean_displacement = (
+            sum(displacements) / len(displacements) if displacements else 0.0
+        )
+        mean_entropy = sum(entropies) / len(entropies) if entropies else 0.0
+        return mean_displacement, mean_entropy
+
+    days = max(1, window.detailed_days)
+
+    def group(
+        users: set[str],
+        tx: dict[str, int],
+        volume: dict[str, int],
+        timelines,
+    ) -> GroupBehaviour:
+        if not users:
+            return GroupBehaviour(0, 0.0, 0.0, 0.0, 0.0)
+        displacement, entropy = mobility_means(users, timelines)
+        return GroupBehaviour(
+            users=len(users),
+            mean_daily_tx=sum(tx[u] for u in users) / len(users) / days,
+            mean_daily_bytes=sum(volume[u] for u in users) / len(users) / days,
+            mean_displacement_km=displacement,
+            mean_entropy_bits=entropy,
+        )
+
+    sim_users = set(wearable_tx)
+    td_group = group(td_users, phone_tx, phone_bytes, phone_timelines)
+    general_group = group(general_users, phone_tx, phone_bytes, phone_timelines)
+    sim_group = group(sim_users, wearable_tx, wearable_bytes, wearable_timelines)
+
+    def daily_bytes_ecdf(users: set[str]) -> ECDF:
+        values = [
+            float(total)
+            for (subscriber, _day), total in phone_daily_bytes.items()
+            if subscriber in users
+        ]
+        return ECDF(values) if values else ECDF([0.0])
+
+    return ThroughDeviceFullResult(
+        sync_tx_per_user_day=sync_tx / max(1, len(sync_user_days)),
+        sync_bytes_per_user_day=sync_bytes / max(1, len(sync_user_days)),
+        sync_hourly_profile=_hourly_share(sync_hourly),
+        daily_bytes_td=daily_bytes_ecdf(td_users),
+        daily_bytes_general=daily_bytes_ecdf(general_users),
+        through_device=td_group,
+        sim_wearable=sim_group,
+        general=general_group,
+        hourly_similarity_td_vs_sim=_cosine(
+            _hourly_share(sync_hourly), _hourly_share(wearable_hourly)
+        ),
+    )

@@ -1,0 +1,141 @@
+"""Weekly patterns and wearable-vs-ISP relative usage (§4.2).
+
+Section 4.2 makes two claims beyond the Fig. 3(a) hourly profiles:
+
+* "we do not observe a clear weekly pattern as all metrics are almost
+  constants across days" — transactions and data are spread evenly over
+  the days of the week;
+* "when we look at the wearable traffic in comparison with the overall
+  traffic of the ISP, we observe that the relative usage of wearables is
+  slightly higher on weekends and evenings".
+
+This module computes both: per-day-of-week activity series for wearable
+traffic, and the wearable share of *total* ISP traffic per hour-of-day and
+per day-type, normalised so 1.0 means "the average share".
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.core.dataset import StudyDataset
+from repro.logs.timeutil import hour_of_day, is_weekend, weekday
+
+WEEKDAY_NAMES = ("Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun")
+
+#: Evening hours used for the "higher in the evenings" comparison.
+EVENING_HOURS = frozenset(range(18, 24))
+
+
+@dataclass(frozen=True, slots=True)
+class WeeklyResult:
+    """Everything Section 4.2 reports beyond the hourly profiles."""
+
+    #: Average wearable transactions / bytes / active users per day of
+    #: week (Mon..Sun), each normalised by its weekly mean so a flat week
+    #: reads as seven 1.0 values.
+    weekday_tx_index: list[float]
+    weekday_bytes_index: list[float]
+    weekday_users_index: list[float]
+    #: Max relative deviation of daily transactions from the weekly mean
+    #: ("no clear weekly pattern" = small).
+    max_daily_tx_deviation: float
+    #: Wearable share of total ISP transactions per hour of day,
+    #: normalised by the mean share (1.0 = average).
+    relative_usage_by_hour: list[float]
+    #: Wearable share of total ISP transactions, weekend over weekday.
+    weekend_relative_boost: float
+    #: Wearable share of total ISP transactions, evening hours over the
+    #: rest of the day.
+    evening_relative_boost: float
+
+
+def _index(values: list[float]) -> list[float]:
+    mean = sum(values) / len(values)
+    if mean == 0:
+        return [0.0] * len(values)
+    return [value / mean for value in values]
+
+
+def analyze_weekly(dataset: StudyDataset) -> WeeklyResult:
+    """Compute the §4.2 weekly statistics over the detailed window."""
+    window = dataset.window
+    wearable_tacs = dataset.wearable_tacs
+
+    day_count: dict[int, int] = defaultdict(int)  # distinct dates per dow
+    dow_tx = [0.0] * 7
+    dow_bytes = [0.0] * 7
+    dow_users: list[set[tuple[str, int]]] = [set() for _ in range(7)]
+
+    hour_wearable = [0] * 24
+    hour_total = [0] * 24
+    daytype_wearable = {True: 0, False: 0}  # keyed by is_weekend
+    daytype_total = {True: 0, False: 0}
+
+    seen_dates: dict[int, set[int]] = defaultdict(set)
+    for record in dataset.proxy_records:
+        timestamp = record.timestamp
+        if not window.in_detailed(timestamp):
+            continue
+        hour = hour_of_day(timestamp)
+        weekend = is_weekend(timestamp)
+        dow = weekday(timestamp)
+        date = window.day_of(timestamp)
+        seen_dates[dow].add(date)
+        hour_total[hour] += 1
+        daytype_total[weekend] += 1
+        if record.tac in wearable_tacs:
+            dow_tx[dow] += 1
+            dow_bytes[dow] += record.total_bytes
+            dow_users[dow].add((record.subscriber_id, date))
+            hour_wearable[hour] += 1
+            daytype_wearable[weekend] += 1
+
+    if sum(dow_tx) == 0:
+        raise ValueError("no wearable transactions in the detailed window")
+
+    for dow, dates in seen_dates.items():
+        day_count[dow] = len(dates)
+
+    def per_day(series: list[float]) -> list[float]:
+        return [
+            series[dow] / day_count[dow] if day_count.get(dow) else 0.0
+            for dow in range(7)
+        ]
+
+    tx_index = _index(per_day(dow_tx))
+    bytes_index = _index(per_day(dow_bytes))
+    users_index = _index(per_day([float(len(users)) for users in dow_users]))
+    max_deviation = max(abs(value - 1.0) for value in tx_index)
+
+    shares = [
+        hour_wearable[hour] / hour_total[hour] if hour_total[hour] else 0.0
+        for hour in range(24)
+    ]
+    relative_by_hour = _index(shares)
+
+    def share(weekend: bool) -> float:
+        total = daytype_total[weekend]
+        return daytype_wearable[weekend] / total if total else 0.0
+
+    weekday_share = share(False)
+    weekend_boost = share(True) / weekday_share if weekday_share else 0.0
+
+    evening_wearable = sum(hour_wearable[h] for h in EVENING_HOURS)
+    evening_total = sum(hour_total[h] for h in EVENING_HOURS)
+    rest_wearable = sum(hour_wearable) - evening_wearable
+    rest_total = sum(hour_total) - evening_total
+    evening_share = evening_wearable / evening_total if evening_total else 0.0
+    rest_share = rest_wearable / rest_total if rest_total else 0.0
+    evening_boost = evening_share / rest_share if rest_share else 0.0
+
+    return WeeklyResult(
+        weekday_tx_index=tx_index,
+        weekday_bytes_index=bytes_index,
+        weekday_users_index=users_index,
+        max_daily_tx_deviation=max_deviation,
+        relative_usage_by_hour=relative_by_hour,
+        weekend_relative_boost=weekend_boost,
+        evening_relative_boost=evening_boost,
+    )

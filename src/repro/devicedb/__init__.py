@@ -1,0 +1,53 @@
+"""Device database substrate.
+
+The paper identifies SIM-enabled wearables by mapping device models to IMEI
+ranges via the operator's device database (Section 3.2).  This package
+provides that substrate:
+
+* :mod:`repro.devicedb.tac` — IMEI structure, Luhn check digits, and TAC
+  (Type Allocation Code) handling;
+* :mod:`repro.devicedb.database` — the TAC-to-model directory with CSV
+  import/export;
+* :mod:`repro.devicedb.catalog` — a built-in catalog of 2017-era device
+  models (SIM-enabled wearables and popular smartphones) with synthetic but
+  structurally valid TAC allocations.
+"""
+
+from repro.devicedb.catalog import (
+    builtin_database,
+    builtin_models,
+    sim_wearable_models,
+    smartphone_models,
+    through_device_wearable_models,
+)
+from repro.devicedb.database import DeviceDatabase, DeviceModel
+from repro.devicedb.tac import (
+    DEVICE_TYPE_FEATURE_PHONE,
+    DEVICE_TYPE_SMARTPHONE,
+    DEVICE_TYPE_TABLET,
+    DEVICE_TYPE_WEARABLE,
+    InvalidImeiError,
+    imei_check_digit,
+    is_valid_imei,
+    make_imei,
+    tac_of,
+)
+
+__all__ = [
+    "DEVICE_TYPE_FEATURE_PHONE",
+    "DEVICE_TYPE_SMARTPHONE",
+    "DEVICE_TYPE_TABLET",
+    "DEVICE_TYPE_WEARABLE",
+    "DeviceDatabase",
+    "DeviceModel",
+    "InvalidImeiError",
+    "builtin_database",
+    "builtin_models",
+    "imei_check_digit",
+    "is_valid_imei",
+    "make_imei",
+    "sim_wearable_models",
+    "smartphone_models",
+    "tac_of",
+    "through_device_wearable_models",
+]

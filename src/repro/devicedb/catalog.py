@@ -1,0 +1,99 @@
+"""Built-in catalog of 2017-era device models.
+
+The study operator "does not yet support the SIM-enabled Apple Watch 3";
+the observed SIM wearables are "primarily ... Android and Tizen-based
+wearables (mostly Samsung and LG)" (Section 3.2).  The catalog reflects
+that market: LG and Samsung dominate the wearable entries, a Huawei model
+rounds them out, and the smartphone entries cover the popular handsets the
+general subscriber base carried at the time.
+
+TACs are synthetic (they live in the reporting-body ``35`` range and are
+structurally valid) but stable, so traces written by one process parse
+identically elsewhere.
+"""
+
+from __future__ import annotations
+
+from repro.devicedb.database import DeviceDatabase, DeviceModel
+from repro.devicedb.tac import (
+    DEVICE_TYPE_FEATURE_PHONE,
+    DEVICE_TYPE_SMARTPHONE,
+    DEVICE_TYPE_TABLET,
+    DEVICE_TYPE_WEARABLE,
+)
+
+#: SIM-enabled wearables available in the study country.
+_SIM_WEARABLES = (
+    DeviceModel("35884707", "Gear S2 3G", "Samsung", "Tizen", DEVICE_TYPE_WEARABLE, release_year=2015),
+    DeviceModel("35884708", "Gear S3 Frontier LTE", "Samsung", "Tizen", DEVICE_TYPE_WEARABLE, release_year=2016),
+    DeviceModel("35884709", "Gear S 3G", "Samsung", "Tizen", DEVICE_TYPE_WEARABLE, release_year=2014),
+    DeviceModel("35291808", "Watch Urbane 2nd Edition LTE", "LG", "Android Wear", DEVICE_TYPE_WEARABLE, release_year=2016),
+    DeviceModel("35291809", "Watch Sport LTE", "LG", "Android Wear", DEVICE_TYPE_WEARABLE, release_year=2017),
+    DeviceModel("35291810", "GizmoGadget", "LG", "Proprietary", DEVICE_TYPE_WEARABLE, release_year=2015),
+    DeviceModel("86723105", "Watch 2 4G", "Huawei", "Android Wear", DEVICE_TYPE_WEARABLE, release_year=2017),
+)
+
+#: Popular handsets carried by the general subscriber base.
+_SMARTPHONES = (
+    DeviceModel("35332811", "iPhone 6", "Apple", "iOS", DEVICE_TYPE_SMARTPHONE, release_year=2014),
+    DeviceModel("35332812", "iPhone 7", "Apple", "iOS", DEVICE_TYPE_SMARTPHONE, release_year=2016),
+    DeviceModel("35332813", "iPhone 8", "Apple", "iOS", DEVICE_TYPE_SMARTPHONE, release_year=2017),
+    DeviceModel("35332814", "iPhone X", "Apple", "iOS", DEVICE_TYPE_SMARTPHONE, release_year=2017),
+    DeviceModel("35884710", "Galaxy S7", "Samsung", "Android", DEVICE_TYPE_SMARTPHONE, release_year=2016),
+    DeviceModel("35884711", "Galaxy S8", "Samsung", "Android", DEVICE_TYPE_SMARTPHONE, release_year=2017),
+    DeviceModel("35884712", "Galaxy J5", "Samsung", "Android", DEVICE_TYPE_SMARTPHONE, release_year=2015),
+    DeviceModel("35291811", "G6", "LG", "Android", DEVICE_TYPE_SMARTPHONE, release_year=2017),
+    DeviceModel("86723106", "P10", "Huawei", "Android", DEVICE_TYPE_SMARTPHONE, release_year=2017),
+    DeviceModel("86723107", "P8 Lite", "Huawei", "Android", DEVICE_TYPE_SMARTPHONE, release_year=2015),
+    DeviceModel("86891502", "Mi A1", "Xiaomi", "Android", DEVICE_TYPE_SMARTPHONE, release_year=2017),
+    DeviceModel("35925406", "Nexus 5", "LG", "Android", DEVICE_TYPE_SMARTPHONE, release_year=2013),
+)
+
+#: Other SIM devices present on any real network; kept so unknown-type
+#: handling is exercised end to end.
+_OTHER_DEVICES = (
+    DeviceModel("35040110", "3310 3G", "Nokia", "Feature", DEVICE_TYPE_FEATURE_PHONE, release_year=2017),
+    DeviceModel("35332815", "iPad Air 2 Cellular", "Apple", "iOS", DEVICE_TYPE_TABLET, release_year=2014),
+    DeviceModel("35884713", "Galaxy Tab S3 LTE", "Samsung", "Android", DEVICE_TYPE_TABLET, release_year=2017),
+)
+
+#: Through-device wearables: no SIM, never in the operator DB under their
+#: own identity; listed for the Section 6 fingerprinting experiments.
+_THROUGH_DEVICE_WEARABLES = (
+    DeviceModel("86101301", "Charge 2", "Fitbit", "Proprietary", DEVICE_TYPE_WEARABLE, sim_capable=False, release_year=2016),
+    DeviceModel("86101302", "Ionic", "Fitbit", "Fitbit OS", DEVICE_TYPE_WEARABLE, sim_capable=False, release_year=2017),
+    DeviceModel("86891503", "Mi Band 2", "Xiaomi", "Proprietary", DEVICE_TYPE_WEARABLE, sim_capable=False, release_year=2016),
+    DeviceModel("35332816", "Watch Series 2", "Apple", "watchOS", DEVICE_TYPE_WEARABLE, sim_capable=False, release_year=2016),
+)
+
+
+def sim_wearable_models() -> tuple[DeviceModel, ...]:
+    """The SIM-enabled wearable models in the built-in catalog."""
+    return _SIM_WEARABLES
+
+
+def smartphone_models() -> tuple[DeviceModel, ...]:
+    """The smartphone models in the built-in catalog."""
+    return _SMARTPHONES
+
+
+def through_device_wearable_models() -> tuple[DeviceModel, ...]:
+    """Wearables that relay through a paired smartphone (no own SIM)."""
+    return _THROUGH_DEVICE_WEARABLES
+
+
+def builtin_models() -> tuple[DeviceModel, ...]:
+    """Every model in the built-in catalog, SIM-capable or not."""
+    return _SIM_WEARABLES + _SMARTPHONES + _OTHER_DEVICES + _THROUGH_DEVICE_WEARABLES
+
+
+def builtin_database() -> DeviceDatabase:
+    """The operator device database: every SIM-capable built-in model.
+
+    Through-device wearables are excluded — they have no SIM and therefore
+    no IMEI visible to the MME or proxy, which is exactly why Section 6
+    falls back to traffic fingerprinting for them.
+    """
+    return DeviceDatabase(
+        model for model in builtin_models() if model.sim_capable
+    )

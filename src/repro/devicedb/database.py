@@ -1,0 +1,173 @@
+"""The operator device database: TAC → device model directory.
+
+Mirrors the paper's "Device database providing up to date information
+binding a deviceID (i.e., IMEI) with a specific device model, OS, and
+manufacturer" (Section 3.1).  Lookups go through the TAC prefix of the
+IMEI, exactly as GSMA TAC allocation works.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.devicedb.tac import (
+    DEVICE_TYPE_SMARTPHONE,
+    DEVICE_TYPE_WEARABLE,
+    TAC_LENGTH,
+    InvalidImeiError,
+    tac_of,
+)
+
+_DB_FIELDS = (
+    "tac",
+    "model",
+    "manufacturer",
+    "os",
+    "device_type",
+    "sim_capable",
+    "release_year",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class DeviceModel:
+    """One device model as the operator's device database records it.
+
+    Attributes:
+        tac: 8-digit Type Allocation Code.
+        model: marketing model name (e.g. ``"Gear S3 Frontier LTE"``).
+        manufacturer: vendor name (e.g. ``"Samsung"``).
+        os: operating system family (e.g. ``"Tizen"``, ``"Android"``).
+        device_type: ``wearable``, ``smartphone``, ``feature_phone`` or
+            ``tablet``.
+        sim_capable: whether the model takes its own SIM.  All entries in an
+            operator DB are SIM devices by construction; the flag exists so
+            catalogs can also describe through-device wearables that never
+            appear on the network under their own identity.
+        release_year: market release year; lets analyses reason about how
+            modern a user's handset is (Section 6).
+    """
+
+    tac: str
+    model: str
+    manufacturer: str
+    os: str
+    device_type: str
+    sim_capable: bool = True
+    release_year: int = 2016
+
+    def __post_init__(self) -> None:
+        if len(self.tac) != TAC_LENGTH or not self.tac.isdigit():
+            raise ValueError(f"TAC must be {TAC_LENGTH} digits, got {self.tac!r}")
+        if not self.model:
+            raise ValueError("model must be non-empty")
+
+    @property
+    def is_wearable(self) -> bool:
+        return self.device_type == DEVICE_TYPE_WEARABLE
+
+    @property
+    def is_smartphone(self) -> bool:
+        return self.device_type == DEVICE_TYPE_SMARTPHONE
+
+
+class DeviceDatabase:
+    """TAC-keyed directory of device models with CSV import/export."""
+
+    def __init__(self, models: Iterable[DeviceModel] = ()) -> None:
+        self._by_tac: dict[str, DeviceModel] = {}
+        for model in models:
+            self.add(model)
+
+    def __len__(self) -> int:
+        return len(self._by_tac)
+
+    def __iter__(self) -> Iterator[DeviceModel]:
+        return iter(self._by_tac.values())
+
+    def add(self, model: DeviceModel) -> None:
+        """Register a model; re-registering the same TAC must be identical."""
+        existing = self._by_tac.get(model.tac)
+        if existing is not None and existing != model:
+            raise ValueError(
+                f"TAC {model.tac} already registered to {existing.model!r}"
+            )
+        self._by_tac[model.tac] = model
+
+    def lookup_tac(self, tac: str) -> DeviceModel | None:
+        """The model allocated to ``tac``, or None for unknown TACs."""
+        return self._by_tac.get(tac)
+
+    def lookup_imei(self, imei: str) -> DeviceModel | None:
+        """The model for an IMEI; None for unknown TACs or malformed IMEIs."""
+        try:
+            tac = tac_of(imei)
+        except InvalidImeiError:
+            return None
+        return self.lookup_tac(tac)
+
+    def wearable_tacs(self) -> frozenset[str]:
+        """The TAC set of every SIM-capable wearable model.
+
+        This is the paper's "list of all SIM-enabled wearable device models
+        ... associated with their respective IMEI ranges" (Section 3.2).
+        """
+        return frozenset(
+            model.tac
+            for model in self._by_tac.values()
+            if model.is_wearable and model.sim_capable
+        )
+
+    def tacs_of_type(self, device_type: str) -> frozenset[str]:
+        """All TACs allocated to models of the given device type."""
+        return frozenset(
+            model.tac
+            for model in self._by_tac.values()
+            if model.device_type == device_type
+        )
+
+    def write_csv(self, path: str | Path) -> int:
+        """Export the directory as CSV; returns the row count."""
+        target = Path(path)
+        with target.open("w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(_DB_FIELDS)
+            count = 0
+            for model in sorted(self._by_tac.values(), key=lambda m: m.tac):
+                writer.writerow(
+                    [
+                        model.tac,
+                        model.model,
+                        model.manufacturer,
+                        model.os,
+                        model.device_type,
+                        "1" if model.sim_capable else "0",
+                        model.release_year,
+                    ]
+                )
+                count += 1
+        return count
+
+    @classmethod
+    def read_csv(cls, path: str | Path) -> "DeviceDatabase":
+        """Load a directory exported by :meth:`write_csv`."""
+        source = Path(path)
+        database = cls()
+        with source.open("r", newline="", encoding="utf-8") as handle:
+            reader = csv.DictReader(handle)
+            for row in reader:
+                database.add(
+                    DeviceModel(
+                        tac=row["tac"],
+                        model=row["model"],
+                        manufacturer=row["manufacturer"],
+                        os=row["os"],
+                        device_type=row["device_type"],
+                        sim_capable=row["sim_capable"] == "1",
+                        release_year=int(row.get("release_year", 2016)),
+                    )
+                )
+        return database

@@ -1,0 +1,78 @@
+"""IMEI and TAC (Type Allocation Code) handling.
+
+An IMEI is 15 decimal digits: an 8-digit TAC identifying the device model,
+a 6-digit serial number, and a Luhn check digit.  The operator's device
+database keys on the TAC; the paper's wearable identification is a TAC-set
+membership test (Section 3.2).
+"""
+
+from __future__ import annotations
+
+DEVICE_TYPE_WEARABLE = "wearable"
+DEVICE_TYPE_SMARTPHONE = "smartphone"
+DEVICE_TYPE_FEATURE_PHONE = "feature_phone"
+DEVICE_TYPE_TABLET = "tablet"
+
+TAC_LENGTH = 8
+SERIAL_LENGTH = 6
+IMEI_LENGTH = 15
+
+
+class InvalidImeiError(ValueError):
+    """An IMEI string is structurally invalid."""
+
+
+def imei_check_digit(first_fourteen: str) -> int:
+    """Luhn check digit over the first fourteen IMEI digits.
+
+    >>> imei_check_digit("49015420323751")
+    8
+    """
+    if len(first_fourteen) != IMEI_LENGTH - 1 or not first_fourteen.isdigit():
+        raise InvalidImeiError(
+            f"expected 14 digits, got {first_fourteen!r}"
+        )
+    total = 0
+    for position, char in enumerate(first_fourteen):
+        digit = int(char)
+        if position % 2 == 1:  # double every second digit (0-indexed odd)
+            digit *= 2
+            if digit > 9:
+                digit -= 9
+        total += digit
+    return (10 - total % 10) % 10
+
+
+def make_imei(tac: str, serial: int) -> str:
+    """Build a full, check-digit-valid IMEI from a TAC and serial number.
+
+    >>> make_imei("35847800", 1)[:8]
+    '35847800'
+    >>> is_valid_imei(make_imei("35847800", 123456))
+    True
+    """
+    if len(tac) != TAC_LENGTH or not tac.isdigit():
+        raise InvalidImeiError(f"TAC must be {TAC_LENGTH} digits, got {tac!r}")
+    if not 0 <= serial < 10**SERIAL_LENGTH:
+        raise InvalidImeiError(f"serial out of range: {serial}")
+    body = f"{tac}{serial:0{SERIAL_LENGTH}d}"
+    return body + str(imei_check_digit(body))
+
+
+def is_valid_imei(imei: str) -> bool:
+    """True when ``imei`` is 15 digits with a correct Luhn check digit."""
+    if len(imei) != IMEI_LENGTH or not imei.isdigit():
+        return False
+    return imei_check_digit(imei[:-1]) == int(imei[-1])
+
+
+def tac_of(imei: str) -> str:
+    """Extract the TAC from an IMEI (validates structure, not the Luhn digit).
+
+    The proxy and MME pipelines call this on every record, and operators do
+    see IMEIs with corrupted check digits in the wild, so only the shape is
+    enforced here.
+    """
+    if len(imei) != IMEI_LENGTH or not imei.isdigit():
+        raise InvalidImeiError(f"malformed IMEI {imei!r}")
+    return imei[:TAC_LENGTH]

@@ -1,0 +1,174 @@
+"""Streaming readers and writers for log records.
+
+Two wire formats are supported for every record type:
+
+* **CSV** with a header row — compact, interoperable with command-line
+  tooling, the default for the simulator's trace exports;
+* **JSON lines** — one JSON object per line, convenient for ad-hoc
+  inspection and for appending heterogeneous metadata.
+
+Readers are generators: a seven-week proxy trace is consumed row by row and
+never materialised.  Malformed rows raise :class:`LogReadError` carrying the
+file name and line number so broken exports are easy to locate.
+"""
+
+from __future__ import annotations
+
+import csv
+import gzip
+import json
+from dataclasses import fields as dataclass_fields
+from pathlib import Path
+from typing import IO, Iterable, Iterator, Type, TypeVar
+
+from repro.logs.records import MME_FIELDS, PROXY_FIELDS, MmeRecord, ProxyRecord
+
+RecordT = TypeVar("RecordT", ProxyRecord, MmeRecord)
+
+
+def _open_text(path: Path, mode: str) -> IO[str]:
+    """Open a log file as text, transparently compressing ``.gz`` paths.
+
+    Real operator exports arrive gzip-compressed; every reader and writer
+    in this module accepts either form based purely on the suffix.
+    """
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8", newline="")
+    return path.open(mode, newline="", encoding="utf-8")
+
+
+class LogReadError(ValueError):
+    """A log file contained a row that could not be parsed."""
+
+    def __init__(self, path: Path, line_number: int, reason: str) -> None:
+        super().__init__(f"{path}:{line_number}: {reason}")
+        self.path = path
+        self.line_number = line_number
+        self.reason = reason
+
+
+def _field_types(record_type: Type[RecordT]) -> dict[str, type]:
+    """Map each dataclass field name to its concrete python type."""
+    types: dict[str, type] = {}
+    for spec in dataclass_fields(record_type):
+        if spec.type in ("float", float):
+            types[spec.name] = float
+        elif spec.type in ("int", int):
+            types[spec.name] = int
+        else:
+            types[spec.name] = str
+    return types
+
+
+def _coerce_row(
+    record_type: Type[RecordT],
+    row: dict[str, str],
+    path: Path,
+    line_number: int,
+) -> RecordT:
+    """Build one record from a string-valued mapping."""
+    converted: dict[str, object] = {}
+    for name, type_ in _field_types(record_type).items():
+        if name not in row or row[name] is None:
+            raise LogReadError(path, line_number, f"missing field {name!r}")
+        try:
+            converted[name] = type_(row[name])
+        except (TypeError, ValueError) as exc:
+            raise LogReadError(
+                path, line_number, f"bad value for {name!r}: {exc}"
+            ) from exc
+    try:
+        return record_type(**converted)  # type: ignore[arg-type]
+    except ValueError as exc:
+        raise LogReadError(path, line_number, str(exc)) from exc
+
+
+def write_csv_records(
+    path: str | Path,
+    records: Iterable[RecordT],
+    field_names: tuple[str, ...],
+) -> int:
+    """Write records as CSV with a header row; return the row count."""
+    target = Path(path)
+    count = 0
+    with _open_text(target, "w") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(field_names)
+        for record in records:
+            writer.writerow([getattr(record, name) for name in field_names])
+            count += 1
+    return count
+
+
+def read_csv_records(
+    path: str | Path,
+    record_type: Type[RecordT],
+) -> Iterator[RecordT]:
+    """Stream records from a CSV file written by :func:`write_csv_records`."""
+    source = Path(path)
+    with _open_text(source, "r") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None:
+            raise LogReadError(source, 1, "empty file (no header row)")
+        for line_number, row in enumerate(reader, start=2):
+            yield _coerce_row(record_type, row, source, line_number)
+
+
+def write_jsonl_records(path: str | Path, records: Iterable[RecordT]) -> int:
+    """Write records as JSON lines; return the row count."""
+    target = Path(path)
+    count = 0
+    with _open_text(target, "w") as handle:
+        for record in records:
+            payload = {
+                spec.name: getattr(record, spec.name)
+                for spec in dataclass_fields(record)
+            }
+            handle.write(json.dumps(payload, separators=(",", ":")) + "\n")
+            count += 1
+    return count
+
+
+def read_jsonl_records(
+    path: str | Path,
+    record_type: Type[RecordT],
+) -> Iterator[RecordT]:
+    """Stream records from a JSON-lines file."""
+    source = Path(path)
+    with _open_text(source, "r") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise LogReadError(source, line_number, f"bad JSON: {exc}") from exc
+            if not isinstance(row, dict):
+                raise LogReadError(source, line_number, "row is not an object")
+            yield _coerce_row(
+                record_type,
+                {key: value for key, value in row.items()},
+                source,
+                line_number,
+            )
+
+
+def write_proxy_log(path: str | Path, records: Iterable[ProxyRecord]) -> int:
+    """Write a transparent-proxy transaction log as CSV."""
+    return write_csv_records(path, records, PROXY_FIELDS)
+
+
+def read_proxy_log(path: str | Path) -> Iterator[ProxyRecord]:
+    """Stream a transparent-proxy transaction log written as CSV."""
+    return read_csv_records(path, ProxyRecord)
+
+
+def write_mme_log(path: str | Path, records: Iterable[MmeRecord]) -> int:
+    """Write an MME mobility event log as CSV."""
+    return write_csv_records(path, records, MME_FIELDS)
+
+
+def read_mme_log(path: str | Path) -> Iterator[MmeRecord]:
+    """Stream an MME mobility event log written as CSV."""
+    return read_csv_records(path, MmeRecord)

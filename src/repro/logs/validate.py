@@ -1,0 +1,157 @@
+"""Trace integrity validation.
+
+Before analysing an exported trace directory — real or synthetic — an
+operator pipeline wants structural guarantees: every IMEI well-formed,
+every sector in the cell plan, every subscriber in the billing directory,
+timestamps ordered and inside the declared window.  :func:`validate_trace`
+checks all of it and returns a :class:`ValidationReport` listing each
+violation with a bounded number of examples, rather than dying on the
+first bad row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.dataset import StudyDataset
+from repro.devicedb.tac import IMEI_LENGTH
+from repro.logs.timeutil import SECONDS_PER_HOUR
+
+#: How many offending examples each issue keeps.
+MAX_EXAMPLES = 5
+
+#: Sessions may spill slightly past the last midnight of the window.
+WINDOW_SLACK_S = 1 * SECONDS_PER_HOUR
+
+
+@dataclass(slots=True)
+class Issue:
+    """One class of violation with representative examples."""
+
+    code: str
+    message: str
+    count: int = 0
+    examples: list[str] = field(default_factory=list)
+
+    def record(self, example: str) -> None:
+        self.count += 1
+        if len(self.examples) < MAX_EXAMPLES:
+            self.examples.append(example)
+
+
+@dataclass(slots=True)
+class ValidationReport:
+    """Outcome of a trace validation run."""
+
+    proxy_records: int = 0
+    mme_records: int = 0
+    issues: list[Issue] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def summary(self) -> str:
+        lines = [
+            f"proxy records: {self.proxy_records:,}",
+            f"mme records:   {self.mme_records:,}",
+        ]
+        if self.ok:
+            lines.append("no issues found")
+        for issue in self.issues:
+            lines.append(f"[{issue.code}] {issue.message} ({issue.count}x)")
+            for example in issue.examples:
+                lines.append(f"    e.g. {example}")
+        return "\n".join(lines)
+
+
+class _IssueSet:
+    def __init__(self) -> None:
+        self._issues: dict[str, Issue] = {}
+
+    def record(self, code: str, message: str, example: str) -> None:
+        issue = self._issues.get(code)
+        if issue is None:
+            issue = Issue(code=code, message=message)
+            self._issues[code] = issue
+        issue.record(example)
+
+    def to_list(self) -> list[Issue]:
+        return list(self._issues.values())
+
+
+def validate_trace(dataset: StudyDataset) -> ValidationReport:
+    """Validate a loaded trace; returns a report instead of raising."""
+    issues = _IssueSet()
+    window = dataset.window
+    directory = dataset.account_directory
+    sector_map = dataset.sector_map
+    device_db = dataset.device_db
+    lo = window.study_start
+    hi = window.study_end + WINDOW_SLACK_S
+
+    previous = float("-inf")
+    for index, record in enumerate(dataset.proxy_records):
+        where = f"proxy[{index}]"
+        if record.timestamp < previous:
+            issues.record(
+                "proxy-order", "proxy records out of time order", where
+            )
+        previous = record.timestamp
+        if not lo <= record.timestamp < hi:
+            issues.record(
+                "proxy-window",
+                "proxy timestamp outside the declared window",
+                f"{where} ts={record.timestamp}",
+            )
+        if len(record.imei) != IMEI_LENGTH or not record.imei.isdigit():
+            issues.record(
+                "proxy-imei", "malformed IMEI in proxy log", f"{where} {record.imei!r}"
+            )
+        elif device_db.lookup_imei(record.imei) is None:
+            issues.record(
+                "proxy-tac",
+                "proxy IMEI with TAC unknown to the device database",
+                f"{where} tac={record.imei[:8]}",
+            )
+        if record.subscriber_id not in directory:
+            issues.record(
+                "proxy-subscriber",
+                "proxy subscriber missing from the billing directory",
+                f"{where} {record.subscriber_id}",
+            )
+
+    previous = float("-inf")
+    for index, record in enumerate(dataset.mme_records):
+        where = f"mme[{index}]"
+        if record.timestamp < previous:
+            issues.record("mme-order", "MME records out of time order", where)
+        previous = record.timestamp
+        if not lo <= record.timestamp < hi:
+            issues.record(
+                "mme-window",
+                "MME timestamp outside the declared window",
+                f"{where} ts={record.timestamp}",
+            )
+        if record.sector_id not in sector_map:
+            issues.record(
+                "mme-sector",
+                "MME sector missing from the cell plan",
+                f"{where} {record.sector_id}",
+            )
+        if record.subscriber_id not in directory:
+            issues.record(
+                "mme-subscriber",
+                "MME subscriber missing from the billing directory",
+                f"{where} {record.subscriber_id}",
+            )
+        if len(record.imei) != IMEI_LENGTH or not record.imei.isdigit():
+            issues.record(
+                "mme-imei", "malformed IMEI in MME log", f"{where} {record.imei!r}"
+            )
+
+    return ValidationReport(
+        proxy_records=len(dataset.proxy_records),
+        mme_records=len(dataset.mme_records),
+        issues=issues.to_list(),
+    )

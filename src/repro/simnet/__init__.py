@@ -1,0 +1,71 @@
+"""Synthetic mobile-ISP substrate.
+
+The paper's raw input is a proprietary trace from a national mobile
+operator.  This package is the substitution: a generative model of the
+operator — radio topology, subscriber population, mobility, app traffic —
+that emits the same three log streams the paper's infrastructure taps
+(transparent proxy, MME, device database), with the paper's published
+statistics encoded as generative targets.
+
+The top-level entry point is :class:`Simulator`:
+
+>>> from repro.simnet import SimulationConfig, Simulator
+>>> output = Simulator(SimulationConfig.small(seed=7)).run()
+>>> len(output.proxy_records) > 0
+True
+"""
+
+from repro.simnet.appcatalog import (
+    APP_CATEGORIES,
+    DOMAIN_ADVERTISING,
+    DOMAIN_ANALYTICS,
+    DOMAIN_APPLICATION,
+    DOMAIN_CATEGORIES,
+    DOMAIN_UTILITIES,
+    AppCatalog,
+    AppProfile,
+    DomainShare,
+    builtin_app_catalog,
+)
+from repro.simnet.config import SimulationConfig
+from repro.simnet.scenarios import (
+    APPLE_WATCH_MODEL,
+    LaunchScenario,
+    growth_rates_around,
+    simulate_apple_watch_launch,
+)
+from repro.simnet.simulator import SimulationOutput, Simulator
+from repro.simnet.subscribers import (
+    USER_CLASS_GENERAL,
+    USER_CLASS_WEARABLE,
+    Population,
+    SubscriberProfile,
+)
+from repro.simnet.topology import Sector, SectorMap, Topology
+
+__all__ = [
+    "APP_CATEGORIES",
+    "APPLE_WATCH_MODEL",
+    "AppCatalog",
+    "AppProfile",
+    "DOMAIN_ADVERTISING",
+    "DOMAIN_ANALYTICS",
+    "DOMAIN_APPLICATION",
+    "DOMAIN_CATEGORIES",
+    "DOMAIN_UTILITIES",
+    "DomainShare",
+    "LaunchScenario",
+    "Population",
+    "Sector",
+    "SectorMap",
+    "SimulationConfig",
+    "SimulationOutput",
+    "Simulator",
+    "SubscriberProfile",
+    "Topology",
+    "USER_CLASS_GENERAL",
+    "USER_CLASS_WEARABLE",
+    "builtin_app_catalog",
+    "growth_rates_around",
+    "simulate_apple_watch_launch",
+]

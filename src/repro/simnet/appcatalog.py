@@ -1,0 +1,409 @@
+"""Wearable app catalog: the apps of Fig. 5 with traffic models.
+
+Each entry carries:
+
+* the app's **Play-store category** (the paper's Fig. 6 groups by these);
+* a **traffic archetype** setting session counts, transactions per session
+  and transaction sizes — the knobs behind Figs. 3(c), 5(b) and 7;
+* a **domain profile**: the first-party hosts plus shared third-party
+  advertising / analytics / CDN hosts, weighted by transaction share — the
+  ground truth behind the Fig. 8 third-party analysis and the host→app
+  signature catalog of Section 3.3;
+* a **popularity weight** derived from the app's rank in Fig. 5(a), so the
+  synthetic popularity curve decays like the published one;
+* a **diurnal profile** (commute-peaked, evening-peaked, daytime or flat).
+
+The named apps are exactly the fifty of Fig. 5(a); a handful of low-rank
+filler apps (the paper's figures only show the top fifty of a longer list)
+give the sparser categories realistic mass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import exp
+from typing import Iterator, Mapping, Sequence
+
+DOMAIN_APPLICATION = "application"
+DOMAIN_UTILITIES = "utilities"
+DOMAIN_ADVERTISING = "advertising"
+DOMAIN_ANALYTICS = "analytics"
+DOMAIN_CATEGORIES = (
+    DOMAIN_APPLICATION,
+    DOMAIN_UTILITIES,
+    DOMAIN_ADVERTISING,
+    DOMAIN_ANALYTICS,
+)
+
+#: Play-store categories used in Fig. 6, in the paper's Fig. 6(a) order.
+APP_CATEGORIES = (
+    "Communication",
+    "Shopping",
+    "Social",
+    "Weather",
+    "Music-Audio",
+    "Sports",
+    "News-Magazines",
+    "Entertainment",
+    "Productivity",
+    "Maps-Navigation",
+    "Tools",
+    "Travel-Local",
+    "Finance",
+    "Health-Fitness",
+    "Lifestyle",
+)
+
+#: Popularity decay rate: Fig. 5(a) shows popularity "decreases
+#: exponentially" across the rank list; weight(rank) = exp(-RATE * rank)
+#: spans roughly four orders of magnitude over ~60 ranks like the figure.
+POPULARITY_DECAY_RATE = 0.145
+
+#: Shared third-party hosts.  These are deliberately shared across many
+#: apps: that ambiguity is what makes the Section 3.3 timeframe attribution
+#: necessary.
+ADVERTISING_HOSTS = (
+    "ads.doubleclick.net",
+    "googleads.g.doubleclick.net",
+    "ads.mopub.com",
+    "app.adjust.com",
+)
+ANALYTICS_HOSTS = (
+    "ssl.google-analytics.com",
+    "api.crashlytics.com",
+    "data.flurry.com",
+    "graph.app-measurement.com",
+)
+UTILITY_HOSTS = (
+    "d2.cloudfront.net",
+    "edge.akamaized.net",
+    "static.gstatic.com",
+    "cdn.fastly.net",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class DomainShare:
+    """One host in an app's traffic mix.
+
+    ``weight`` is the fraction of the app's transactions addressed to this
+    host; the weights of an app's profile sum to 1.
+    """
+
+    host: str
+    category: str
+    weight: float
+
+    def __post_init__(self) -> None:
+        if self.category not in DOMAIN_CATEGORIES:
+            raise ValueError(f"unknown domain category {self.category!r}")
+        if not 0.0 < self.weight <= 1.0:
+            raise ValueError(f"weight out of (0, 1]: {self.weight}")
+
+
+@dataclass(frozen=True, slots=True)
+class AppProfile:
+    """The full generative model of one app's cellular behaviour."""
+
+    name: str
+    category: str
+    archetype: str
+    #: Foreground-usage weight: exponential in Fig. 5(a) rank.
+    popularity_weight: float
+    #: Install weight: much flatter than usage — users install far down the
+    #: tail but mostly use the head (drives the >100-apps heavy installers).
+    install_weight: float
+    sessions_per_active_day: float
+    tx_per_session_mean: float
+    tx_size_median_bytes: float
+    tx_size_sigma: float
+    background_sync_prob: float
+    domains: tuple[DomainShare, ...]
+    diurnal: str
+    #: Which third-party mix built the domain profile ("clean",
+    #: "light_ads", "ad_supported", "media"); also selects the app's
+    #: plain-HTTP share in the traffic generator.
+    third_party_mix: str = "light_ads"
+
+    def __post_init__(self) -> None:
+        if self.category not in APP_CATEGORIES:
+            raise ValueError(f"unknown app category {self.category!r}")
+        total = sum(share.weight for share in self.domains)
+        if not 0.999 <= total <= 1.001:
+            raise ValueError(f"{self.name}: domain weights sum to {total}")
+
+    @property
+    def first_party_hosts(self) -> tuple[str, ...]:
+        """Hosts in the Application category (the app's own servers)."""
+        return tuple(
+            share.host
+            for share in self.domains
+            if share.category == DOMAIN_APPLICATION
+        )
+
+
+#: Per-archetype traffic parameters:
+#: (sessions/active-day, tx/session, size median B, size sigma,
+#:  background-sync prob, third-party mix key, diurnal profile).
+_ARCHETYPES: Mapping[str, tuple[float, float, float, float, float, str, str]] = {
+    "weather_sync": (3.0, 4.0, 3_000.0, 0.6, 0.70, "ad_supported", "commute"),
+    "maps": (1.5, 8.0, 9_000.0, 1.0, 0.20, "light_ads", "commute"),
+    "notification": (4.0, 5.0, 1_500.0, 0.6, 0.80, "light_ads", "flat"),
+    "messaging_media": (2.0, 10.0, 25_000.0, 1.3, 0.60, "light_ads", "evening"),
+    "streaming": (1.0, 18.0, 60_000.0, 1.2, 0.15, "media", "evening"),
+    "news": (2.0, 6.0, 5_000.0, 1.0, 0.35, "ad_supported", "commute"),
+    "social": (2.5, 7.0, 8_000.0, 1.2, 0.65, "ad_supported", "evening"),
+    "payment": (1.0, 2.0, 2_500.0, 0.5, 0.50, "clean", "daytime"),
+    "shopping": (1.8, 6.0, 7_000.0, 1.0, 0.50, "ad_supported", "evening"),
+    "cloud": (1.0, 4.0, 15_000.0, 1.4, 0.40, "clean", "daytime"),
+    "fitness": (1.0, 3.0, 5_000.0, 0.8, 0.20, "light_ads", "commute"),
+    "tools": (1.0, 3.0, 2_500.0, 0.7, 0.20, "light_ads", "flat"),
+    "travel": (1.0, 5.0, 5_000.0, 1.0, 0.15, "light_ads", "commute"),
+}
+
+#: Third-party transaction-share mixes: (utilities, advertising, analytics).
+#: The remainder goes to the app's first-party hosts.
+_THIRD_PARTY_MIXES: Mapping[str, tuple[float, float, float]] = {
+    "ad_supported": (0.10, 0.20, 0.20),
+    "light_ads": (0.08, 0.10, 0.12),
+    "media": (0.30, 0.06, 0.09),
+    "clean": (0.05, 0.00, 0.06),
+}
+
+#: Per-app deviations from the archetype: Fig. 7 singles out WhatsApp,
+#: Deezer and Snapchat as the heaviest per-usage apps, with the big video
+#: services mid-pack (short wearable interactions).
+_APP_OVERRIDES: Mapping[str, Mapping[str, float]] = {
+    "WhatsApp": {"tx_size_median_bytes": 45_000.0, "tx_per_session_mean": 14.0},
+    "Deezer": {"tx_size_median_bytes": 48_000.0, "tx_per_session_mean": 20.0},
+    "Snapchat": {"tx_size_median_bytes": 45_000.0, "tx_per_session_mean": 12.0},
+    "Spotify": {"tx_size_median_bytes": 30_000.0, "tx_per_session_mean": 12.0},
+    "YouTube": {"tx_size_median_bytes": 18_000.0, "tx_per_session_mean": 10.0},
+    "Netflix": {"tx_size_median_bytes": 18_000.0, "tx_per_session_mean": 9.0},
+    "Skype": {"tx_size_median_bytes": 18_000.0},
+    "Viber": {"tx_size_median_bytes": 15_000.0},
+    "Radio-App": {"tx_size_median_bytes": 18_000.0, "tx_per_session_mean": 10.0},
+    "Podcast-App": {"tx_size_median_bytes": 18_000.0, "tx_per_session_mean": 10.0},
+}
+
+#: The fifty apps of Fig. 5(a), in the figure's rank order, plus low-rank
+#: fillers.  Columns: name, category, archetype, first-party host,
+#: popularity rank (None = filler rank given explicitly as a float).
+_APP_TABLE: Sequence[tuple[str, str, str, str, float]] = (
+    ("Weather", "Weather", "weather_sync", "weather.samsungcloudsolution.com", 1),
+    ("Google-Maps", "Maps-Navigation", "maps", "maps.googleapis.com", 2),
+    ("Accuweather", "Weather", "weather_sync", "api.accuweather.com", 3),
+    ("Flipboard", "News-Magazines", "news", "fbprod.flipboard.com", 4),
+    ("YouTube", "Entertainment", "streaming", "youtubei.googleapis.com", 5),
+    ("Messenger", "Communication", "notification", "edge-chat.facebook.com", 6),
+    ("Google-App", "Tools", "tools", "www.googleapis.com", 7),
+    ("Facebook", "Social", "social", "graph.facebook.com", 8),
+    ("Samsung-Pay", "Shopping", "payment", "us-api.samsungpay.com", 9),
+    ("Android-Pay", "Shopping", "payment", "pay.googleapis.com", 10),
+    ("Roaming-App", "Tools", "tools", "roaming.operator-apps.com", 11),
+    ("WhatsApp", "Communication", "messaging_media", "e1.whatsapp.net", 12),
+    ("Outlook", "Productivity", "notification", "outlook.office365.com", 13),
+    ("Street-View", "Maps-Navigation", "maps", "streetviewpixels-pa.googleapis.com", 14),
+    ("MMS", "Communication", "notification", "mms.operator-apps.com", 15),
+    ("Twitter", "Social", "social", "api.twitter.com", 16),
+    ("Skype", "Communication", "messaging_media", "api.skype.com", 17),
+    ("S-Voice", "Tools", "tools", "svoice.samsungcloudsolution.com", 18),
+    ("Ebay", "Shopping", "shopping", "api.ebay.com", 19),
+    ("Spotify", "Music-Audio", "streaming", "api.spotify.com", 20),
+    ("News-App-1", "News-Magazines", "news", "api.news-app-one.com", 21),
+    ("Opera-Mini", "Communication", "news", "mini.opera-api.com", 22),
+    ("Dropbox", "Productivity", "cloud", "api.dropboxapi.com", 23),
+    ("News-App-3", "News-Magazines", "news", "api.news-app-three.com", 24),
+    ("Snapchat", "Social", "messaging_media", "app.snapchat.com", 25),
+    ("OneDrive", "Productivity", "cloud", "api.onedrive.com", 26),
+    ("Amazon", "Shopping", "shopping", "api.amazon.com", 27),
+    ("PayPal", "Finance", "payment", "api.paypal.com", 28),
+    ("Metro", "Travel-Local", "travel", "api.metro-transit.com", 29),
+    ("Tools-App-2", "Tools", "tools", "api.tools-app-two.com", 30),
+    ("Bank-App-1", "Finance", "payment", "mobile.bank-one.com", 31),
+    ("S-Health", "Health-Fitness", "fitness", "shealth.samsunghealth.com", 32),
+    ("Deezer", "Music-Audio", "streaming", "api.deezer.com", 33),
+    ("Viber", "Communication", "messaging_media", "api.viber.com", 34),
+    ("Netflix", "Entertainment", "streaming", "api.netflix.com", 35),
+    ("Tools-App-1", "Tools", "tools", "api.tools-app-one.com", 36),
+    ("Travel-App", "Travel-Local", "travel", "api.travel-app.com", 37),
+    ("News-App-2", "News-Magazines", "news", "api.news-app-two.com", 38),
+    ("Golf-NAVI", "Sports", "travel", "api.golfnavi.com", 39),
+    ("Navigation-App", "Maps-Navigation", "maps", "api.navigation-app.com", 40),
+    ("TrueCaller", "Communication", "notification", "api.truecaller.com", 41),
+    ("Reddit", "Social", "news", "oauth.reddit.com", 42),
+    ("Uber", "Travel-Local", "travel", "api.uber.com", 43),
+    ("Bank-App-2", "Finance", "payment", "mobile.bank-two.com", 44),
+    ("Nike-Running", "Health-Fitness", "fitness", "api.nike.com", 45),
+    ("Sweatcoin", "Health-Fitness", "fitness", "api.sweatco.in", 46),
+    ("Daily-Star", "News-Magazines", "news", "api.dailystar.com", 47),
+    ("Badoo", "Social", "social", "api.badoo.com", 48),
+    ("Bank-App-3", "Finance", "payment", "mobile.bank-three.com", 49),
+    ("TV-Guide", "Entertainment", "news", "api.tv-guide-app.com", 50),
+    # Named fillers just past the published top fifty: the sparser
+    # categories carry a long tail the figures truncate.
+    ("Live-Scores", "Sports", "news", "api.live-scores-app.com", 26.5),
+    ("Football-App", "Sports", "news", "api.football-app.com", 33.5),
+    ("Sports-Tracker", "Sports", "fitness", "api.sports-tracker-app.com", 44.5),
+    ("Radio-App", "Music-Audio", "streaming", "api.radio-app.com", 52.0),
+    ("Podcast-App", "Music-Audio", "streaming", "api.podcast-app.com", 54.0),
+    ("Lifestyle-App-1", "Lifestyle", "news", "api.lifestyle-app-one.com", 56.0),
+    ("Horoscope", "Lifestyle", "tools", "api.horoscope-app.com", 58.0),
+    ("Recipes-App", "Lifestyle", "news", "api.recipes-app.com", 60.0),
+    ("Train-Planner", "Travel-Local", "travel", "api.train-planner.com", 62.0),
+    ("Fitness-Coach", "Health-Fitness", "fitness", "api.fitness-coach-app.com", 64.0),
+)
+
+#: Generated long tail: the real catalog has hundreds of low-reach apps —
+#: they supply the paper's heavy installers ("some heavy users with more
+#: than 100 of those apps") and give every category tail mass.  Category
+#: mix skews towards the crowded store categories.
+_LONG_TAIL_CATEGORIES = (
+    "Communication",
+    "Shopping",
+    "Social",
+    "Sports",
+    "News-Magazines",
+    "Tools",
+    "Entertainment",
+    "Finance",
+    "Lifestyle",
+    "Productivity",
+)
+_LONG_TAIL_ARCHETYPES = {
+    "Communication": "notification",
+    "Shopping": "shopping",
+    "Social": "social",
+    "Sports": "news",
+    "News-Magazines": "news",
+    "Tools": "tools",
+    "Entertainment": "news",
+    "Finance": "payment",
+    "Lifestyle": "news",
+    "Productivity": "tools",
+}
+LONG_TAIL_COUNT = 90
+
+
+def _long_tail_rows() -> list[tuple[str, str, str, str, float]]:
+    """Synthesise the ranks-66+ tail of the app catalog."""
+    rows: list[tuple[str, str, str, str, float]] = []
+    for index in range(LONG_TAIL_COUNT):
+        category = _LONG_TAIL_CATEGORIES[index % len(_LONG_TAIL_CATEGORIES)]
+        slug = category.split("-")[0].lower()
+        name = f"{category.split('-')[0]}-Tail-{index + 1:03d}"
+        rows.append(
+            (
+                name,
+                category,
+                _LONG_TAIL_ARCHETYPES[category],
+                f"api.{slug}-tail-{index + 1:03d}.com",
+                66.0 + index * 0.5,
+            )
+        )
+    return rows
+
+
+def _spread(hosts: Sequence[str], index: int, count: int) -> Sequence[str]:
+    """Pick ``count`` hosts from a shared pool, rotated by app index."""
+    return [hosts[(index + offset) % len(hosts)] for offset in range(count)]
+
+
+#: Install-weight decay: flat enough that heavy installers reach the tail.
+_INSTALL_DECAY_RATE = 0.035
+
+
+def _build_profile(index: int, row: tuple[str, str, str, str, float]) -> AppProfile:
+    """Expand one table row into a full profile."""
+    name, category, archetype, first_party, rank = row
+    sessions, tx_per_session, size_median, size_sigma, bg_prob, mix_key, diurnal = (
+        _ARCHETYPES[archetype]
+    )
+    overrides = _APP_OVERRIDES.get(name, {})
+    sessions = overrides.get("sessions_per_active_day", sessions)
+    tx_per_session = overrides.get("tx_per_session_mean", tx_per_session)
+    size_median = overrides.get("tx_size_median_bytes", size_median)
+    size_sigma = overrides.get("tx_size_sigma", size_sigma)
+    bg_prob = overrides.get("background_sync_prob", bg_prob)
+    utilities_w, advertising_w, analytics_w = _THIRD_PARTY_MIXES[mix_key]
+    first_party_w = 1.0 - utilities_w - advertising_w - analytics_w
+    domains: list[DomainShare] = [
+        DomainShare(first_party, DOMAIN_APPLICATION, first_party_w)
+    ]
+    if utilities_w > 0:
+        for host in _spread(UTILITY_HOSTS, index, 2):
+            domains.append(DomainShare(host, DOMAIN_UTILITIES, utilities_w / 2))
+    if advertising_w > 0:
+        for host in _spread(ADVERTISING_HOSTS, index, 2):
+            domains.append(DomainShare(host, DOMAIN_ADVERTISING, advertising_w / 2))
+    if analytics_w > 0:
+        for host in _spread(ANALYTICS_HOSTS, index, 2):
+            domains.append(DomainShare(host, DOMAIN_ANALYTICS, analytics_w / 2))
+    return AppProfile(
+        name=name,
+        category=category,
+        archetype=archetype,
+        popularity_weight=exp(-POPULARITY_DECAY_RATE * rank),
+        install_weight=exp(-_INSTALL_DECAY_RATE * rank),
+        sessions_per_active_day=sessions,
+        tx_per_session_mean=tx_per_session,
+        tx_size_median_bytes=size_median,
+        tx_size_sigma=size_sigma,
+        background_sync_prob=bg_prob,
+        domains=tuple(domains),
+        diurnal=diurnal,
+        third_party_mix=mix_key,
+    )
+
+
+class AppCatalog:
+    """Indexed collection of app profiles."""
+
+    def __init__(self, profiles: Sequence[AppProfile]) -> None:
+        if not profiles:
+            raise ValueError("an app catalog needs at least one app")
+        self._profiles = tuple(profiles)
+        self._by_name = {profile.name: profile for profile in profiles}
+        if len(self._by_name) != len(profiles):
+            raise ValueError("duplicate app names in catalog")
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def __iter__(self) -> Iterator[AppProfile]:
+        return iter(self._profiles)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def get(self, name: str) -> AppProfile:
+        """Profile by app name; raises KeyError when unknown."""
+        return self._by_name[name]
+
+    def names(self) -> tuple[str, ...]:
+        """All app names, most popular first."""
+        ordered = sorted(
+            self._profiles, key=lambda p: p.popularity_weight, reverse=True
+        )
+        return tuple(profile.name for profile in ordered)
+
+    def popularity_weights(self) -> dict[str, float]:
+        """App name → unnormalised foreground-usage weight."""
+        return {p.name: p.popularity_weight for p in self._profiles}
+
+    def install_weights(self) -> dict[str, float]:
+        """App name → unnormalised install weight (flatter than usage)."""
+        return {p.name: p.install_weight for p in self._profiles}
+
+    def categories(self) -> tuple[str, ...]:
+        """The distinct Play-store categories present, in canonical order."""
+        present = {profile.category for profile in self._profiles}
+        return tuple(c for c in APP_CATEGORIES if c in present)
+
+
+def builtin_app_catalog() -> AppCatalog:
+    """The default catalog: Fig. 5(a)'s fifty apps plus the long tail."""
+    rows = list(_APP_TABLE) + _long_tail_rows()
+    return AppCatalog(
+        [_build_profile(index, row) for index, row in enumerate(rows)]
+    )

@@ -1,0 +1,495 @@
+"""Subscriber population: accounts, SIMs, adoption, behavioural latents.
+
+The unit of modelling is the **account** (a customer).  Every account has a
+smartphone SIM; wearable accounts additionally hold a wearable SIM — two
+subscriber identities linked only through the operator's billing directory,
+exactly the situation the paper's "users that have wearable devices"
+comparison requires.
+
+Adoption dynamics (Fig. 2) are encoded per account:
+
+* *initial* users subscribe before the window; *adopters* join at a uniform
+  day so the daily count grows by the configured 9% over five months;
+* 7% of initial users are *churners* whose subscription ends mid-window;
+* a *fading* minority keeps the subscription but registers rarely towards
+  the end, producing the paper's gap between "still present" and "still
+  active" in the first-vs-last-week comparison.
+
+Behavioural latents (engagement, activity, mobility ranges, installed
+apps, through-device ownership) are drawn here once per account; the
+mobility and traffic generators consume them day by day.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from math import cos, exp, pi, sin
+from typing import Sequence
+
+from repro.devicedb.catalog import sim_wearable_models, smartphone_models
+from repro.devicedb.database import DeviceModel
+from repro.devicedb.tac import make_imei
+from repro.simnet.appcatalog import AppCatalog
+from repro.simnet.config import SimulationConfig
+from repro.stats.distributions import LogNormalSampler
+
+USER_CLASS_WEARABLE = "wearable_sim"
+USER_CLASS_GENERAL = "general"
+
+#: Registration behaviour archetypes for wearable accounts.
+PRESENCE_REGULAR = "regular"
+PRESENCE_FADING = "fading"
+PRESENCE_CHURNED = "churned"
+
+#: Fraction of wearable accounts whose registration fades over the window;
+#: with the churn fraction this reproduces the Fig. 2(b) first-vs-last-week
+#: split (7% gone, ~77% still active).
+FADING_FRACTION = 0.20
+#: Daily registration probability of a fully faded account.
+FADED_REGISTRATION_PROB = 0.02
+
+#: Through-device wearable kinds (Section 6).  The first five are
+#: fingerprintable from sync traffic; ``generic`` syncs through hosts shared
+#: with ordinary phone traffic and is invisible to the fingerprinter.
+TD_KINDS_DETECTABLE = ("fitbit", "xiaomi", "accuweather", "strava", "runtastic")
+TD_KIND_GENERIC = "generic"
+
+#: Engagement is log-normal with this sigma; its mean exp(sigma^2/2) is
+#: divided out wherever engagement scales a rate, so config means stay means.
+_ENGAGEMENT_SIGMA = 0.8
+_ENGAGEMENT_MEAN = exp(_ENGAGEMENT_SIGMA**2 / 2.0)
+
+#: Per-user heterogeneity (log-sigma) of the active-hours level; the
+#: dominant source of the cross-user spread in Fig. 3(b).
+_ACTIVE_HOURS_USER_SIGMA = 1.05
+
+#: Market mix of SIM wearable models (Section 3.2: "mostly Samsung and LG").
+_WEARABLE_MODEL_WEIGHTS = (0.08, 0.30, 0.20, 0.18, 0.12, 0.06, 0.06)
+
+#: Handset mix: (model index into smartphone_models(), weight).  Wearable
+#: and through-device owners redraw from the *modern* subset below.
+_MODERN_PHONE_INDICES = (2, 3, 5, 7, 8)  # iPhone 8/X, Galaxy S8, G6, P10
+
+
+@dataclass(frozen=True, slots=True)
+class SimAssignment:
+    """One SIM: the pseudonymous subscriber id, device IMEI and model."""
+
+    subscriber_id: str
+    imei: str
+    model: DeviceModel
+
+
+@dataclass(frozen=True, slots=True)
+class SubscriberProfile:
+    """One account with all its behavioural latents.
+
+    The latents are *generator-side ground truth*; analyses never see this
+    object, only the logs derived from it.
+    """
+
+    account_id: str
+    user_class: str
+    phone_sim: SimAssignment
+    wearable_sim: SimAssignment | None
+
+    # Adoption / presence (wearable accounts; general accounts are always on)
+    adoption_day: int
+    churn_day: int | None
+    presence_kind: str
+    data_active: bool
+
+    # Behaviour
+    engagement: float
+    active_day_prob: float
+    active_hours_median: float
+    #: Wearable-primary users lean on the wearable for data and use the
+    #: phone lightly (drives the Fig. 4(b) share tail).
+    wearable_primary: bool
+    single_location_tx: bool
+    single_app_per_day: bool
+    installed_apps: tuple[str, ...]
+
+    # Mobility (km offsets from the box centre)
+    home_east_km: float
+    home_north_km: float
+    work_east_km: float
+    work_north_km: float
+    commute_prob: float
+    excursion_prob: float
+    extra_sectors_mean: float
+
+    # Smartphone traffic (aggregated transactions, see DESIGN.md)
+    phone_tx_per_day: float
+    phone_size_multiplier: float
+
+    # Through-device wearable (general accounts only)
+    through_device_kind: str | None
+
+    @property
+    def is_wearable_account(self) -> bool:
+        return self.user_class == USER_CLASS_WEARABLE
+
+    def subscribed_on(self, day: int) -> bool:
+        """Whether the wearable subscription is live on study day ``day``."""
+        if not self.is_wearable_account:
+            return False
+        if day < self.adoption_day:
+            return False
+        return self.churn_day is None or day < self.churn_day
+
+    def registration_prob(self, day: int, base_prob: float, total_days: int) -> float:
+        """Probability of registering with the MME on ``day``.
+
+        Regular accounts hold ``base_prob``; fading accounts decay linearly
+        from it down to :data:`FADED_REGISTRATION_PROB` across the window.
+        """
+        if self.presence_kind != PRESENCE_FADING:
+            return base_prob
+        span = max(1, total_days - 1 - self.adoption_day)
+        progress = min(1.0, max(0.0, (day - self.adoption_day) / span))
+        return base_prob + (FADED_REGISTRATION_PROB - base_prob) * progress
+
+
+class Population:
+    """The generated population, split by account class."""
+
+    def __init__(
+        self,
+        wearable_accounts: Sequence[SubscriberProfile],
+        general_accounts: Sequence[SubscriberProfile],
+    ) -> None:
+        self.wearable_accounts = tuple(wearable_accounts)
+        self.general_accounts = tuple(general_accounts)
+
+    @property
+    def all_accounts(self) -> tuple[SubscriberProfile, ...]:
+        return self.wearable_accounts + self.general_accounts
+
+    def account_directory(self) -> dict[str, str]:
+        """Billing directory: subscriber id → account id.
+
+        This is the artefact that lets the analyses link a wearable SIM to
+        the same customer's phone SIM, as the operator's systems do.
+        """
+        directory: dict[str, str] = {}
+        for account in self.all_accounts:
+            directory[account.phone_sim.subscriber_id] = account.account_id
+            if account.wearable_sim is not None:
+                directory[account.wearable_sim.subscriber_id] = account.account_id
+        return directory
+
+
+class PopulationBuilder:
+    """Draws a :class:`Population` from a :class:`SimulationConfig`."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        catalog: AppCatalog,
+        rng: random.Random,
+    ) -> None:
+        self._config = config
+        self._catalog = catalog
+        self._rng = rng
+        self._serials: dict[str, int] = {}
+        self._engagement = LogNormalSampler(
+            median=1.0, sigma=_ENGAGEMENT_SIGMA, rng=rng
+        )
+        self._install_count = LogNormalSampler(
+            median=config.installed_apps_median,
+            sigma=config.installed_apps_sigma,
+            rng=rng,
+        )
+        self._app_names = list(catalog.install_weights().keys())
+        self._app_weights = list(catalog.install_weights().values())
+
+    # ------------------------------------------------------------ identity
+    def _next_imei(self, model: DeviceModel) -> str:
+        serial = self._serials.get(model.tac, 0) + 1
+        self._serials[model.tac] = serial
+        return make_imei(model.tac, serial)
+
+    def _opaque_id(self, prefix: str) -> str:
+        return f"{prefix}{self._rng.getrandbits(48):012x}"
+
+    # ------------------------------------------------------------ devices
+    def _draw_wearable_model(self) -> DeviceModel:
+        models = sim_wearable_models()
+        return self._rng.choices(models, weights=_WEARABLE_MODEL_WEIGHTS, k=1)[0]
+
+    def _draw_phone_model(self, modern: bool) -> DeviceModel:
+        models = smartphone_models()
+        if modern:
+            index = self._rng.choice(_MODERN_PHONE_INDICES)
+            return models[index]
+        return self._rng.choice(models)
+
+    # ------------------------------------------------------------ behaviour
+    def _draw_installed_apps(self) -> tuple[str, ...]:
+        count = max(1, min(len(self._app_names), round(self._install_count.sample())))
+        chosen: list[str] = []
+        names = list(self._app_names)
+        weights = list(self._app_weights)
+        for _ in range(count):
+            total = sum(weights)
+            pick = self._rng.random() * total
+            acc = 0.0
+            index = 0
+            for index, weight in enumerate(weights):
+                acc += weight
+                if pick <= acc:
+                    break
+            chosen.append(names.pop(index))
+            weights.pop(index)
+        return tuple(chosen)
+
+    def _draw_mobility(
+        self, engagement: float, wearable: bool
+    ) -> tuple[float, float, float, float, float, float, float]:
+        """Home/work offsets plus commute/excursion latents."""
+        config = self._config
+        half = config.box_km / 2.0
+        # Homes cluster towards the centre (triangular) so commutes rarely
+        # leave coverage.
+        home_east = self._rng.triangular(-half, half, 0.0)
+        home_north = self._rng.triangular(-half, half, 0.0)
+        commute_sampler = LogNormalSampler(
+            median=config.wearable_commute_median_km,
+            sigma=config.wearable_commute_sigma,
+            rng=self._rng,
+        )
+        distance = commute_sampler.sample() * min(2.5, 0.4 + 0.6 * engagement)
+        if not wearable:
+            distance *= config.general_mobility_scale
+        bearing = self._rng.uniform(0.0, 2.0 * pi)
+        work_east = home_east + distance * cos(bearing)
+        work_north = home_north + distance * sin(bearing)
+        if wearable:
+            excursion_prob = config.wearable_excursion_prob
+            extra_sectors = config.wearable_extra_sectors_mean
+            commute_prob = config.wearable_commute_prob
+        else:
+            excursion_prob = config.general_excursion_prob
+            extra_sectors = config.general_extra_sectors_mean
+            commute_prob = config.general_commute_prob
+        excursion_prob = min(0.9, excursion_prob * min(2.5, 0.5 + 0.5 * engagement))
+        return (
+            home_east,
+            home_north,
+            work_east,
+            work_north,
+            commute_prob,
+            excursion_prob,
+            extra_sectors,
+        )
+
+    # ------------------------------------------------------------ accounts
+    def _build_wearable_account(
+        self,
+        adoption_day: int,
+        churn_day: int | None,
+        presence_kind: str,
+        wearable_model: DeviceModel | None = None,
+    ) -> SubscriberProfile:
+        config = self._config
+        rng = self._rng
+        engagement = self._engagement.sample()
+        if wearable_model is None:
+            wearable_model = self._draw_wearable_model()
+        phone_model = self._draw_phone_model(modern=True)
+        mobility = self._draw_mobility(engagement, wearable=True)
+        data_active = rng.random() < config.data_active_fraction
+        wearable_primary = (
+            data_active and rng.random() < config.wearable_primary_fraction
+        )
+        active_day_prob = min(
+            1.0,
+            (config.active_days_per_week_mean / 7.0)
+            * engagement
+            / _ENGAGEMENT_MEAN
+            * (3.0 if wearable_primary else 1.0),
+        )
+        return SubscriberProfile(
+            account_id=self._opaque_id("a"),
+            user_class=USER_CLASS_WEARABLE,
+            phone_sim=SimAssignment(
+                self._opaque_id("s"), self._next_imei(phone_model), phone_model
+            ),
+            wearable_sim=SimAssignment(
+                self._opaque_id("s"), self._next_imei(wearable_model), wearable_model
+            ),
+            adoption_day=adoption_day,
+            churn_day=churn_day,
+            presence_kind=presence_kind,
+            data_active=data_active,
+            engagement=engagement,
+            active_day_prob=active_day_prob,
+            # Per-user activity level: heavy-tailed heterogeneity, weakly
+            # coupled to engagement so the Fig. 3(d) hours-vs-rate
+            # correlation emerges across users.
+            active_hours_median=config.active_hours_median
+            * rng.lognormvariate(0.0, _ACTIVE_HOURS_USER_SIGMA)
+            * engagement**0.5
+            * (1.5 if wearable_primary else 1.0),
+            wearable_primary=wearable_primary,
+            single_location_tx=rng.random() < config.single_location_tx_fraction,
+            single_app_per_day=rng.random() < config.single_app_user_fraction,
+            installed_apps=self._draw_installed_apps(),
+            home_east_km=mobility[0],
+            home_north_km=mobility[1],
+            work_east_km=mobility[2],
+            work_north_km=mobility[3],
+            commute_prob=mobility[4],
+            excursion_prob=mobility[5],
+            extra_sectors_mean=mobility[6],
+            phone_tx_per_day=config.phone_tx_per_day_mean
+            * config.owner_tx_multiplier
+            * rng.lognormvariate(0.0, 0.85)
+            * (0.3 if wearable_primary else 1.0),
+            phone_size_multiplier=config.phone_size_multiplier_for_owners,
+            through_device_kind=None,
+        )
+
+    def _build_general_account(self) -> SubscriberProfile:
+        config = self._config
+        rng = self._rng
+        engagement = self._engagement.sample()
+        owns_td = rng.random() < config.through_device_fraction
+        phone_model = self._draw_phone_model(modern=owns_td)
+        td_kind: str | None = None
+        if owns_td:
+            if rng.random() < config.through_device_detectable_fraction:
+                td_kind = rng.choice(TD_KINDS_DETECTABLE)
+            else:
+                td_kind = TD_KIND_GENERIC
+        # Through-device owners behave like SIM-wearable owners (Section 6:
+        # "similar macroscopic behavior and mobility patterns").
+        mobility = self._draw_mobility(engagement, wearable=owns_td)
+        return SubscriberProfile(
+            account_id=self._opaque_id("a"),
+            user_class=USER_CLASS_GENERAL,
+            phone_sim=SimAssignment(
+                self._opaque_id("s"), self._next_imei(phone_model), phone_model
+            ),
+            wearable_sim=None,
+            adoption_day=0,
+            churn_day=None,
+            presence_kind=PRESENCE_REGULAR,
+            data_active=False,
+            engagement=engagement,
+            active_day_prob=0.0,
+            active_hours_median=0.0,
+            wearable_primary=False,
+            single_location_tx=False,
+            single_app_per_day=False,
+            installed_apps=(),
+            home_east_km=mobility[0],
+            home_north_km=mobility[1],
+            work_east_km=mobility[2],
+            work_north_km=mobility[3],
+            commute_prob=mobility[4],
+            excursion_prob=mobility[5],
+            extra_sectors_mean=mobility[6],
+            phone_tx_per_day=config.phone_tx_per_day_mean
+            * (config.owner_tx_multiplier if owns_td else 1.0)
+            * rng.lognormvariate(0.0, 0.85),
+            phone_size_multiplier=(
+                config.phone_size_multiplier_for_owners if owns_td else 1.0
+            ),
+            through_device_kind=td_kind,
+        )
+
+    # ------------------------------------------------------------ population
+    def build(self) -> Population:
+        """Draw the full population.
+
+        The wearable-account count at the end of the window equals
+        ``config.n_wearable_users``; the initial count is derived from the
+        growth target, churners are drawn from the initial cohort and
+        adopters arrive uniformly across the window.
+        """
+        config = self._config
+        rng = self._rng
+        months = config.total_days / 30.0
+        growth_total = (1.0 + config.monthly_growth_rate) ** months - 1.0
+        # Daily registered count must grow by growth_total *net* of churn
+        # and fading.  With q_end the expected end-of-window registration
+        # probability mix and p0 the initial one, the adopter count solves
+        #   (N0*(1-C) + A) * q_end = N0 * p0 * (1 + g).
+        # with N0 + A = n_wearable_users (total accounts ever subscribed).
+        p_base = config.daily_registration_prob
+        q_end = (1.0 - FADING_FRACTION) * p_base + FADING_FRACTION * (
+            FADED_REGISTRATION_PROB
+        )
+        alpha = max(
+            0.0,
+            p_base * (1.0 + growth_total) / q_end - (1.0 - config.churn_fraction),
+        )
+        n_initial = max(1, round(config.n_wearable_users / (1.0 + alpha)))
+        n_churners = round(config.churn_fraction * n_initial)
+        n_adopters = config.n_wearable_users - n_initial
+
+        wearable_accounts: list[SubscriberProfile] = []
+        for index in range(n_initial):
+            is_churner = index < n_churners
+            if is_churner:
+                churn_day: int | None = rng.randint(
+                    14, max(15, config.total_days - 35)
+                )
+                kind = PRESENCE_CHURNED
+            else:
+                churn_day = None
+                kind = (
+                    PRESENCE_FADING
+                    if rng.random() < FADING_FRACTION
+                    else PRESENCE_REGULAR
+                )
+            wearable_accounts.append(
+                self._build_wearable_account(0, churn_day, kind)
+            )
+        for _ in range(n_adopters):
+            adoption_day = rng.randint(1, config.total_days - 1)
+            kind = (
+                PRESENCE_FADING
+                if rng.random() < FADING_FRACTION
+                else PRESENCE_REGULAR
+            )
+            wearable_accounts.append(
+                self._build_wearable_account(adoption_day, None, kind)
+            )
+
+        general_accounts = [
+            self._build_general_account() for _ in range(config.n_general_users)
+        ]
+        return Population(wearable_accounts, general_accounts)
+
+    def build_adopter_cohort(
+        self,
+        count: int,
+        first_day: int,
+        model: DeviceModel,
+    ) -> list[SubscriberProfile]:
+        """An extra wave of adopters of a specific wearable model.
+
+        Used by what-if scenarios (e.g. an Apple Watch launch): ``count``
+        accounts adopting uniformly between ``first_day`` and the end of
+        the window, none churning within it.
+        """
+        rng = self._rng
+        cohort: list[SubscriberProfile] = []
+        last_day = max(first_day + 1, self._config.total_days - 1)
+        for _ in range(count):
+            adoption_day = rng.randint(first_day, last_day)
+            kind = (
+                PRESENCE_FADING
+                if rng.random() < FADING_FRACTION
+                else PRESENCE_REGULAR
+            )
+            cohort.append(
+                self._build_wearable_account(
+                    adoption_day, None, kind, wearable_model=model
+                )
+            )
+        return cohort

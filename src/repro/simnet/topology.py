@@ -1,0 +1,196 @@
+"""Radio topology: a jittered antenna grid over a synthetic country.
+
+The MME logs reference sectors (antennas); the mobility analysis needs each
+sector's coordinates to compute displacement.  Real operators hold this in
+a cell-plan database; here a deterministic jittered grid stands in.  The
+grid is dense enough (default ~9 km pitch over a 220 km box) that commute
+distances and long excursions resolve to distinct sectors.
+"""
+
+from __future__ import annotations
+
+import csv
+import random
+from dataclasses import dataclass
+from math import cos, radians
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.stats.geo import GeoPoint, haversine_km
+
+#: Degrees of latitude per kilometre (WGS-84 spherical approximation).
+_DEG_LAT_PER_KM = 1.0 / 110.574
+
+
+@dataclass(frozen=True, slots=True)
+class Sector:
+    """One radio sector: an antenna with an identifier and a location."""
+
+    sector_id: str
+    location: GeoPoint
+
+
+class SectorMap:
+    """Immutable sector-id → location lookup, with CSV import/export.
+
+    This is the artefact the analyses consume; they never see the topology
+    generator, only the cell-plan export.
+    """
+
+    def __init__(self, sectors: Iterable[Sector]) -> None:
+        self._sectors: dict[str, Sector] = {}
+        for sector in sectors:
+            if sector.sector_id in self._sectors:
+                raise ValueError(f"duplicate sector id {sector.sector_id!r}")
+            self._sectors[sector.sector_id] = sector
+        if not self._sectors:
+            raise ValueError("a sector map needs at least one sector")
+
+    def __len__(self) -> int:
+        return len(self._sectors)
+
+    def __iter__(self) -> Iterator[Sector]:
+        return iter(self._sectors.values())
+
+    def __contains__(self, sector_id: str) -> bool:
+        return sector_id in self._sectors
+
+    def location_of(self, sector_id: str) -> GeoPoint:
+        """Coordinates of a sector; raises KeyError for unknown ids."""
+        return self._sectors[sector_id].location
+
+    def get(self, sector_id: str) -> GeoPoint | None:
+        """Coordinates of a sector, or None when unknown."""
+        sector = self._sectors.get(sector_id)
+        return sector.location if sector is not None else None
+
+    def write_csv(self, path: str | Path) -> int:
+        """Export the cell plan as CSV; returns the row count."""
+        target = Path(path)
+        with target.open("w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(("sector_id", "latitude", "longitude"))
+            count = 0
+            for sector in sorted(self._sectors.values(), key=lambda s: s.sector_id):
+                writer.writerow(
+                    (sector.sector_id, sector.location.latitude, sector.location.longitude)
+                )
+                count += 1
+        return count
+
+    @classmethod
+    def read_csv(cls, path: str | Path) -> "SectorMap":
+        """Load a cell plan exported by :meth:`write_csv`."""
+        source = Path(path)
+        sectors = []
+        with source.open("r", newline="", encoding="utf-8") as handle:
+            for row in csv.DictReader(handle):
+                sectors.append(
+                    Sector(
+                        sector_id=row["sector_id"],
+                        location=GeoPoint(
+                            float(row["latitude"]), float(row["longitude"])
+                        ),
+                    )
+                )
+        return cls(sectors)
+
+
+class Topology:
+    """Generates and indexes the antenna grid.
+
+    Sectors sit on an ``nx * ny`` grid over a ``box_km`` square, each
+    jittered by up to a quarter pitch so the plan is not pathologically
+    regular.  Nearest-sector queries use a grid-bucketed search: the
+    candidate cell plus its neighbours, which is exact for jitter below
+    half a pitch.
+    """
+
+    def __init__(
+        self,
+        nx: int,
+        ny: int,
+        box_km: float,
+        center: GeoPoint,
+        rng: random.Random,
+    ) -> None:
+        if nx < 2 or ny < 2:
+            raise ValueError("grid must be at least 2x2")
+        if box_km <= 0:
+            raise ValueError("box_km must be positive")
+        self._nx = nx
+        self._ny = ny
+        self._box_km = box_km
+        self._center = center
+        self._pitch_x_km = box_km / nx
+        self._pitch_y_km = box_km / ny
+        self._deg_lon_per_km = _DEG_LAT_PER_KM / cos(radians(center.latitude))
+        self._grid: dict[tuple[int, int], Sector] = {}
+        jitter_x = self._pitch_x_km * 0.25
+        jitter_y = self._pitch_y_km * 0.25
+        for ix in range(nx):
+            for iy in range(ny):
+                east_km = (ix + 0.5) * self._pitch_x_km - box_km / 2.0
+                north_km = (iy + 0.5) * self._pitch_y_km - box_km / 2.0
+                east_km += rng.uniform(-jitter_x, jitter_x)
+                north_km += rng.uniform(-jitter_y, jitter_y)
+                sector = Sector(
+                    sector_id=f"S{ix:03d}-{iy:03d}",
+                    location=self._offset_to_point(east_km, north_km),
+                )
+                self._grid[(ix, iy)] = sector
+
+    def _offset_to_point(self, east_km: float, north_km: float) -> GeoPoint:
+        """Convert a km offset from the box centre to coordinates."""
+        return GeoPoint(
+            latitude=self._center.latitude + north_km * _DEG_LAT_PER_KM,
+            longitude=self._center.longitude + east_km * self._deg_lon_per_km,
+        )
+
+    def point_at_offset(self, east_km: float, north_km: float) -> GeoPoint:
+        """Public wrapper: coordinates at a km offset from the box centre.
+
+        Offsets are clamped into the box so mobility draws can overshoot
+        without leaving coverage.
+        """
+        half = self._box_km / 2.0
+        east_km = min(half, max(-half, east_km))
+        north_km = min(half, max(-half, north_km))
+        return self._offset_to_point(east_km, north_km)
+
+    @property
+    def box_km(self) -> float:
+        return self._box_km
+
+    def sectors(self) -> list[Sector]:
+        """All sectors, in grid order."""
+        return [self._grid[key] for key in sorted(self._grid)]
+
+    def sector_map(self) -> SectorMap:
+        """The cell-plan export consumed by the analyses."""
+        return SectorMap(self.sectors())
+
+    def nearest_sector(self, point: GeoPoint) -> Sector:
+        """The sector whose antenna is closest to ``point``."""
+        east_km = (
+            (point.longitude - self._center.longitude) / self._deg_lon_per_km
+            + self._box_km / 2.0
+        )
+        north_km = (
+            (point.latitude - self._center.latitude) / _DEG_LAT_PER_KM
+            + self._box_km / 2.0
+        )
+        ix = min(self._nx - 1, max(0, int(east_km / self._pitch_x_km)))
+        iy = min(self._ny - 1, max(0, int(north_km / self._pitch_y_km)))
+        best: Sector | None = None
+        best_km = float("inf")
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                sector = self._grid.get((ix + dx, iy + dy))
+                if sector is None:
+                    continue
+                distance = haversine_km(point, sector.location)
+                if distance < best_km:
+                    best, best_km = sector, distance
+        assert best is not None  # the clamped home cell always exists
+        return best

@@ -1,0 +1,391 @@
+"""Transaction generation: wearable app traffic and smartphone traffic.
+
+Wearable traffic follows the paper's microscopic findings: on an *active
+day* (about one per week) a user is active for a window of a few hours,
+runs one foreground app (93% of users) in short usage sessions whose
+transactions are spaced well under the one-minute session gap, while a few
+installed apps fire single-transaction background syncs.  Transaction sizes
+come from per-app log-normals whose mixture is sharply centred near 3 KB.
+
+Smartphone traffic is **flow-aggregated**: each record stands for a bundle
+of requests, preserving relative per-user counts and volumes at laptop
+scale (see DESIGN.md).  Wearable owners' phones carry the configured
+transaction and byte multipliers; through-device owners' phones addition-
+ally carry their wearable's sync flows, which is what the Section 6
+fingerprinting detects.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.logs.records import PROTOCOL_HTTP, PROTOCOL_HTTPS, ProxyRecord
+from repro.logs.timeutil import SECONDS_PER_DAY, SECONDS_PER_HOUR
+from repro.simnet.appcatalog import (
+    DOMAIN_ADVERTISING,
+    DOMAIN_ANALYTICS,
+    AppCatalog,
+    AppProfile,
+)
+from repro.simnet.config import SimulationConfig
+from repro.simnet.mobility_model import Itinerary
+from repro.simnet.subscribers import SubscriberProfile
+from repro.stats.distributions import LogNormalSampler
+
+#: Hourly activity weights per diurnal profile: (weekday, weekend).
+#: ``commute`` peaks in the commuting hours on weekdays only — the source
+#: of the Fig. 3(a) weekday/weekend divergence at 4-9am and 4-8pm.
+DIURNAL_PROFILES: dict[str, tuple[Sequence[float], Sequence[float]]] = {
+    "commute": (
+        (1, 1, 1, 1, 2, 4, 8, 10, 8, 4, 3, 3, 3, 3, 3, 4, 7, 9, 7, 4, 3, 2, 1, 1),
+        (1, 1, 1, 1, 1, 1, 2, 3, 4, 5, 6, 6, 6, 5, 5, 5, 5, 5, 4, 4, 3, 2, 1, 1),
+    ),
+    "evening": (
+        (1, 1, 1, 1, 1, 1, 2, 2, 3, 3, 3, 4, 4, 4, 4, 4, 5, 6, 8, 10, 10, 8, 5, 2),
+        (1, 1, 1, 1, 1, 1, 1, 2, 3, 4, 5, 6, 6, 6, 5, 5, 6, 7, 8, 10, 10, 8, 5, 2),
+    ),
+    "daytime": (
+        (1, 1, 1, 1, 1, 1, 2, 3, 6, 8, 9, 9, 9, 9, 8, 8, 7, 6, 4, 3, 2, 2, 1, 1),
+        (1, 1, 1, 1, 1, 1, 1, 2, 4, 6, 8, 9, 9, 8, 7, 6, 5, 4, 3, 3, 2, 2, 1, 1),
+    ),
+    "flat": (
+        (1, 1, 1, 1, 1, 2, 3, 4, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 4, 3, 2, 1),
+        (1, 1, 1, 1, 1, 1, 2, 3, 4, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 4, 3, 2, 1),
+    ),
+}
+
+#: Generic hosts for aggregated smartphone flows.  Disjoint from the
+#: wearable app catalog's first-party hosts except via third-party pools,
+#: and from the detectable through-device sync hosts below.
+PHONE_HOSTS = (
+    ("r3.googlevideo.com", 0.30),
+    ("scontent.cdninstagram.com", 0.20),
+    ("video.xx.fbcdn.net", 0.15),
+    ("www.google.com", 0.10),
+    ("i.ytimg.com", 0.10),
+    ("mobile.gms-sync.com", 0.08),
+    ("api.phone-apps.net", 0.07),
+)
+
+#: Sync hosts of fingerprintable through-device wearables (Section 6).
+TD_SYNC_HOSTS = {
+    "fitbit": "android.api.fitbit.com",
+    "xiaomi": "api-mifit.huami.com",
+    "accuweather": "wearable.accuweather.com",
+    "strava": "wearos.strava.com",
+    "runtastic": "wear.runtastic.com",
+    # Generic through-device sync is indistinguishable from ordinary phone
+    # platform traffic — same host as the PHONE_HOSTS entry.
+    "generic": "mobile.gms-sync.com",
+}
+
+#: Size model for advertising/analytics beacons (small, app-independent).
+_BEACON_MEDIAN_BYTES = 3_000.0
+_BEACON_SIGMA = 0.7
+
+#: Fraction of wearable transactions using plain HTTP (the rest are HTTPS
+#: with only the SNI visible) — wearables in 2017 still carried cleartext
+#: (cf. the authors' companion work "Are Wearables Ready for HTTPS?").
+#: Payment/banking/cloud backends ("clean" third-party mix) are TLS-only;
+#: the rest carry the archetype's share of plain HTTP.
+_HTTP_FRACTION_BY_MIX = {
+    "clean": 0.0,
+    "light_ads": 0.10,
+    "ad_supported": 0.18,
+    "media": 0.08,
+}
+
+
+def _poisson(rng: random.Random, mean: float, cap: int = 200) -> int:
+    """Poisson draw by inversion; means in this module are small."""
+    if mean <= 0:
+        return 0
+    threshold = rng.random()
+    term = 2.718281828459045 ** (-mean)
+    acc = term
+    k = 0
+    while acc < threshold and k < cap:
+        k += 1
+        term *= mean / k
+        acc += term
+    return k
+
+
+class TrafficGenerator:
+    """Draws per-day proxy records for accounts."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        catalog: AppCatalog,
+        rng: random.Random,
+    ) -> None:
+        self._config = config
+        self._catalog = catalog
+        self._rng = rng
+        self._beacon_sizes = LogNormalSampler(
+            median=_BEACON_MEDIAN_BYTES, sigma=_BEACON_SIGMA, rng=rng
+        )
+        self._app_size_samplers: dict[str, LogNormalSampler] = {
+            app.name: LogNormalSampler(
+                median=app.tx_size_median_bytes, sigma=app.tx_size_sigma, rng=rng
+            )
+            for app in catalog
+        }
+        self._phone_hosts = [host for host, _ in PHONE_HOSTS]
+        self._phone_weights = [weight for _, weight in PHONE_HOSTS]
+        self._max_popularity = max(app.popularity_weight for app in catalog)
+
+    # ------------------------------------------------------------ helpers
+    def _pick_hour(self, profile: str, weekday: bool) -> float:
+        """A fractional hour of day drawn from a diurnal profile."""
+        weights = DIURNAL_PROFILES[profile][0 if weekday else 1]
+        hour = self._rng.choices(range(24), weights=weights, k=1)[0]
+        return hour + self._rng.random()
+
+    def _transaction(
+        self,
+        timestamp: float,
+        account: SubscriberProfile,
+        app: AppProfile,
+        imei: str,
+        subscriber_id: str,
+    ) -> ProxyRecord:
+        """One wearable transaction: pick a domain and a size."""
+        rng = self._rng
+        share = rng.choices(
+            app.domains, weights=[d.weight for d in app.domains], k=1
+        )[0]
+        if share.category in (DOMAIN_ADVERTISING, DOMAIN_ANALYTICS):
+            size = self._beacon_sizes.sample()
+        else:
+            size = self._app_size_samplers[app.name].sample()
+        total = max(64, int(size))
+        up = max(32, int(total * rng.uniform(0.10, 0.30)))
+        http_fraction = _HTTP_FRACTION_BY_MIX.get(app.third_party_mix, 0.10)
+        protocol = (
+            PROTOCOL_HTTP if rng.random() < http_fraction else PROTOCOL_HTTPS
+        )
+        path = f"/v1/{app.name.lower()}" if protocol == PROTOCOL_HTTP else ""
+        return ProxyRecord(
+            timestamp=timestamp,
+            subscriber_id=subscriber_id,
+            imei=imei,
+            host=share.host,
+            path=path,
+            protocol=protocol,
+            bytes_up=up,
+            bytes_down=total - up,
+        )
+
+    def _window_times(
+        self,
+        day_start: float,
+        window_start: float,
+        window_hours: float,
+        count: int,
+        home_intervals: Sequence[tuple[float, float]] | None,
+    ) -> list[float]:
+        """Draw ``count`` anchor times inside the activity window.
+
+        For single-location users the anchors are constrained into home
+        dwell intervals (Section 4.4's "60% ... from a single location").
+        """
+        rng = self._rng
+        day_end = day_start + SECONDS_PER_DAY
+        lo = min(window_start, day_end - window_hours * SECONDS_PER_HOUR)
+        hi = min(day_end, lo + window_hours * SECONDS_PER_HOUR)
+        anchors: list[float] = []
+        for _ in range(count):
+            moment = rng.uniform(lo, hi)
+            if home_intervals:
+                # Rejection with fallback: clamp into the nearest interval.
+                for _ in range(8):
+                    if any(start <= moment < end for start, end in home_intervals):
+                        break
+                    moment = rng.uniform(lo, hi)
+                else:
+                    start, end = max(home_intervals, key=lambda iv: iv[1] - iv[0])
+                    moment = rng.uniform(start, min(end, start + 3600.0))
+            anchors.append(moment)
+        return anchors
+
+    # ------------------------------------------------------------ wearable
+    def wearable_day_records(
+        self,
+        account: SubscriberProfile,
+        day: int,
+        weekday: bool,
+        itinerary: Itinerary | None,
+        home_sector: str | None,
+    ) -> list[ProxyRecord]:
+        """Wearable transactions for one registered day (possibly empty).
+
+        ``itinerary``/``home_sector`` are provided inside the detailed
+        window so single-location users can be pinned to home dwell
+        periods; outside it they are None and anchors are unconstrained.
+        """
+        rng = self._rng
+        config = self._config
+        if not account.data_active or account.wearable_sim is None:
+            return []
+        active_prob = account.active_day_prob
+        if not weekday:
+            # Section 4.2: wearables are relatively more used on weekends.
+            active_prob = min(1.0, active_prob * config.weekend_activity_boost)
+        if rng.random() >= active_prob:
+            return []
+
+        day_start = config.study_start + day * SECONDS_PER_DAY
+        hours_sampler = LogNormalSampler(
+            median=account.active_hours_median,
+            sigma=config.active_hours_sigma,
+            rng=rng,
+        )
+        window_hours = min(18.0, max(0.5, hours_sampler.sample()))
+
+        installed = account.installed_apps
+        if not installed:
+            return []
+        weights = [self._catalog.get(name).popularity_weight for name in installed]
+        if account.single_app_per_day or len(installed) == 1:
+            foreground = [rng.choices(installed, weights=weights, k=1)[0]]
+        else:
+            k = min(len(installed), rng.randint(2, 4))
+            picked: list[str] = []
+            names, wts = list(installed), list(weights)
+            for _ in range(k):
+                choice = rng.choices(names, weights=wts, k=1)[0]
+                index = names.index(choice)
+                names.pop(index)
+                wts.pop(index)
+                picked.append(choice)
+            foreground = picked
+
+        primary = self._catalog.get(foreground[0])
+        window_start = day_start + (
+            self._pick_hour(primary.diurnal, weekday) * SECONDS_PER_HOUR
+        )
+        home_intervals = None
+        if account.single_location_tx and itinerary is not None and home_sector:
+            home_intervals = itinerary.home_intervals(home_sector)
+
+        imei = account.wearable_sim.imei
+        subscriber = account.wearable_sim.subscriber_id
+        records: list[ProxyRecord] = []
+
+        # Session rate grows mildly super-linearly with the activity window
+        # and with engagement: more-active users also transact more *per
+        # hour*, the Fig. 3(d)/4(d) correlation.
+        rate_scale = (window_hours / 3.0) ** 1.3 * (
+            0.4 + 0.6 * account.engagement
+        )
+        for name in foreground:
+            app = self._catalog.get(name)
+            n_sessions = max(
+                1,
+                _poisson(rng, app.sessions_per_active_day * rate_scale),
+            )
+            session_anchors = self._window_times(
+                day_start, window_start, window_hours, n_sessions, home_intervals
+            )
+            for anchor in session_anchors:
+                n_tx = max(1, _poisson(rng, app.tx_per_session_mean))
+                moment = anchor
+                for _ in range(n_tx):
+                    records.append(
+                        self._transaction(moment, account, app, imei, subscriber)
+                    )
+                    moment += rng.uniform(2.0, 40.0)
+
+        # Background syncs: single-transaction touches from other installed
+        # apps; these create the long tail of "associated" apps per user.
+        # Sync propensity scales with app popularity (users keep
+        # notifications on for the apps they care about), so the observed
+        # popularity curve keeps its exponential decay down the tail.
+        for name in installed:
+            if name in foreground:
+                continue
+            app = self._catalog.get(name)
+            sync_prob = (
+                app.background_sync_prob
+                * min(1.0, window_hours / 3.0)
+                * (0.25 + 0.75 * app.popularity_weight / self._max_popularity)
+            )
+            if rng.random() < sync_prob:
+                anchor = self._window_times(
+                    day_start, window_start, window_hours, 1, home_intervals
+                )[0]
+                records.append(
+                    self._transaction(anchor, account, app, imei, subscriber)
+                )
+        return records
+
+    # ------------------------------------------------------------ phone
+    def phone_day_records(
+        self,
+        account: SubscriberProfile,
+        day: int,
+        weekday: bool,
+    ) -> list[ProxyRecord]:
+        """Aggregated smartphone flows for one day in the detailed window."""
+        rng = self._rng
+        config = self._config
+        day_start = config.study_start + day * SECONDS_PER_DAY
+        imei = account.phone_sim.imei
+        subscriber = account.phone_sim.subscriber_id
+        records: list[ProxyRecord] = []
+
+        daily_mean = account.phone_tx_per_day
+        if not weekday:
+            daily_mean *= config.phone_weekend_factor
+        n_tx = _poisson(rng, daily_mean)
+        size_sampler = LogNormalSampler(
+            median=config.phone_tx_median_bytes * account.phone_size_multiplier,
+            sigma=config.phone_tx_sigma,
+            rng=rng,
+        )
+        for _ in range(n_tx):
+            moment = day_start + self._pick_hour("flat", weekday) * SECONDS_PER_HOUR
+            host = rng.choices(self._phone_hosts, weights=self._phone_weights, k=1)[0]
+            total = max(256, int(size_sampler.sample()))
+            up = max(64, int(total * rng.uniform(0.05, 0.15)))
+            records.append(
+                ProxyRecord(
+                    timestamp=moment,
+                    subscriber_id=subscriber,
+                    imei=imei,
+                    host=host,
+                    protocol=PROTOCOL_HTTPS,
+                    bytes_up=up,
+                    bytes_down=total - up,
+                )
+            )
+
+        if account.through_device_kind is not None:
+            sync_host = TD_SYNC_HOSTS[account.through_device_kind]
+            # Trackers sync near-daily; app-based wearables less often.
+            daily_prob = (
+                0.8 if account.through_device_kind in ("fitbit", "xiaomi") else 0.5
+            )
+            if rng.random() < daily_prob:
+                for _ in range(rng.randint(2, 6)):
+                    moment = (
+                        day_start
+                        + self._pick_hour("commute", weekday) * SECONDS_PER_HOUR
+                    )
+                    total = max(512, int(rng.lognormvariate(9.6, 0.8)))  # ~15 KB
+                    up = max(128, int(total * rng.uniform(0.3, 0.6)))
+                    records.append(
+                        ProxyRecord(
+                            timestamp=moment,
+                            subscriber_id=subscriber,
+                            imei=imei,
+                            host=sync_host,
+                            protocol=PROTOCOL_HTTPS,
+                            bytes_up=up,
+                            bytes_down=total - up,
+                        )
+                    )
+        return records

@@ -1,0 +1,93 @@
+"""Correlation summaries for the scatter-style figures.
+
+Figures 3(d) and 4(d) relate one per-user metric to another (transactions
+per hour vs. active hours; max displacement vs. hourly activity).  The paper
+presents these as binned trends; :func:`binned_means` reproduces that view
+and :func:`pearson` quantifies the claimed "clear correlation".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import sqrt
+from typing import Sequence
+
+
+def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient of two equal-length samples.
+
+    Returns 0.0 when either sample is constant (correlation undefined).
+    """
+    if len(xs) != len(ys):
+        raise ValueError("samples must have equal length")
+    n = len(xs)
+    if n < 2:
+        raise ValueError("need at least two points")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x == 0.0 or var_y == 0.0:
+        return 0.0
+    # sqrt each factor separately: the product can underflow to 0.0 for
+    # tiny variances even when both factors are positive.
+    denominator = sqrt(var_x) * sqrt(var_y)
+    if denominator == 0.0:
+        return 0.0
+    return max(-1.0, min(1.0, cov / denominator))
+
+
+@dataclass(frozen=True, slots=True)
+class BinnedTrend:
+    """One x-bin of a binned-mean trend."""
+
+    bin_low: float
+    bin_high: float
+    count: int
+    mean_y: float
+
+    @property
+    def bin_center(self) -> float:
+        return (self.bin_low + self.bin_high) / 2.0
+
+
+def binned_means(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    bins: int = 10,
+) -> list[BinnedTrend]:
+    """Mean of ``y`` within equal-width bins of ``x``.
+
+    Empty bins are dropped, matching how the paper's scatter trends skip
+    unpopulated activity levels.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("samples must have equal length")
+    if not xs:
+        return []
+    if bins < 1:
+        raise ValueError("need at least one bin")
+    lo, hi = min(xs), max(xs)
+    if hi == lo:
+        return [BinnedTrend(lo, hi, len(xs), sum(ys) / len(ys))]
+    width = (hi - lo) / bins
+    sums = [0.0] * bins
+    counts = [0] * bins
+    for x, y in zip(xs, ys):
+        index = min(bins - 1, int((x - lo) / width))
+        sums[index] += y
+        counts[index] += 1
+    trend: list[BinnedTrend] = []
+    for index in range(bins):
+        if counts[index] == 0:
+            continue
+        trend.append(
+            BinnedTrend(
+                bin_low=lo + index * width,
+                bin_high=lo + (index + 1) * width,
+                count=counts[index],
+                mean_y=sums[index] / counts[index],
+            )
+        )
+    return trend

@@ -1,0 +1,142 @@
+"""Heavy-tailed samplers for the synthetic traffic and popularity models.
+
+The simulator needs three distribution families the paper's data exhibits:
+
+* **Zipf** — app popularity "decreases exponentially" across the rank list
+  (Fig. 5); a Zipf law over ranks reproduces that straight line on the
+  paper's log-scale popularity plots.
+* **Log-normal** — transaction sizes are "sharply centered around 3 KB"
+  with 80% below 10 KB (Fig. 3(c)); a log-normal with a matched median and
+  shape reproduces that skew.
+* **Pareto** — per-user excursion distances and smartphone traffic volumes
+  have a small number of very heavy users.
+
+Each sampler wraps a :class:`random.Random` so simulations are reproducible
+from a single seed, and exposes the analytic mean where closed forms exist
+so tests can check calibration.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_right
+from math import exp, log
+
+__all__ = [
+    "ZipfSampler",
+    "LogNormalSampler",
+    "ParetoSampler",
+    "truncated_lognormal",
+]
+
+
+class ZipfSampler:
+    """Sample ranks 1..n with probability proportional to 1 / rank**s.
+
+    Uses an inverse-CDF table, so each draw is O(log n).
+    """
+
+    def __init__(self, n: int, exponent: float, rng: random.Random) -> None:
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        if exponent < 0:
+            raise ValueError("exponent must be non-negative")
+        self.n = n
+        self.exponent = exponent
+        self._rng = rng
+        weights = [1.0 / (rank**exponent) for rank in range(1, n + 1)]
+        total = sum(weights)
+        self._cdf: list[float] = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            self._cdf.append(acc)
+        self._cdf[-1] = 1.0
+        self._pmf = [w / total for w in weights]
+
+    def probability(self, rank: int) -> float:
+        """Probability mass of ``rank`` (1-based)."""
+        if not 1 <= rank <= self.n:
+            raise ValueError(f"rank out of range: {rank}")
+        return self._pmf[rank - 1]
+
+    def sample(self) -> int:
+        """Draw one rank in 1..n."""
+        return bisect_right(self._cdf, self._rng.random()) + 1
+
+
+class LogNormalSampler:
+    """Log-normal sampler parameterised by median and shape sigma.
+
+    ``median`` is the distribution median (exp(mu)); ``sigma`` the standard
+    deviation of the underlying normal.  Mean is median * exp(sigma²/2).
+    """
+
+    def __init__(
+        self,
+        median: float,
+        sigma: float,
+        rng: random.Random,
+    ) -> None:
+        if median <= 0:
+            raise ValueError("median must be positive")
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        self.median = median
+        self.sigma = sigma
+        self._mu = log(median)
+        self._rng = rng
+
+    @property
+    def mean(self) -> float:
+        """Analytic mean of the distribution."""
+        return self.median * exp(self.sigma**2 / 2.0)
+
+    def sample(self) -> float:
+        """Draw one positive value."""
+        return self._rng.lognormvariate(self._mu, self.sigma)
+
+
+class ParetoSampler:
+    """Pareto (Type I) sampler with scale ``minimum`` and shape ``alpha``."""
+
+    def __init__(self, minimum: float, alpha: float, rng: random.Random) -> None:
+        if minimum <= 0:
+            raise ValueError("minimum must be positive")
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        self.minimum = minimum
+        self.alpha = alpha
+        self._rng = rng
+
+    @property
+    def mean(self) -> float:
+        """Analytic mean; infinite when alpha <= 1."""
+        if self.alpha <= 1.0:
+            return float("inf")
+        return self.alpha * self.minimum / (self.alpha - 1.0)
+
+    def sample(self) -> float:
+        """Draw one value >= minimum."""
+        return self.minimum * self._rng.paretovariate(self.alpha)
+
+
+def truncated_lognormal(
+    sampler: LogNormalSampler,
+    lower: float,
+    upper: float,
+    max_attempts: int = 64,
+) -> float:
+    """Rejection-sample the log-normal into [lower, upper].
+
+    Falls back to clamping if ``max_attempts`` rejections occur, so a
+    mis-calibrated truncation window degrades gracefully instead of looping
+    forever.
+    """
+    if lower >= upper:
+        raise ValueError("lower must be < upper")
+    for _ in range(max_attempts):
+        value = sampler.sample()
+        if lower <= value <= upper:
+            return value
+    return min(upper, max(lower, sampler.sample()))

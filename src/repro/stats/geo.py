@@ -1,0 +1,65 @@
+"""Great-circle geometry for antenna coordinates.
+
+The mobility analysis (Section 4.4) measures *max displacement*: the
+great-circle distance between the two furthest antennas a user attaches to
+during a day.  Sector coordinates come from the synthetic topology, but the
+math here is standard WGS-84-spherical haversine so real antenna exports
+work identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import asin, cos, radians, sin, sqrt
+from typing import Iterable, Sequence
+
+EARTH_RADIUS_KM = 6371.0088
+
+
+@dataclass(frozen=True, slots=True)
+class GeoPoint:
+    """A latitude/longitude pair in decimal degrees."""
+
+    latitude: float
+    longitude: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.latitude <= 90.0:
+            raise ValueError(f"latitude out of range: {self.latitude}")
+        if not -180.0 <= self.longitude <= 180.0:
+            raise ValueError(f"longitude out of range: {self.longitude}")
+
+
+def haversine_km(a: GeoPoint, b: GeoPoint) -> float:
+    """Great-circle distance between two points, in kilometres.
+
+    >>> paris = GeoPoint(48.8566, 2.3522)
+    >>> round(haversine_km(paris, paris), 6)
+    0.0
+    """
+    lat1, lon1 = radians(a.latitude), radians(a.longitude)
+    lat2, lon2 = radians(b.latitude), radians(b.longitude)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = sin(dlat / 2.0) ** 2 + cos(lat1) * cos(lat2) * sin(dlon / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS_KM * asin(min(1.0, sqrt(h)))
+
+
+def max_displacement_km(points: Iterable[GeoPoint]) -> float:
+    """Distance between the two furthest points, in kilometres.
+
+    This is the paper's daily mobility metric.  For zero or one point the
+    displacement is 0.  The computation is exact: antenna sets per user-day
+    are small (a handful of sectors), so the O(n²) pairwise scan is cheap.
+    Duplicate points are collapsed first.
+    """
+    unique: Sequence[GeoPoint] = list({(p.latitude, p.longitude): p for p in points}.values())
+    if len(unique) < 2:
+        return 0.0
+    best = 0.0
+    for i, first in enumerate(unique):
+        for second in unique[i + 1 :]:
+            distance = haversine_km(first, second)
+            if distance > best:
+                best = distance
+    return best

@@ -1,0 +1,47 @@
+"""Shared fixtures.
+
+Simulation runs are the expensive part of the suite, so the two standard
+outputs (small and medium presets) are session-scoped: every test module
+shares one deterministic run per preset.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dataset import StudyDataset
+from repro.core.pipeline import WearableStudy
+from repro.simnet.config import SimulationConfig
+from repro.simnet.simulator import SimulationOutput, Simulator
+
+
+@pytest.fixture(scope="session")
+def small_output() -> SimulationOutput:
+    """A tiny deterministic simulation shared by unit tests."""
+    return Simulator(SimulationConfig.small(seed=7)).run()
+
+
+@pytest.fixture(scope="session")
+def small_dataset(small_output: SimulationOutput) -> StudyDataset:
+    return StudyDataset.from_simulation(small_output)
+
+
+@pytest.fixture(scope="session")
+def small_study(small_dataset: StudyDataset) -> WearableStudy:
+    return WearableStudy(small_dataset)
+
+
+@pytest.fixture(scope="session")
+def medium_output() -> SimulationOutput:
+    """The integration-scale simulation used for calibration-band tests."""
+    return Simulator(SimulationConfig.medium(seed=42)).run()
+
+
+@pytest.fixture(scope="session")
+def medium_dataset(medium_output: SimulationOutput) -> StudyDataset:
+    return StudyDataset.from_simulation(medium_output)
+
+
+@pytest.fixture(scope="session")
+def medium_study(medium_dataset: StudyDataset) -> WearableStudy:
+    return WearableStudy(medium_dataset)

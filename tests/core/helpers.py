@@ -1,0 +1,115 @@
+"""Hand-crafted dataset builder for exact-value analysis tests."""
+
+from __future__ import annotations
+
+from repro.core.dataset import StudyDataset, StudyWindow
+from repro.devicedb.database import DeviceDatabase, DeviceModel
+from repro.devicedb.tac import (
+    DEVICE_TYPE_SMARTPHONE,
+    DEVICE_TYPE_WEARABLE,
+    make_imei,
+)
+from repro.logs.records import MmeRecord, ProxyRecord
+from repro.logs.timeutil import SECONDS_PER_DAY
+from repro.simnet.topology import Sector, SectorMap
+from repro.stats.geo import GeoPoint
+
+WATCH_TAC = "35884708"
+LG_WATCH_TAC = "35291808"
+PHONE_TAC = "35332812"
+
+WATCH_IMEI = make_imei(WATCH_TAC, 1)
+WATCH_IMEI_2 = make_imei(WATCH_TAC, 2)
+PHONE_IMEI = make_imei(PHONE_TAC, 1)
+PHONE_IMEI_2 = make_imei(PHONE_TAC, 2)
+
+#: Three sectors on a north-south line, ~111 km apart each.
+SECTORS = SectorMap(
+    [
+        Sector("HOME", GeoPoint(40.0, -3.0)),
+        Sector("WORK", GeoPoint(41.0, -3.0)),
+        Sector("FAR", GeoPoint(42.0, -3.0)),
+    ]
+)
+
+DEVICE_DB = DeviceDatabase(
+    [
+        DeviceModel(
+            WATCH_TAC, "Gear S3", "Samsung", "Tizen", DEVICE_TYPE_WEARABLE,
+            release_year=2016,
+        ),
+        DeviceModel(
+            LG_WATCH_TAC, "Watch Urbane LTE", "LG", "Android Wear",
+            DEVICE_TYPE_WEARABLE, release_year=2016,
+        ),
+        DeviceModel(
+            PHONE_TAC, "iPhone 7", "Apple", "iOS", DEVICE_TYPE_SMARTPHONE,
+            release_year=2016,
+        ),
+    ]
+)
+
+
+def make_window(total_days: int = 28, detailed_days: int = 14) -> StudyWindow:
+    return StudyWindow(
+        study_start=0.0, total_days=total_days, detailed_days=detailed_days
+    )
+
+
+def day_ts(day: int, seconds: float = 0.0) -> float:
+    """Timestamp ``seconds`` into study day ``day`` (study_start = 0)."""
+    return day * SECONDS_PER_DAY + seconds
+
+
+def proxy(
+    ts: float,
+    subscriber: str,
+    imei: str = WATCH_IMEI,
+    host: str = "api.accuweather.com",
+    bytes_down: int = 1000,
+    bytes_up: int = 0,
+) -> ProxyRecord:
+    return ProxyRecord(
+        timestamp=ts,
+        subscriber_id=subscriber,
+        imei=imei,
+        host=host,
+        bytes_up=bytes_up,
+        bytes_down=bytes_down,
+    )
+
+
+def mme(
+    ts: float,
+    subscriber: str,
+    imei: str = WATCH_IMEI,
+    sector: str = "HOME",
+    event: str = "attach",
+) -> MmeRecord:
+    return MmeRecord(
+        timestamp=ts,
+        subscriber_id=subscriber,
+        imei=imei,
+        sector_id=sector,
+        event=event,
+    )
+
+
+def make_dataset(
+    proxy_records: list[ProxyRecord],
+    mme_records: list[MmeRecord],
+    account_directory: dict[str, str] | None = None,
+    window: StudyWindow | None = None,
+) -> StudyDataset:
+    if account_directory is None:
+        subscribers = {r.subscriber_id for r in proxy_records}
+        subscribers.update(r.subscriber_id for r in mme_records)
+        account_directory = {s: f"acct-{s}" for s in subscribers}
+    return StudyDataset(
+        proxy_records=sorted(proxy_records, key=lambda r: r.timestamp),
+        mme_records=sorted(mme_records, key=lambda r: r.timestamp),
+        device_db=DEVICE_DB,
+        sector_map=SECTORS,
+        account_directory=account_directory,
+        window=window or make_window(),
+    )

@@ -1,0 +1,110 @@
+"""Exact-value and band tests for the cohort retention analysis."""
+
+import pytest
+
+from repro.core.cohorts import analyze_cohorts
+from tests.core.helpers import day_ts, make_dataset, make_window, mme
+
+
+def presence(subscriber: str, days: list[int]):
+    return [mme(day_ts(day, 3600.0), subscriber) for day in days]
+
+
+class TestExactValues:
+    def test_single_cohort_full_retention(self):
+        # Two users registered every week of a 4-week window.
+        records = []
+        for subscriber in ("a", "b"):
+            records += presence(subscriber, [0, 7, 14, 21])
+        dataset = make_dataset([], records, window=make_window(28, 14))
+        result = analyze_cohorts(dataset)
+        assert result.total_users == 2
+        assert len(result.cohorts) == 1
+        cohort = result.cohorts[0]
+        assert cohort.cohort_week == 0
+        assert cohort.size == 2
+        assert cohort.retention == (1.0, 1.0, 1.0, 1.0)
+
+    def test_decaying_cohort(self):
+        records = presence("stay", [0, 7, 14, 21])
+        records += presence("leave", [0, 7])  # gone after week 1
+        dataset = make_dataset([], records, window=make_window(28, 14))
+        result = analyze_cohorts(dataset)
+        cohort = result.cohorts[0]
+        assert cohort.retention == (1.0, 1.0, 0.5, 0.5)
+
+    def test_late_cohort_has_shorter_horizon(self):
+        records = presence("early", [0, 21]) + presence("late", [14, 21])
+        dataset = make_dataset([], records, window=make_window(28, 14))
+        result = analyze_cohorts(dataset)
+        by_week = {row.cohort_week: row for row in result.cohorts}
+        assert by_week[0].size == 1
+        assert by_week[2].size == 1
+        assert len(by_week[2].retention) == 2  # weeks 2 and 3 only
+
+    def test_retention_zero_offset_is_one(self):
+        records = presence("a", [3]) + presence("b", [10])
+        dataset = make_dataset([], records, window=make_window(28, 14))
+        result = analyze_cohorts(dataset)
+        for cohort in result.cohorts:
+            assert cohort.retention[0] == 1.0
+
+    def test_lifetime_survival(self):
+        # "a" spans 3 weeks of lifetime; "b" is a one-week wonder.
+        records = presence("a", [0, 21]) + presence("b", [0])
+        dataset = make_dataset([], records, window=make_window(28, 14))
+        result = analyze_cohorts(dataset)
+        assert result.lifetime_survival[0] == 1.0
+        assert result.lifetime_survival[3] == 0.5
+
+    def test_mean_retention_weighted(self):
+        # Cohort 0: two users, one drops after week 0; cohort 1: one user
+        # retained both weeks it can be observed.
+        records = presence("a", [0, 7, 14, 21])
+        records += presence("b", [0])
+        records += presence("c", [7, 14, 21])
+        dataset = make_dataset([], records, window=make_window(28, 14))
+        result = analyze_cohorts(dataset)
+        # Offset 1: cohort0 1/2 alive (weight 2), cohort1 1/1 (weight 1).
+        assert result.mean_retention_by_offset[1] == pytest.approx(
+            (0.5 * 2 + 1.0 * 1) / 3
+        )
+
+    def test_empty_raises(self):
+        dataset = make_dataset([], [], window=make_window(28, 14))
+        with pytest.raises(ValueError, match="no wearable"):
+            analyze_cohorts(dataset)
+
+    def test_short_window_rejected(self):
+        records = presence("a", [0])
+        dataset = make_dataset([], records, window=make_window(14, 7))
+        # 14 days = 2 weeks: allowed; verify the boundary below it.
+        analyze_cohorts(dataset)
+
+
+class TestOnSimulation:
+    @pytest.fixture(scope="class")
+    def result(self, medium_dataset):
+        return analyze_cohorts(medium_dataset)
+
+    def test_retention_declines_monotonically_ish(self, result):
+        curve = result.mean_retention_by_offset
+        assert curve[0] == pytest.approx(1.0)
+        # Week-1 retention is high (regular users dominate).
+        assert curve[1] > 0.7
+        # Long-horizon retention below short-horizon.
+        assert curve[-1] <= curve[1] + 0.05
+
+    def test_survival_is_a_survival_function(self, result):
+        survival = result.lifetime_survival
+        assert survival[0] == 1.0
+        assert all(a >= b - 1e-12 for a, b in zip(survival, survival[1:]))
+
+    def test_most_users_survive_weeks(self, result):
+        # The paper's 77%-still-active over five months implies long
+        # lifetimes dominate.
+        mid = min(4, len(result.lifetime_survival) - 1)
+        assert result.lifetime_survival[mid] > 0.5
+
+    def test_cohort_sizes_sum_to_total(self, result):
+        assert sum(row.size for row in result.cohorts) == result.total_users

@@ -1,0 +1,76 @@
+"""Unit tests for the study dataset container."""
+
+import pytest
+
+from repro.core.dataset import StudyDataset, StudyWindow
+from repro.logs.timeutil import SECONDS_PER_DAY
+
+
+class TestStudyWindow:
+    def setup_method(self):
+        self.window = StudyWindow(study_start=0.0, total_days=28, detailed_days=14)
+
+    def test_boundaries(self):
+        assert self.window.study_end == 28 * SECONDS_PER_DAY
+        assert self.window.detailed_start == 14 * SECONDS_PER_DAY
+        assert self.window.detailed_first_day == 14
+
+    def test_day_of(self):
+        assert self.window.day_of(0.0) == 0
+        assert self.window.day_of(SECONDS_PER_DAY * 3 + 5) == 3
+
+    def test_membership(self):
+        assert self.window.in_study(0.0)
+        assert not self.window.in_study(-1.0)
+        assert not self.window.in_study(28 * SECONDS_PER_DAY)
+        assert self.window.in_detailed(15 * SECONDS_PER_DAY)
+        assert not self.window.in_detailed(13 * SECONDS_PER_DAY)
+
+
+class TestPartitions:
+    def test_proxy_partition_is_complete(self, small_dataset):
+        total = len(small_dataset.proxy_records)
+        assert (
+            len(small_dataset.wearable_proxy) + len(small_dataset.phone_proxy)
+            == total
+        )
+
+    def test_wearable_proxy_tacs(self, small_dataset):
+        tacs = small_dataset.wearable_tacs
+        assert all(r.tac in tacs for r in small_dataset.wearable_proxy)
+        assert all(r.tac not in tacs for r in small_dataset.phone_proxy)
+
+    def test_mme_partition_is_complete(self, small_dataset):
+        total = len(small_dataset.mme_records)
+        assert (
+            len(small_dataset.wearable_mme) + len(small_dataset.phone_mme) == total
+        )
+
+    def test_detailed_subset(self, small_dataset):
+        window = small_dataset.window
+        assert all(
+            window.in_detailed(r.timestamp)
+            for r in small_dataset.wearable_proxy_detailed
+        )
+
+    def test_wearable_accounts_resolve(self, small_dataset):
+        directory = small_dataset.account_directory
+        assert small_dataset.wearable_accounts <= set(directory.values())
+
+    def test_account_of(self, small_dataset):
+        subscriber = small_dataset.proxy_records[0].subscriber_id
+        assert small_dataset.account_of(subscriber) is not None
+        assert small_dataset.account_of("unknown") is None
+
+
+class TestLoadRoundtrip:
+    def test_load_matches_in_memory(self, small_output, tmp_path):
+        small_output.write(tmp_path / "trace")
+        loaded = StudyDataset.load(tmp_path / "trace")
+        in_memory = StudyDataset.from_simulation(small_output)
+        assert loaded.proxy_records == in_memory.proxy_records
+        assert loaded.mme_records == in_memory.mme_records
+        assert loaded.wearable_tacs == in_memory.wearable_tacs
+        assert loaded.account_directory == in_memory.account_directory
+        assert loaded.window == in_memory.window
+        assert len(loaded.sector_map) == len(in_memory.sector_map)

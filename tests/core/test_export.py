@@ -1,0 +1,83 @@
+"""Tests for the JSON report export."""
+
+import json
+
+import pytest
+
+from repro.core.export import report_to_dict, write_report_json
+
+
+@pytest.fixture(scope="module")
+def report_dict(small_study):
+    return report_to_dict(small_study.run_all())
+
+
+class TestReportToDict:
+    def test_top_level_sections(self, report_dict):
+        expected = {
+            "census",
+            "adoption",
+            "activity",
+            "comparison",
+            "mobility",
+            "apps",
+            "domains",
+            "through_device",
+            "weekly",
+            "protocols",
+        }
+        assert expected <= set(report_dict)
+
+    def test_scalars_preserved(self, small_study, report_dict):
+        assert report_dict["adoption"]["data_active_fraction"] == (
+            small_study.adoption.data_active_fraction
+        )
+        assert report_dict["comparison"]["extra_tx_percent"] == (
+            small_study.comparison.extra_tx_percent
+        )
+
+    def test_ecdfs_become_quantile_summaries(self, report_dict):
+        sizes = report_dict["activity"]["transaction_sizes"]
+        assert set(sizes) == {"count", "mean", "min", "max", "quantiles"}
+        quantiles = sizes["quantiles"]
+        assert quantiles["p10"] <= quantiles["p50"] <= quantiles["p90"]
+
+    def test_nested_dataclasses_flattened(self, report_dict):
+        rows = report_dict["apps"]["per_app"]
+        assert isinstance(rows, list)
+        assert {"app", "category", "tx_pct"} <= set(rows[0])
+
+    def test_everything_is_json_serialisable(self, report_dict):
+        text = json.dumps(report_dict)
+        assert json.loads(text) == json.loads(text)
+
+
+class TestWriteReportJson:
+    def test_roundtrip(self, small_study, tmp_path):
+        path = write_report_json(small_study.run_all(), tmp_path / "report.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["census"]["total_devices"] > 0
+        assert "monthly_growth_percent" in loaded["adoption"]
+
+    def test_cli_json_flag(self, small_output, tmp_path):
+        from repro.cli import main
+
+        trace = tmp_path / "trace"
+        small_output.write(trace)
+        json_path = tmp_path / "report.json"
+        code = main(
+            [
+                "analyze",
+                str(trace),
+                "--figures",
+                "fig2a",
+                "--out",
+                str(tmp_path / "figs"),
+                "--json",
+                str(json_path),
+            ]
+        )
+        assert code == 0
+        assert json_path.exists()
+        loaded = json.loads(json_path.read_text())
+        assert "mobility" in loaded

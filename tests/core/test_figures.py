@@ -1,0 +1,75 @@
+"""Tests for the canonical figure renderers."""
+
+import pytest
+
+from repro.core.figures import (
+    FIGURE_RENDERERS,
+    ascii_cdf,
+    ascii_series,
+    render_all,
+)
+from repro.stats.cdf import ECDF
+
+
+class TestAsciiCharts:
+    def test_empty_series(self):
+        assert "empty" in ascii_series([])
+
+    def test_constant_series(self):
+        chart = ascii_series([1.0, 1.0, 1.0])
+        assert "|" in chart
+
+    def test_rising_series_fills_toward_the_right(self):
+        chart = ascii_series([float(i) for i in range(60)], width=60, height=5)
+        lines = chart.splitlines()
+        top_row = lines[0].split("|", 1)[1]
+        # The top band is filled only near the right edge.
+        assert top_row.strip().startswith("█")
+        assert top_row.lstrip() != top_row  # leading blanks on the left
+
+    def test_axis_row_present(self):
+        chart = ascii_series([0.0, 1.0])
+        assert chart.splitlines()[-1].strip().startswith("+")
+
+    def test_ascii_cdf_runs(self):
+        chart = ascii_cdf(ECDF([1.0, 2.0, 3.0, 10.0]))
+        assert "█" in chart
+
+
+class TestRenderers:
+    def test_all_figures_render(self, small_study):
+        rendered = render_all(small_study.run_all())
+        assert set(rendered) == set(FIGURE_RENDERERS)
+        for name, text in rendered.items():
+            assert text.strip(), f"{name} rendered empty"
+
+    @pytest.mark.parametrize(
+        "name, marker",
+        [
+            ("fig2a", "growth per month"),
+            ("fig2b", "still active"),
+            ("fig3a", "weekday %"),
+            ("fig3c", "bytes"),
+            ("fig4c", "entropy"),
+            ("fig5a", "daily users %"),
+            ("fig6", "category"),
+            ("fig7", "KB / usage"),
+            ("fig8", "third-party/first-party"),
+            ("sec42", "weekly pattern"),
+            ("sec6", "through-device"),
+        ],
+    )
+    def test_figure_contains_its_key_content(self, small_study, name, marker):
+        report = small_study.run_all()
+        assert marker in FIGURE_RENDERERS[name](report)
+
+    def test_fig5a_respects_top_n(self, small_study):
+        from repro.core.figures import render_fig5a
+
+        text = render_fig5a(small_study.apps, top_n=5)
+        data_rows = [
+            line
+            for line in text.splitlines()[3:]
+            if line.strip() and not line.startswith("-")
+        ]
+        assert len(data_rows) <= 5

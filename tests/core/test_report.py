@@ -1,0 +1,71 @@
+"""Tests for the text rendering helpers."""
+
+from repro.core.report import (
+    format_cdf,
+    format_comparison,
+    format_hourly,
+    format_table,
+)
+from repro.stats.cdf import ECDF
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(
+            ("name", "value"),
+            [("alpha", 1.5), ("b", 20.25)],
+            title="Demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "alpha" in lines[3]
+        assert "20.25" in lines[4]
+
+    def test_small_floats_use_scientific(self):
+        text = format_table(("x",), [(0.00001,)])
+        assert "e-05" in text
+
+    def test_integers_and_strings_pass_through(self):
+        text = format_table(("a", "b"), [(42, "hello")])
+        assert "42" in text
+        assert "hello" in text
+
+    def test_no_title(self):
+        text = format_table(("a",), [(1,)])
+        assert text.splitlines()[0].startswith("a")
+
+
+class TestFormatCdf:
+    def test_decile_rows(self):
+        text = format_cdf(ECDF([1.0, 2.0, 3.0, 4.0]), "km", points=4)
+        lines = text.splitlines()
+        assert len(lines) == 2 + 4  # header + rule + rows
+        assert "p25" in text
+        assert "p100" in text
+
+    def test_unit_suffix(self):
+        text = format_cdf(ECDF([5.0]), "size", points=2, unit=" KB")
+        assert "KB" in text
+
+
+class TestFormatComparison:
+    def test_paper_vs_measured_columns(self):
+        text = format_comparison(
+            "Fig. 2", [("growth %/mo", 1.5, 1.7), ("abandoned", "7%", "8%")]
+        )
+        assert "paper" in text
+        assert "measured" in text
+        assert "growth %/mo" in text
+
+
+class TestFormatHourly:
+    def test_24_rows(self):
+        weekday = [i / 100 for i in range(24)]
+        weekend = [i / 200 for i in range(24)]
+        text = format_hourly("Fig. 3(a)", weekday, weekend)
+        lines = text.splitlines()
+        assert len(lines) == 3 + 24
+        assert "00h" in text
+        assert "23h" in text

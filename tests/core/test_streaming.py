@@ -1,0 +1,102 @@
+"""Equivalence tests: streaming aggregators vs the batch analyses."""
+
+import pytest
+
+from repro.core.activity import analyze_activity
+from repro.core.adoption import analyze_adoption
+from repro.core.streaming import StreamingActivity, StreamingAdoption
+
+
+class TestStreamingAdoption:
+    @pytest.fixture(scope="class")
+    def results(self, small_dataset):
+        batch = analyze_adoption(small_dataset)
+        streaming = (
+            StreamingAdoption(small_dataset.window, small_dataset.wearable_tacs)
+            .consume(iter(small_dataset.mme_records), iter(small_dataset.proxy_records))
+            .result()
+        )
+        return batch, streaming
+
+    def test_daily_counts_identical(self, results):
+        batch, streaming = results
+        assert streaming.daily_counts == batch.daily_counts
+
+    def test_growth_identical(self, results):
+        batch, streaming = results
+        assert streaming.monthly_growth_percent == pytest.approx(
+            batch.monthly_growth_percent
+        )
+        assert streaming.total_growth_percent == pytest.approx(
+            batch.total_growth_percent
+        )
+
+    def test_retention_identical(self, results):
+        batch, streaming = results
+        assert streaming.first_week_users == batch.first_week_users
+        assert streaming.abandoned_fraction == pytest.approx(
+            batch.abandoned_fraction
+        )
+        assert streaming.still_active_fraction == pytest.approx(
+            batch.still_active_fraction
+        )
+
+    def test_data_active_identical(self, results):
+        batch, streaming = results
+        assert streaming.data_active_fraction == pytest.approx(
+            batch.data_active_fraction
+        )
+
+
+class TestStreamingActivity:
+    @pytest.fixture(scope="class")
+    def results(self, small_dataset):
+        batch = analyze_activity(small_dataset)
+        streaming = (
+            StreamingActivity(small_dataset.window, small_dataset.wearable_tacs)
+            .consume(iter(small_dataset.proxy_records))
+            .result()
+        )
+        return batch, streaming
+
+    def test_exact_aggregates_match(self, results):
+        batch, streaming = results
+        assert streaming.transactions == len(batch.transaction_sizes)
+        assert streaming.mean_tx_bytes == pytest.approx(batch.mean_tx_bytes)
+        assert streaming.mean_active_days_per_week == pytest.approx(
+            batch.mean_active_days_per_week
+        )
+        assert streaming.mean_active_hours_per_day == pytest.approx(
+            batch.mean_active_hours_per_day
+        )
+
+    def test_median_estimate_close(self, results):
+        batch, streaming = results
+        assert streaming.median_tx_bytes_estimate == pytest.approx(
+            batch.median_tx_bytes, rel=0.25
+        )
+
+    def test_under_10kb_exact(self, results):
+        batch, streaming = results
+        # The streaming counter is exact (strictly-below semantics match
+        # ECDF.fraction_below).
+        assert streaming.fraction_tx_under_10kb_estimate == pytest.approx(
+            batch.fraction_tx_under_10kb
+        )
+
+    def test_reservoir_quantiles_close(self, small_dataset):
+        batch = analyze_activity(small_dataset)
+        streaming = StreamingActivity(
+            small_dataset.window, small_dataset.wearable_tacs
+        ).consume(iter(small_dataset.proxy_records))
+        for q in (0.25, 0.5, 0.9):
+            assert streaming.quantile(q) == pytest.approx(
+                batch.transaction_sizes.quantile(q), rel=0.35
+            )
+
+    def test_empty_stream_raises(self, small_dataset):
+        empty = StreamingActivity(
+            small_dataset.window, small_dataset.wearable_tacs
+        )
+        with pytest.raises(ValueError, match="no wearable"):
+            empty.result()

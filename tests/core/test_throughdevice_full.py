@@ -1,0 +1,131 @@
+"""Tests for the full through-device characterisation (future work of §6)."""
+
+import pytest
+
+from repro.core.throughdevice_full import analyze_through_device_full
+from tests.core.helpers import (
+    PHONE_IMEI,
+    PHONE_IMEI_2,
+    WATCH_IMEI,
+    day_ts,
+    make_dataset,
+    make_window,
+    mme,
+    proxy,
+)
+
+D = 14
+
+
+def build_dataset():
+    """One Fitbit owner, one general user, one SIM wearable user."""
+    directory = {
+        "td": "acct-td",
+        "gen": "acct-gen",
+        "sim-watch": "acct-sim",
+    }
+    proxy_records = [
+        # TD owner's phone: 2 generic flows + 2 syncs at hour 8.
+        proxy(day_ts(D, 8 * 3600), "td", imei=PHONE_IMEI,
+              host="android.api.fitbit.com", bytes_down=10_000),
+        proxy(day_ts(D, 8 * 3600 + 60), "td", imei=PHONE_IMEI,
+              host="android.api.fitbit.com", bytes_down=10_000),
+        proxy(day_ts(D, 12 * 3600), "td", imei=PHONE_IMEI,
+              host="www.google.com", bytes_down=50_000),
+        proxy(day_ts(D + 1, 12 * 3600), "td", imei=PHONE_IMEI,
+              host="www.google.com", bytes_down=30_000),
+        # General user.
+        proxy(day_ts(D, 12 * 3600), "gen", imei=PHONE_IMEI_2,
+              host="www.google.com", bytes_down=40_000),
+        # SIM wearable traffic at hour 8 (same shape as the syncs).
+        proxy(day_ts(D, 8 * 3600 + 120), "sim-watch", imei=WATCH_IMEI,
+              host="api.accuweather.com", bytes_down=3_000),
+    ]
+    mme_records = [
+        mme(day_ts(D, 7 * 3600), "td", imei=PHONE_IMEI, sector="HOME"),
+        mme(day_ts(D, 9 * 3600), "td", imei=PHONE_IMEI, sector="WORK",
+            event="handover"),
+        mme(day_ts(D, 7 * 3600), "gen", imei=PHONE_IMEI_2, sector="HOME"),
+        mme(day_ts(D, 7 * 3600), "sim-watch", imei=WATCH_IMEI, sector="HOME"),
+    ]
+    return make_dataset(
+        proxy_records, mme_records, account_directory=directory,
+        window=make_window(),
+    )
+
+
+class TestExactValues:
+    def test_sync_microscopics(self):
+        result = analyze_through_device_full(build_dataset())
+        # One sync user-day with two flows of 10 KB each.
+        assert result.sync_tx_per_user_day == pytest.approx(2.0)
+        assert result.sync_bytes_per_user_day == pytest.approx(20_000.0)
+
+    def test_sync_hourly_profile(self):
+        result = analyze_through_device_full(build_dataset())
+        assert result.sync_hourly_profile[8] == pytest.approx(1.0)
+        assert sum(result.sync_hourly_profile) == pytest.approx(1.0)
+
+    def test_group_sizes(self):
+        result = analyze_through_device_full(build_dataset())
+        assert result.through_device.users == 1
+        assert result.general.users == 1
+        assert result.sim_wearable.users == 1
+
+    def test_group_behaviour(self):
+        result = analyze_through_device_full(build_dataset())
+        # TD owner: 4 flows, 100 KB over 14 window days.
+        assert result.through_device.mean_daily_tx == pytest.approx(4 / 14)
+        assert result.through_device.mean_daily_bytes == pytest.approx(
+            100_000 / 14
+        )
+        # TD owner moved HOME->WORK; general user stayed home.
+        assert result.through_device.mean_displacement_km > 0.0
+        assert result.general.mean_displacement_km == 0.0
+        assert result.through_device.mean_entropy_bits > 0.0
+
+    def test_hourly_similarity_perfect_for_identical_shapes(self):
+        result = analyze_through_device_full(build_dataset())
+        # Syncs and SIM-wearable traffic both sit entirely in hour 8.
+        assert result.hourly_similarity_td_vs_sim == pytest.approx(1.0)
+
+    def test_no_td_users_raises(self):
+        dataset = make_dataset(
+            [proxy(day_ts(D, 100), "gen", imei=PHONE_IMEI_2)],
+            [],
+            window=make_window(),
+        )
+        with pytest.raises(ValueError, match="through-device"):
+            analyze_through_device_full(dataset)
+
+
+class TestOnSimulation:
+    @pytest.fixture(scope="class")
+    def result(self, medium_dataset):
+        return analyze_through_device_full(medium_dataset)
+
+    def test_td_behaves_like_sim_users(self, result):
+        # Mobility: TD sits with the SIM wearables, above the base.
+        assert (
+            result.through_device.mean_displacement_km
+            > result.general.mean_displacement_km
+        )
+        assert (
+            result.through_device.mean_entropy_bits
+            > result.general.mean_entropy_bits
+        )
+
+    def test_sync_traffic_is_light(self, result):
+        # Wearable sync relays are small compared to phone traffic.
+        assert (
+            result.sync_bytes_per_user_day
+            < result.through_device.mean_daily_bytes
+        )
+
+    def test_hourly_profiles_similar(self, result):
+        # "similar macroscopic behavior": sync timing tracks wearable use.
+        assert result.hourly_similarity_td_vs_sim > 0.5
+
+    def test_daily_bytes_cdfs_populated(self, result):
+        assert len(result.daily_bytes_td) > 0
+        assert len(result.daily_bytes_general) > 0

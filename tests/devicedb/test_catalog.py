@@ -1,0 +1,57 @@
+"""Unit tests for the built-in 2017-era device catalog."""
+
+from repro.devicedb.catalog import (
+    builtin_database,
+    builtin_models,
+    sim_wearable_models,
+    smartphone_models,
+    through_device_wearable_models,
+)
+from repro.devicedb.tac import DEVICE_TYPE_WEARABLE
+
+
+class TestCatalogContents:
+    def test_wearables_are_samsung_lg_dominated(self):
+        # Section 3.2: "primarily ... Android and Tizen-based wearables
+        # (mostly Samsung and LG)".
+        manufacturers = [m.manufacturer for m in sim_wearable_models()]
+        assert manufacturers.count("Samsung") + manufacturers.count("LG") >= 5
+        assert "Apple" not in manufacturers  # operator lacks Apple Watch 3
+
+    def test_all_sim_wearables_are_wearables(self):
+        assert all(
+            m.device_type == DEVICE_TYPE_WEARABLE and m.sim_capable
+            for m in sim_wearable_models()
+        )
+
+    def test_through_device_models_have_no_sim(self):
+        assert all(not m.sim_capable for m in through_device_wearable_models())
+
+    def test_smartphones_cover_major_vendors(self):
+        manufacturers = {m.manufacturer for m in smartphone_models()}
+        assert {"Apple", "Samsung", "Huawei"} <= manufacturers
+
+    def test_tacs_are_unique(self):
+        tacs = [m.tac for m in builtin_models()]
+        assert len(tacs) == len(set(tacs))
+
+    def test_release_years_plausible(self):
+        assert all(2010 <= m.release_year <= 2018 for m in builtin_models())
+
+
+class TestBuiltinDatabase:
+    def test_excludes_through_device_models(self):
+        db = builtin_database()
+        for model in through_device_wearable_models():
+            assert db.lookup_tac(model.tac) is None
+
+    def test_wearable_tacs_match_catalog(self):
+        db = builtin_database()
+        assert db.wearable_tacs() == frozenset(
+            m.tac for m in sim_wearable_models()
+        )
+
+    def test_contains_all_sim_models(self):
+        db = builtin_database()
+        sim_models = [m for m in builtin_models() if m.sim_capable]
+        assert len(db) == len(sim_models)

@@ -1,0 +1,88 @@
+"""Unit tests for the TAC-keyed device database."""
+
+import pytest
+
+from repro.devicedb.database import DeviceDatabase, DeviceModel
+from repro.devicedb.tac import (
+    DEVICE_TYPE_SMARTPHONE,
+    DEVICE_TYPE_WEARABLE,
+    make_imei,
+)
+
+WATCH = DeviceModel(
+    "35884708", "Gear S3", "Samsung", "Tizen", DEVICE_TYPE_WEARABLE, release_year=2016
+)
+PHONE = DeviceModel(
+    "35332812", "iPhone 7", "Apple", "iOS", DEVICE_TYPE_SMARTPHONE, release_year=2016
+)
+NO_SIM_WATCH = DeviceModel(
+    "86101301",
+    "Charge 2",
+    "Fitbit",
+    "Proprietary",
+    DEVICE_TYPE_WEARABLE,
+    sim_capable=False,
+)
+
+
+class TestDeviceModel:
+    def test_flags(self):
+        assert WATCH.is_wearable and not WATCH.is_smartphone
+        assert PHONE.is_smartphone and not PHONE.is_wearable
+
+    def test_bad_tac_rejected(self):
+        with pytest.raises(ValueError, match="TAC"):
+            DeviceModel("123", "X", "Y", "Z", DEVICE_TYPE_WEARABLE)
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(ValueError, match="model"):
+            DeviceModel("35884708", "", "Y", "Z", DEVICE_TYPE_WEARABLE)
+
+
+class TestDeviceDatabase:
+    def test_lookup_by_tac_and_imei(self):
+        db = DeviceDatabase([WATCH, PHONE])
+        assert db.lookup_tac("35884708") == WATCH
+        assert db.lookup_imei(make_imei("35332812", 5)) == PHONE
+
+    def test_unknown_lookups_return_none(self):
+        db = DeviceDatabase([WATCH])
+        assert db.lookup_tac("00000000") is None
+        assert db.lookup_imei(make_imei("00000000", 1)) is None
+        assert db.lookup_imei("garbage") is None
+
+    def test_conflicting_registration_rejected(self):
+        db = DeviceDatabase([WATCH])
+        conflicting = DeviceModel(
+            "35884708", "Other", "Samsung", "Tizen", DEVICE_TYPE_WEARABLE
+        )
+        with pytest.raises(ValueError, match="already registered"):
+            db.add(conflicting)
+
+    def test_identical_reregistration_allowed(self):
+        db = DeviceDatabase([WATCH])
+        db.add(WATCH)
+        assert len(db) == 1
+
+    def test_wearable_tacs_excludes_non_sim(self):
+        db = DeviceDatabase([WATCH, PHONE, NO_SIM_WATCH])
+        assert db.wearable_tacs() == frozenset({"35884708"})
+
+    def test_tacs_of_type(self):
+        db = DeviceDatabase([WATCH, PHONE])
+        assert db.tacs_of_type(DEVICE_TYPE_SMARTPHONE) == frozenset({"35332812"})
+
+    def test_iteration_and_len(self):
+        db = DeviceDatabase([WATCH, PHONE])
+        assert len(db) == 2
+        assert {m.model for m in db} == {"Gear S3", "iPhone 7"}
+
+    def test_csv_roundtrip(self, tmp_path):
+        db = DeviceDatabase([WATCH, PHONE, NO_SIM_WATCH])
+        path = tmp_path / "devices.csv"
+        assert db.write_csv(path) == 3
+        loaded = DeviceDatabase.read_csv(path)
+        assert len(loaded) == 3
+        assert loaded.lookup_tac("35884708") == WATCH
+        assert loaded.lookup_tac("86101301") == NO_SIM_WATCH
+        assert loaded.lookup_tac("86101301").release_year == 2016

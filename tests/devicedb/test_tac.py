@@ -1,0 +1,88 @@
+"""Unit and property tests for IMEI/TAC handling."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.devicedb.tac import (
+    InvalidImeiError,
+    imei_check_digit,
+    is_valid_imei,
+    make_imei,
+    tac_of,
+)
+
+tacs = st.from_regex(r"[0-9]{8}", fullmatch=True)
+serials = st.integers(min_value=0, max_value=999_999)
+
+
+class TestCheckDigit:
+    def test_known_imei(self):
+        # Classic example IMEI 490154203237518.
+        assert imei_check_digit("49015420323751") == 8
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(InvalidImeiError):
+            imei_check_digit("1234")
+
+    def test_non_digit_rejected(self):
+        with pytest.raises(InvalidImeiError):
+            imei_check_digit("4901542032375a")
+
+
+class TestMakeImei:
+    def test_prefix_is_tac(self):
+        assert make_imei("35884708", 42).startswith("35884708")
+
+    def test_serial_is_zero_padded(self):
+        imei = make_imei("35884708", 42)
+        assert imei[8:14] == "000042"
+
+    def test_length_is_fifteen(self):
+        assert len(make_imei("35884708", 0)) == 15
+
+    def test_bad_tac_rejected(self):
+        with pytest.raises(InvalidImeiError):
+            make_imei("123", 1)
+        with pytest.raises(InvalidImeiError):
+            make_imei("1234567a", 1)
+
+    def test_serial_out_of_range_rejected(self):
+        with pytest.raises(InvalidImeiError):
+            make_imei("35884708", 1_000_000)
+        with pytest.raises(InvalidImeiError):
+            make_imei("35884708", -1)
+
+    @given(tacs, serials)
+    def test_generated_imeis_validate(self, tac, serial):
+        assert is_valid_imei(make_imei(tac, serial))
+
+    @given(tacs, serials)
+    def test_corrupting_check_digit_invalidates(self, tac, serial):
+        imei = make_imei(tac, serial)
+        wrong = str((int(imei[-1]) + 1) % 10)
+        assert not is_valid_imei(imei[:-1] + wrong)
+
+
+class TestValidation:
+    def test_wrong_length_invalid(self):
+        assert not is_valid_imei("123")
+        assert not is_valid_imei("1" * 16)
+
+    def test_non_digits_invalid(self):
+        assert not is_valid_imei("49015420323751x")
+
+    def test_tac_of_extracts_prefix(self):
+        assert tac_of(make_imei("86723105", 9)) == "86723105"
+
+    def test_tac_of_rejects_malformed(self):
+        with pytest.raises(InvalidImeiError):
+            tac_of("short")
+        with pytest.raises(InvalidImeiError):
+            tac_of("49015420323751x")
+
+    def test_tac_of_accepts_bad_check_digit(self):
+        # Operators see corrupted check digits; shape-only validation.
+        imei = make_imei("35884708", 7)
+        wrong = imei[:-1] + str((int(imei[-1]) + 3) % 10)
+        assert tac_of(wrong) == "35884708"

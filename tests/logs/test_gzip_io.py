@@ -1,0 +1,84 @@
+"""Tests for transparent gzip support across the I/O stack."""
+
+import gzip
+
+import pytest
+
+from repro.core.dataset import StudyDataset
+from repro.logs.io import (
+    read_jsonl_records,
+    read_mme_log,
+    read_proxy_log,
+    write_jsonl_records,
+    write_mme_log,
+    write_proxy_log,
+)
+from repro.logs.records import MmeRecord, ProxyRecord
+
+
+@pytest.fixture()
+def records():
+    return [
+        ProxyRecord(
+            timestamp=100.0 + i,
+            subscriber_id=f"s{i}",
+            imei="358847080000011",
+            host="api.example.com",
+            bytes_down=1000 + i,
+        )
+        for i in range(20)
+    ]
+
+
+class TestGzipRoundtrips:
+    def test_csv_gz_roundtrip(self, tmp_path, records):
+        path = tmp_path / "proxy.csv.gz"
+        assert write_proxy_log(path, records) == 20
+        assert list(read_proxy_log(path)) == records
+
+    def test_written_file_is_actually_gzip(self, tmp_path, records):
+        path = tmp_path / "proxy.csv.gz"
+        write_proxy_log(path, records)
+        with gzip.open(path, "rt") as handle:
+            assert handle.readline().startswith("timestamp")
+
+    def test_jsonl_gz_roundtrip(self, tmp_path, records):
+        path = tmp_path / "proxy.jsonl.gz"
+        write_jsonl_records(path, records)
+        assert list(read_jsonl_records(path, ProxyRecord)) == records
+
+    def test_mme_gz_roundtrip(self, tmp_path):
+        mme = [
+            MmeRecord(1.0, "s", "358847080000011", "S001-001"),
+            MmeRecord(2.0, "s", "358847080000011", "S001-002", event="handover"),
+        ]
+        path = tmp_path / "mme.csv.gz"
+        write_mme_log(path, mme)
+        assert list(read_mme_log(path)) == mme
+
+    def test_compression_shrinks_large_logs(self, tmp_path, records):
+        plain = tmp_path / "proxy.csv"
+        compressed = tmp_path / "proxy.csv.gz"
+        big = records * 100
+        write_proxy_log(plain, big)
+        write_proxy_log(compressed, big)
+        assert compressed.stat().st_size < plain.stat().st_size / 2
+
+
+class TestCompressedTraceDirectory:
+    def test_write_and_load_compressed_trace(self, small_output, tmp_path):
+        paths = small_output.write(tmp_path / "trace", compress=True)
+        assert paths["proxy"].name == "proxy.csv.gz"
+        assert paths["mme"].name == "mme.csv.gz"
+        dataset = StudyDataset.load(tmp_path / "trace")
+        assert dataset.proxy_records == small_output.proxy_records
+        assert dataset.mme_records == small_output.mme_records
+
+    def test_plain_trace_still_loads(self, small_output, tmp_path):
+        small_output.write(tmp_path / "trace", compress=False)
+        dataset = StudyDataset.load(tmp_path / "trace")
+        assert dataset.proxy_records == small_output.proxy_records
+
+    def test_missing_logs_reported(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="proxy"):
+            StudyDataset._log_path(tmp_path, "proxy")

@@ -1,0 +1,95 @@
+"""Unit tests for the proxy and MME record types."""
+
+import pytest
+
+from repro.logs.records import (
+    EVENT_ATTACH,
+    EVENT_HANDOVER,
+    PROTOCOL_HTTP,
+    PROTOCOL_HTTPS,
+    MmeRecord,
+    ProxyRecord,
+)
+
+
+def make_proxy(**overrides) -> ProxyRecord:
+    defaults = dict(
+        timestamp=1_513_296_000.0,
+        subscriber_id="s01",
+        imei="358847080000011",
+        host="api.example.com",
+        bytes_up=100,
+        bytes_down=900,
+    )
+    defaults.update(overrides)
+    return ProxyRecord(**defaults)
+
+
+class TestProxyRecord:
+    def test_total_bytes_sums_both_directions(self):
+        record = make_proxy(bytes_up=123, bytes_down=877)
+        assert record.total_bytes == 1000
+
+    def test_tac_is_first_eight_digits(self):
+        assert make_proxy().tac == "35884708"
+
+    def test_default_protocol_is_https(self):
+        assert make_proxy().protocol == PROTOCOL_HTTPS
+
+    def test_http_protocol_accepted(self):
+        assert make_proxy(protocol=PROTOCOL_HTTP).protocol == PROTOCOL_HTTP
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError, match="protocol"):
+            make_proxy(protocol="gopher")
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            make_proxy(bytes_up=-1)
+        with pytest.raises(ValueError, match="non-negative"):
+            make_proxy(bytes_down=-5)
+
+    def test_empty_subscriber_rejected(self):
+        with pytest.raises(ValueError, match="subscriber_id"):
+            make_proxy(subscriber_id="")
+
+    def test_empty_host_rejected(self):
+        with pytest.raises(ValueError, match="host"):
+            make_proxy(host="")
+
+    def test_records_are_hashable_and_comparable(self):
+        assert make_proxy() == make_proxy()
+        assert len({make_proxy(), make_proxy()}) == 1
+
+    def test_records_are_immutable(self):
+        with pytest.raises(AttributeError):
+            make_proxy().bytes_up = 5  # type: ignore[misc]
+
+
+class TestMmeRecord:
+    def make(self, **overrides) -> MmeRecord:
+        defaults = dict(
+            timestamp=1_513_296_000.0,
+            subscriber_id="s01",
+            imei="358847080000011",
+            sector_id="S001-001",
+        )
+        defaults.update(overrides)
+        return MmeRecord(**defaults)
+
+    def test_default_event_is_attach(self):
+        assert self.make().event == EVENT_ATTACH
+
+    def test_handover_event_accepted(self):
+        assert self.make(event=EVENT_HANDOVER).event == EVENT_HANDOVER
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(ValueError, match="MME event"):
+            self.make(event="teleport")
+
+    def test_empty_sector_rejected(self):
+        with pytest.raises(ValueError, match="sector_id"):
+            self.make(sector_id="")
+
+    def test_tac_extraction(self):
+        assert self.make().tac == "35884708"

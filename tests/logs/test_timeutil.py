@@ -1,0 +1,83 @@
+"""Unit tests for time bucketing helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.logs.timeutil import (
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    SECONDS_PER_WEEK,
+    day_index,
+    format_timestamp,
+    hour_index,
+    hour_of_day,
+    is_weekend,
+    parse_timestamp,
+    week_index,
+    weekday,
+)
+
+STUDY_START = parse_timestamp("2017-12-15T00:00:00")  # a Friday
+
+
+class TestParseFormat:
+    def test_parse_known_timestamp(self):
+        assert parse_timestamp("2017-12-15T00:00:00") == 1_513_296_000.0
+
+    def test_naive_timestamps_are_utc(self):
+        assert parse_timestamp("2018-01-01T00:00:00") == parse_timestamp(
+            "2018-01-01T00:00:00+00:00"
+        )
+
+    def test_format_roundtrip(self):
+        text = "2018-05-14T12:34:56"
+        assert format_timestamp(parse_timestamp(text)) == text + "Z"
+
+    @given(st.integers(min_value=0, max_value=2_000_000_000))
+    def test_parse_inverts_format(self, epoch: int):
+        assert parse_timestamp(format_timestamp(float(epoch))) == float(epoch)
+
+
+class TestBucketing:
+    def test_day_zero_is_study_start(self):
+        assert day_index(STUDY_START, STUDY_START) == 0
+        assert day_index(STUDY_START + SECONDS_PER_DAY - 1, STUDY_START) == 0
+        assert day_index(STUDY_START + SECONDS_PER_DAY, STUDY_START) == 1
+
+    def test_hour_index(self):
+        assert hour_index(STUDY_START + 3 * SECONDS_PER_HOUR, STUDY_START) == 3
+        assert hour_index(STUDY_START + 25 * SECONDS_PER_HOUR, STUDY_START) == 25
+
+    def test_week_index(self):
+        assert week_index(STUDY_START + SECONDS_PER_WEEK - 1, STUDY_START) == 0
+        assert week_index(STUDY_START + SECONDS_PER_WEEK, STUDY_START) == 1
+
+    @given(st.integers(min_value=0, max_value=365 * SECONDS_PER_DAY))
+    def test_indices_consistent(self, offset: int):
+        ts = STUDY_START + offset
+        assert day_index(ts, STUDY_START) == hour_index(ts, STUDY_START) // 24
+        assert week_index(ts, STUDY_START) == day_index(ts, STUDY_START) // 7
+
+
+class TestCalendar:
+    def test_study_start_is_friday(self):
+        assert weekday(STUDY_START) == 4
+        assert not is_weekend(STUDY_START)
+
+    def test_saturday_and_sunday_are_weekend(self):
+        saturday = STUDY_START + SECONDS_PER_DAY
+        sunday = STUDY_START + 2 * SECONDS_PER_DAY
+        monday = STUDY_START + 3 * SECONDS_PER_DAY
+        assert is_weekend(saturday)
+        assert is_weekend(sunday)
+        assert not is_weekend(monday)
+
+    def test_hour_of_day(self):
+        assert hour_of_day(STUDY_START) == 0
+        assert hour_of_day(STUDY_START + 13 * SECONDS_PER_HOUR + 59) == 13
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_week_cycles(self, days: int):
+        ts = STUDY_START + days * SECONDS_PER_DAY
+        assert weekday(ts) == (4 + days) % 7

@@ -1,0 +1,153 @@
+"""Unit tests for the app catalog: invariants the figures depend on."""
+
+import pytest
+
+from repro.simnet.appcatalog import (
+    APP_CATEGORIES,
+    DOMAIN_ADVERTISING,
+    DOMAIN_ANALYTICS,
+    DOMAIN_APPLICATION,
+    AppCatalog,
+    AppProfile,
+    DomainShare,
+    builtin_app_catalog,
+)
+
+
+@pytest.fixture(scope="module")
+def catalog() -> AppCatalog:
+    return builtin_app_catalog()
+
+
+class TestCatalogStructure:
+    def test_contains_fig5_top_apps(self, catalog):
+        for name in ("Weather", "Google-Maps", "Accuweather", "WhatsApp",
+                     "Samsung-Pay", "Android-Pay", "S-Health", "TV-Guide"):
+            assert name in catalog
+
+    def test_has_long_tail(self, catalog):
+        # The real catalog is much longer than the published top fifty.
+        assert len(catalog) > 120
+
+    def test_all_categories_populated(self, catalog):
+        assert set(catalog.categories()) == set(APP_CATEGORIES)
+
+    def test_names_unique(self, catalog):
+        names = [app.name for app in catalog]
+        assert len(names) == len(set(names))
+
+    def test_get_unknown_raises(self, catalog):
+        with pytest.raises(KeyError):
+            catalog.get("NotAnApp")
+
+    def test_names_ordered_by_popularity(self, catalog):
+        names = catalog.names()
+        weights = catalog.popularity_weights()
+        ordered = [weights[name] for name in names]
+        assert ordered == sorted(ordered, reverse=True)
+
+
+class TestPopularityModel:
+    def test_weather_is_most_popular(self, catalog):
+        assert catalog.names()[0] == "Weather"
+
+    def test_exponential_decay_spans_orders_of_magnitude(self, catalog):
+        weights = sorted(catalog.popularity_weights().values(), reverse=True)
+        assert weights[0] / weights[-1] > 1_000
+
+    def test_install_weights_flatter_than_usage(self, catalog):
+        top = catalog.get("Weather")
+        tail = catalog.get("TV-Guide")
+        usage_ratio = top.popularity_weight / tail.popularity_weight
+        install_ratio = top.install_weight / tail.install_weight
+        assert install_ratio < usage_ratio
+
+
+class TestDomainProfiles:
+    def test_weights_sum_to_one(self, catalog):
+        for app in catalog:
+            assert sum(d.weight for d in app.domains) == pytest.approx(1.0)
+
+    def test_every_app_has_a_first_party_host(self, catalog):
+        for app in catalog:
+            assert app.first_party_hosts
+
+    def test_first_party_hosts_unique_across_apps(self, catalog):
+        owners = {}
+        for app in catalog:
+            for host in app.first_party_hosts:
+                assert host not in owners, f"{host} owned by two apps"
+                owners[host] = app.name
+
+    def test_ad_supported_apps_have_third_parties(self, catalog):
+        weather = catalog.get("Weather")
+        categories = {d.category for d in weather.domains}
+        assert DOMAIN_ADVERTISING in categories
+        assert DOMAIN_ANALYTICS in categories
+
+    def test_clean_apps_have_no_advertising(self, catalog):
+        for name in ("Samsung-Pay", "Android-Pay", "Bank-App-1"):
+            categories = {d.category for d in catalog.get(name).domains}
+            assert DOMAIN_ADVERTISING not in categories
+
+
+class TestOverrides:
+    def test_fig7_heavy_apps_have_large_usages(self, catalog):
+        whatsapp = catalog.get("WhatsApp")
+        messenger = catalog.get("Messenger")
+        whatsapp_usage = (
+            whatsapp.tx_size_median_bytes * whatsapp.tx_per_session_mean
+        )
+        messenger_usage = (
+            messenger.tx_size_median_bytes * messenger.tx_per_session_mean
+        )
+        assert whatsapp_usage > 20 * messenger_usage
+
+
+class TestValidation:
+    def test_bad_category_rejected(self):
+        with pytest.raises(ValueError, match="category"):
+            AppProfile(
+                name="X",
+                category="NotACategory",
+                archetype="tools",
+                popularity_weight=1.0,
+                install_weight=1.0,
+                sessions_per_active_day=1.0,
+                tx_per_session_mean=1.0,
+                tx_size_median_bytes=100.0,
+                tx_size_sigma=0.5,
+                background_sync_prob=0.1,
+                domains=(DomainShare("api.x.com", DOMAIN_APPLICATION, 1.0),),
+                diurnal="flat",
+            )
+
+    def test_domain_weights_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum"):
+            AppProfile(
+                name="X",
+                category="Tools",
+                archetype="tools",
+                popularity_weight=1.0,
+                install_weight=1.0,
+                sessions_per_active_day=1.0,
+                tx_per_session_mean=1.0,
+                tx_size_median_bytes=100.0,
+                tx_size_sigma=0.5,
+                background_sync_prob=0.1,
+                domains=(DomainShare("api.x.com", DOMAIN_APPLICATION, 0.5),),
+                diurnal="flat",
+            )
+
+    def test_bad_domain_category_rejected(self):
+        with pytest.raises(ValueError, match="domain category"):
+            DomainShare("h", "bogus", 1.0)
+
+    def test_duplicate_app_names_rejected(self, catalog):
+        app = next(iter(catalog))
+        with pytest.raises(ValueError, match="duplicate"):
+            AppCatalog([app, app])
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            AppCatalog([])

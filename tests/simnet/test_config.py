@@ -1,0 +1,87 @@
+"""Unit tests for the simulation configuration."""
+
+import pytest
+
+from repro.logs.timeutil import SECONDS_PER_DAY
+from repro.simnet.config import SimulationConfig
+
+
+class TestPresets:
+    def test_paper_preset_matches_study_window(self):
+        config = SimulationConfig.paper()
+        assert config.total_days == 151  # five months
+        assert config.detailed_days == 49  # seven weeks
+
+    def test_small_preset_is_small(self):
+        config = SimulationConfig.small()
+        assert config.n_wearable_users < 100
+        assert config.total_days < 60
+
+    def test_medium_between_small_and_paper(self):
+        small = SimulationConfig.small()
+        medium = SimulationConfig.medium()
+        paper = SimulationConfig.paper()
+        assert small.n_wearable_users < medium.n_wearable_users < paper.n_wearable_users
+
+    def test_with_seed_changes_only_seed(self):
+        base = SimulationConfig.paper(seed=1)
+        other = base.with_seed(2)
+        assert other.seed == 2
+        assert other.n_wearable_users == base.n_wearable_users
+
+
+class TestDerivedProperties:
+    def test_study_end(self):
+        config = SimulationConfig.small()
+        assert config.study_end == config.study_start + config.total_days * SECONDS_PER_DAY
+
+    def test_detailed_start(self):
+        config = SimulationConfig.small()
+        expected = config.study_end - config.detailed_days * SECONDS_PER_DAY
+        assert config.detailed_start == expected
+
+    def test_phone_size_multiplier(self):
+        config = SimulationConfig.paper()
+        expected = config.owner_bytes_multiplier / config.owner_tx_multiplier
+        assert config.phone_size_multiplier_for_owners == expected
+
+
+class TestValidation:
+    def test_detailed_longer_than_total_rejected(self):
+        with pytest.raises(ValueError, match="detailed_days"):
+            SimulationConfig(total_days=30, detailed_days=31)
+
+    def test_too_short_window_rejected(self):
+        with pytest.raises(ValueError, match="too short"):
+            SimulationConfig(total_days=10, detailed_days=5)
+
+    def test_bad_data_active_fraction_rejected(self):
+        with pytest.raises(ValueError, match="data_active_fraction"):
+            SimulationConfig(data_active_fraction=0.0)
+
+    def test_tiny_population_rejected(self):
+        with pytest.raises(ValueError, match="population"):
+            SimulationConfig(n_wearable_users=5)
+
+    def test_bad_multiplier_rejected(self):
+        with pytest.raises(ValueError, match="multipliers"):
+            SimulationConfig(owner_tx_multiplier=-1.0)
+
+
+class TestPublishedTargets:
+    """The defaults encode the paper's published statistics."""
+
+    def test_adoption_targets(self):
+        config = SimulationConfig.paper()
+        assert config.churn_fraction == pytest.approx(0.07)
+        assert config.data_active_fraction == pytest.approx(0.34)
+        assert config.last_week_active_fraction == pytest.approx(0.77)
+
+    def test_activity_targets(self):
+        config = SimulationConfig.paper()
+        assert config.active_days_per_week_mean == pytest.approx(1.0)
+        assert config.single_app_user_fraction == pytest.approx(0.93)
+
+    def test_through_device_targets(self):
+        config = SimulationConfig.paper()
+        assert config.through_device_detectable_fraction == pytest.approx(0.16)

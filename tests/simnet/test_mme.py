@@ -1,0 +1,110 @@
+"""Unit tests for the MME event generator."""
+
+import random
+
+import pytest
+
+from repro.devicedb.catalog import sim_wearable_models
+from repro.devicedb.tac import make_imei
+from repro.logs.records import EVENT_ATTACH, EVENT_HANDOVER
+from repro.logs.timeutil import SECONDS_PER_DAY
+from repro.simnet.config import SimulationConfig
+from repro.simnet.mme import MmeEventGenerator
+from repro.simnet.mobility_model import Itinerary, Visit
+from repro.simnet.subscribers import SimAssignment
+
+
+@pytest.fixture()
+def generator():
+    return MmeEventGenerator(SimulationConfig.small(seed=3), random.Random(3))
+
+
+@pytest.fixture()
+def sim():
+    model = sim_wearable_models()[0]
+    return SimAssignment("sub-1", make_imei(model.tac, 1), model)
+
+
+class TestPresenceRecord:
+    def test_lands_on_the_requested_day(self, generator, sim):
+        config = SimulationConfig.small(seed=3)
+        record = generator.presence_record(sim, day=5, home_sector="S000-000")
+        day_start = config.study_start + 5 * SECONDS_PER_DAY
+        assert day_start <= record.timestamp < day_start + SECONDS_PER_DAY
+        assert record.event == EVENT_ATTACH
+        assert record.sector_id == "S000-000"
+        assert record.subscriber_id == "sub-1"
+
+    def test_morning_hours(self, generator, sim):
+        config = SimulationConfig.small(seed=3)
+        for day in range(20):
+            record = generator.presence_record(sim, day, "S000-000")
+            seconds_into_day = record.timestamp - (
+                config.study_start + day * SECONDS_PER_DAY
+            )
+            assert 6 * 3600 <= seconds_into_day <= 10 * 3600
+
+
+class TestItineraryRecords:
+    def test_attach_then_handovers(self, generator, sim):
+        itinerary = Itinerary(
+            [
+                Visit(0.0, 100.0, "A"),
+                Visit(100.0, 200.0, "B"),
+                Visit(200.0, 300.0, "C"),
+            ]
+        )
+        records = generator.itinerary_records(sim, itinerary)
+        assert [r.event for r in records] == [
+            EVENT_ATTACH,
+            EVENT_HANDOVER,
+            EVENT_HANDOVER,
+        ]
+        assert [r.sector_id for r in records] == ["A", "B", "C"]
+        assert [r.timestamp for r in records] == [0.0, 100.0, 200.0]
+
+    def test_identity_carried_through(self, generator, sim):
+        itinerary = Itinerary([Visit(0.0, 10.0, "A")])
+        record = generator.itinerary_records(sim, itinerary)[0]
+        assert record.imei == sim.imei
+        assert record.subscriber_id == sim.subscriber_id
+
+
+class TestRegistersToday:
+    def _account(self, seed=5):
+        from repro.simnet.appcatalog import builtin_app_catalog
+        from repro.simnet.subscribers import PopulationBuilder
+
+        config = SimulationConfig.small(seed=seed)
+        builder = PopulationBuilder(
+            config, builtin_app_catalog(), random.Random(seed)
+        )
+        return config, builder.build()
+
+    def test_unsubscribed_days_never_register(self, generator):
+        config, population = self._account()
+        adopter = next(
+            (a for a in population.wearable_accounts if a.adoption_day > 2),
+            None,
+        )
+        if adopter is None:
+            pytest.skip("no late adopter in this draw")
+        for _ in range(50):
+            assert not generator.registers_today(adopter, adopter.adoption_day - 1)
+
+    def test_general_accounts_never_register(self, generator):
+        _, population = self._account()
+        general = population.general_accounts[0]
+        assert not any(generator.registers_today(general, day) for day in range(20))
+
+    def test_regular_accounts_register_most_days(self, generator):
+        config, population = self._account()
+        regular = next(
+            a
+            for a in population.wearable_accounts
+            if a.presence_kind == "regular" and a.adoption_day == 0
+        )
+        hits = sum(generator.registers_today(regular, 5) for _ in range(1000))
+        assert hits / 1000 == pytest.approx(
+            config.daily_registration_prob, abs=0.04
+        )

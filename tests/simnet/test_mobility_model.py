@@ -1,0 +1,127 @@
+"""Unit and property tests for the daily mobility model."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logs.timeutil import SECONDS_PER_DAY
+from repro.simnet.appcatalog import builtin_app_catalog
+from repro.simnet.config import SimulationConfig
+from repro.simnet.mobility_model import Itinerary, MobilityModel, Visit
+from repro.simnet.subscribers import PopulationBuilder
+from repro.simnet.topology import Topology
+from repro.stats.geo import GeoPoint
+
+
+@pytest.fixture(scope="module")
+def setup():
+    config = SimulationConfig.small(seed=5)
+    topology = Topology(
+        config.sectors_x,
+        config.sectors_y,
+        config.box_km,
+        GeoPoint(config.center_lat, config.center_lon),
+        random.Random(5),
+    )
+    population = PopulationBuilder(
+        config, builtin_app_catalog(), random.Random(5)
+    ).build()
+    model = MobilityModel(config, topology, random.Random(5))
+    return config, population, model
+
+
+class TestVisitAndItinerary:
+    def test_visit_needs_positive_duration(self):
+        with pytest.raises(ValueError):
+            Visit(10.0, 10.0, "S")
+
+    def test_itinerary_needs_visits(self):
+        with pytest.raises(ValueError):
+            Itinerary([])
+
+    def test_itinerary_rejects_overlap(self):
+        with pytest.raises(ValueError, match="ordered"):
+            Itinerary([Visit(0.0, 10.0, "A"), Visit(5.0, 15.0, "B")])
+
+    def test_sector_at(self):
+        itinerary = Itinerary([Visit(0.0, 10.0, "A"), Visit(10.0, 20.0, "B")])
+        assert itinerary.sector_at(5.0) == "A"
+        assert itinerary.sector_at(10.0) == "B"
+        assert itinerary.sector_at(25.0) == "B"  # clamped past the end
+        assert itinerary.sector_at(-1.0) == "A"  # clamped before the start
+
+    def test_home_intervals(self):
+        itinerary = Itinerary(
+            [Visit(0.0, 10.0, "H"), Visit(10.0, 20.0, "W"), Visit(20.0, 30.0, "H")]
+        )
+        assert itinerary.home_intervals("H") == [(0.0, 10.0), (20.0, 30.0)]
+
+    def test_distinct_sectors(self):
+        itinerary = Itinerary([Visit(0.0, 10.0, "A"), Visit(10.0, 20.0, "A")])
+        assert itinerary.distinct_sectors() == {"A"}
+
+
+class TestBuildDay:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        day=st.integers(min_value=0, max_value=27),
+        weekday=st.booleans(),
+        index=st.integers(min_value=0, max_value=19),
+    )
+    def test_itinerary_covers_whole_day(self, setup, day, weekday, index):
+        config, population, model = setup
+        account = population.wearable_accounts[index]
+        itinerary = model.build_day(account, day, weekday)
+        day_start = config.study_start + day * SECONDS_PER_DAY
+        assert itinerary.start == day_start
+        assert itinerary.end == pytest.approx(day_start + SECONDS_PER_DAY)
+        for earlier, later in zip(itinerary.visits, itinerary.visits[1:]):
+            assert later.start >= earlier.end - 1e-6
+
+    def test_home_sector_is_stable(self, setup):
+        _, population, model = setup
+        account = population.wearable_accounts[0]
+        assert model.home_sector(account) == model.home_sector(account)
+
+    def test_day_starts_and_ends_at_home(self, setup):
+        _, population, model = setup
+        account = population.wearable_accounts[1]
+        home = model.home_sector(account)
+        for day in range(6):
+            itinerary = model.build_day(account, day, is_weekday=True)
+            assert itinerary.visits[0].sector_id == home
+            assert itinerary.visits[-1].sector_id == home
+
+    def test_commuters_reach_work(self, setup):
+        _, population, model = setup
+        # With commute_prob ~0.85 a weekday itinerary usually includes the
+        # work sector; check that it appears at least once over many days.
+        account = max(
+            population.wearable_accounts, key=lambda a: a.commute_prob
+        )
+        work = model.work_sector(account)
+        home = model.home_sector(account)
+        if work == home:
+            pytest.skip("degenerate draw: home and work share a sector")
+        seen_work = any(
+            work in model.build_day(account, day, True).distinct_sectors()
+            for day in range(10)
+        )
+        assert seen_work
+
+    def test_wearable_users_visit_more_sectors(self, setup):
+        _, population, model = setup
+        def mean_sectors(accounts):
+            total = 0
+            for account in accounts[:20]:
+                for day in range(5):
+                    total += len(
+                        model.build_day(account, day, True).distinct_sectors()
+                    )
+            return total / (20 * 5)
+
+        assert mean_sectors(list(population.wearable_accounts)) > mean_sectors(
+            list(population.general_accounts)
+        )

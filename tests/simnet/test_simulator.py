@@ -1,0 +1,106 @@
+"""End-to-end tests for the simulator orchestration and trace export."""
+
+import json
+
+import pytest
+
+from repro.devicedb.tac import is_valid_imei
+from repro.logs.io import read_mme_log, read_proxy_log
+from repro.simnet.config import SimulationConfig
+from repro.simnet.simulator import Simulator
+
+
+class TestRun:
+    def test_records_are_time_ordered(self, small_output):
+        proxy_times = [r.timestamp for r in small_output.proxy_records]
+        mme_times = [r.timestamp for r in small_output.mme_records]
+        assert proxy_times == sorted(proxy_times)
+        assert mme_times == sorted(mme_times)
+
+    def test_all_imeis_valid_and_known(self, small_output):
+        db = small_output.device_db
+        for record in small_output.proxy_records[:2000]:
+            assert is_valid_imei(record.imei)
+            assert db.lookup_imei(record.imei) is not None
+
+    def test_all_sectors_known(self, small_output):
+        sector_map = small_output.sector_map
+        assert all(
+            record.sector_id in sector_map
+            for record in small_output.mme_records
+        )
+
+    def test_all_subscribers_in_directory(self, small_output):
+        directory = small_output.account_directory
+        assert all(
+            record.subscriber_id in directory
+            for record in small_output.proxy_records
+        )
+        assert all(
+            record.subscriber_id in directory
+            for record in small_output.mme_records
+        )
+
+    def test_timestamps_inside_study_window(self, small_output):
+        start = small_output.study_start
+        # Sessions may spill a few minutes past the last midnight.
+        end = small_output.study_end + 3600.0
+        for record in small_output.proxy_records:
+            assert start <= record.timestamp < end
+
+    def test_wearable_and_phone_traffic_both_present(self, small_output):
+        tacs = small_output.device_db.wearable_tacs()
+        wearable = sum(1 for r in small_output.proxy_records if r.tac in tacs)
+        phone = len(small_output.proxy_records) - wearable
+        assert wearable > 0
+        assert phone > 0
+
+    def test_detailed_window_has_dense_mme(self, small_output):
+        config = small_output.config
+        detailed = [
+            r
+            for r in small_output.mme_records
+            if r.timestamp >= config.detailed_start
+        ]
+        summary = [
+            r
+            for r in small_output.mme_records
+            if r.timestamp < config.detailed_start
+        ]
+        tacs = small_output.device_db.wearable_tacs()
+        # Outside the window only wearable presence is kept.
+        assert all(r.tac in tacs for r in summary)
+        assert len(detailed) > len(summary)
+
+    def test_deterministic_for_same_seed(self):
+        config = SimulationConfig.small(seed=123)
+        a = Simulator(config).run()
+        b = Simulator(config).run()
+        assert a.proxy_records == b.proxy_records
+        assert a.mme_records == b.mme_records
+
+    def test_different_seeds_differ(self):
+        a = Simulator(SimulationConfig.small(seed=1)).run()
+        b = Simulator(SimulationConfig.small(seed=2)).run()
+        assert a.proxy_records != b.proxy_records
+
+
+class TestWrite:
+    def test_export_creates_all_artifacts(self, small_output, tmp_path):
+        paths = small_output.write(tmp_path / "trace")
+        for name in ("proxy", "mme", "devices", "sectors", "accounts", "metadata"):
+            assert paths[name].exists(), name
+
+    def test_exported_logs_roundtrip(self, small_output, tmp_path):
+        paths = small_output.write(tmp_path / "trace")
+        proxy = list(read_proxy_log(paths["proxy"]))
+        assert proxy == small_output.proxy_records
+        mme = list(read_mme_log(paths["mme"]))
+        assert mme == small_output.mme_records
+
+    def test_metadata_contents(self, small_output, tmp_path):
+        paths = small_output.write(tmp_path / "trace")
+        meta = json.loads(paths["metadata"].read_text())
+        assert meta["total_days"] == small_output.config.total_days
+        assert meta["detailed_days"] == small_output.config.detailed_days
+        assert meta["study_start"] == small_output.config.study_start

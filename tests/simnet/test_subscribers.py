@@ -1,0 +1,198 @@
+"""Unit tests for population generation: cohorts, identities, latents."""
+
+import random
+
+import pytest
+
+from repro.devicedb.tac import is_valid_imei
+from repro.simnet.appcatalog import builtin_app_catalog
+from repro.simnet.config import SimulationConfig
+from repro.simnet.subscribers import (
+    PRESENCE_CHURNED,
+    PRESENCE_FADING,
+    PRESENCE_REGULAR,
+    USER_CLASS_GENERAL,
+    USER_CLASS_WEARABLE,
+    PopulationBuilder,
+    SubscriberProfile,
+)
+
+
+@pytest.fixture(scope="module")
+def population():
+    config = SimulationConfig.medium(seed=11)
+    builder = PopulationBuilder(config, builtin_app_catalog(), random.Random(11))
+    return config, builder.build()
+
+
+class TestCohorts:
+    def test_population_sizes(self, population):
+        config, pop = population
+        assert len(pop.wearable_accounts) == config.n_wearable_users
+        assert len(pop.general_accounts) == config.n_general_users
+
+    def test_presence_kinds_partition(self, population):
+        _, pop = population
+        kinds = {a.presence_kind for a in pop.wearable_accounts}
+        assert kinds <= {PRESENCE_REGULAR, PRESENCE_FADING, PRESENCE_CHURNED}
+
+    def test_churners_only_in_initial_cohort(self, population):
+        _, pop = population
+        for account in pop.wearable_accounts:
+            if account.presence_kind == PRESENCE_CHURNED:
+                assert account.adoption_day == 0
+                assert account.churn_day is not None
+
+    def test_churn_fraction_near_target(self, population):
+        config, pop = population
+        initial = [a for a in pop.wearable_accounts if a.adoption_day == 0]
+        churners = [a for a in initial if a.churn_day is not None]
+        assert len(churners) / len(initial) == pytest.approx(
+            config.churn_fraction, abs=0.02
+        )
+
+    def test_adopters_arrive_inside_window(self, population):
+        config, pop = population
+        adopters = [a for a in pop.wearable_accounts if a.adoption_day > 0]
+        assert adopters, "growth requires adopters"
+        assert all(0 < a.adoption_day < config.total_days for a in adopters)
+
+    def test_data_active_fraction_near_target(self, population):
+        config, pop = population
+        active = sum(1 for a in pop.wearable_accounts if a.data_active)
+        assert active / len(pop.wearable_accounts) == pytest.approx(
+            config.data_active_fraction, abs=0.07
+        )
+
+
+class TestIdentities:
+    def test_all_imeis_are_luhn_valid(self, population):
+        _, pop = population
+        for account in pop.all_accounts:
+            assert is_valid_imei(account.phone_sim.imei)
+            if account.wearable_sim is not None:
+                assert is_valid_imei(account.wearable_sim.imei)
+
+    def test_imeis_unique(self, population):
+        _, pop = population
+        imeis = [a.phone_sim.imei for a in pop.all_accounts]
+        imeis += [
+            a.wearable_sim.imei
+            for a in pop.all_accounts
+            if a.wearable_sim is not None
+        ]
+        assert len(imeis) == len(set(imeis))
+
+    def test_subscriber_ids_unique(self, population):
+        _, pop = population
+        directory = pop.account_directory()
+        n_sims = sum(
+            1 + (a.wearable_sim is not None) for a in pop.all_accounts
+        )
+        assert len(directory) == n_sims
+
+    def test_directory_links_both_sims_to_same_account(self, population):
+        _, pop = population
+        directory = pop.account_directory()
+        for account in pop.wearable_accounts:
+            assert directory[account.phone_sim.subscriber_id] == account.account_id
+            assert (
+                directory[account.wearable_sim.subscriber_id] == account.account_id
+            )
+
+    def test_wearable_accounts_have_wearable_sims(self, population):
+        _, pop = population
+        for account in pop.wearable_accounts:
+            assert account.user_class == USER_CLASS_WEARABLE
+            assert account.wearable_sim is not None
+            assert account.wearable_sim.model.is_wearable
+        for account in pop.general_accounts:
+            assert account.user_class == USER_CLASS_GENERAL
+            assert account.wearable_sim is None
+
+
+class TestLatents:
+    def test_installed_apps_nonempty_and_known(self, population):
+        _, pop = population
+        catalog = builtin_app_catalog()
+        for account in pop.wearable_accounts:
+            assert account.installed_apps
+            assert all(name in catalog for name in account.installed_apps)
+            assert len(set(account.installed_apps)) == len(account.installed_apps)
+
+    def test_wearable_primary_only_for_data_active(self, population):
+        _, pop = population
+        for account in pop.wearable_accounts:
+            if account.wearable_primary:
+                assert account.data_active
+
+    def test_td_kinds_only_for_general(self, population):
+        _, pop = population
+        assert all(
+            a.through_device_kind is None for a in pop.wearable_accounts
+        )
+        kinds = {
+            a.through_device_kind
+            for a in pop.general_accounts
+            if a.through_device_kind is not None
+        }
+        assert kinds <= {
+            "fitbit", "xiaomi", "accuweather", "strava", "runtastic", "generic"
+        }
+
+    def test_wearable_users_more_mobile_latents(self, population):
+        config, pop = population
+        wearable_excursion = sum(
+            a.excursion_prob for a in pop.wearable_accounts
+        ) / len(pop.wearable_accounts)
+        general_excursion = sum(
+            a.excursion_prob for a in pop.general_accounts
+        ) / len(pop.general_accounts)
+        assert wearable_excursion > general_excursion
+
+
+class TestSubscriptionLogic:
+    def make_account(self, **overrides) -> SubscriberProfile:
+        config = SimulationConfig.small(seed=2)
+        builder = PopulationBuilder(
+            config, builtin_app_catalog(), random.Random(2)
+        )
+        population = builder.build()
+        return population.wearable_accounts[0]
+
+    def test_subscribed_on_respects_adoption_and_churn(self, population):
+        _, pop = population
+        churner = next(
+            a for a in pop.wearable_accounts if a.churn_day is not None
+        )
+        assert churner.subscribed_on(churner.churn_day - 1)
+        assert not churner.subscribed_on(churner.churn_day)
+        adopter = next(a for a in pop.wearable_accounts if a.adoption_day > 0)
+        assert not adopter.subscribed_on(adopter.adoption_day - 1)
+        assert adopter.subscribed_on(adopter.adoption_day)
+
+    def test_general_accounts_never_subscribed(self, population):
+        _, pop = population
+        assert not pop.general_accounts[0].subscribed_on(10)
+
+    def test_fading_registration_decays(self, population):
+        config, pop = population
+        fader = next(
+            a
+            for a in pop.wearable_accounts
+            if a.presence_kind == PRESENCE_FADING and a.adoption_day == 0
+        )
+        early = fader.registration_prob(0, 0.93, config.total_days)
+        late = fader.registration_prob(config.total_days - 1, 0.93, config.total_days)
+        assert early == pytest.approx(0.93)
+        assert late < 0.1
+
+    def test_regular_registration_constant(self, population):
+        config, pop = population
+        regular = next(
+            a
+            for a in pop.wearable_accounts
+            if a.presence_kind == PRESENCE_REGULAR
+        )
+        for day in (0, 50, config.total_days - 1):
+            assert regular.registration_prob(day, 0.93, config.total_days) == 0.93

@@ -1,0 +1,111 @@
+"""Unit and property tests for the antenna topology."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simnet.topology import Sector, SectorMap, Topology
+from repro.stats.geo import GeoPoint, haversine_km
+
+CENTER = GeoPoint(40.4168, -3.7038)
+
+
+def make_topology(nx=8, ny=8, box_km=80.0, seed=1) -> Topology:
+    return Topology(nx=nx, ny=ny, box_km=box_km, center=CENTER, rng=random.Random(seed))
+
+
+class TestTopology:
+    def test_sector_count(self):
+        assert len(make_topology(5, 7).sectors()) == 35
+
+    def test_grid_validation(self):
+        with pytest.raises(ValueError):
+            make_topology(nx=1)
+        with pytest.raises(ValueError):
+            Topology(4, 4, -1.0, CENTER, random.Random(1))
+
+    def test_sector_ids_unique(self):
+        ids = [s.sector_id for s in make_topology().sectors()]
+        assert len(ids) == len(set(ids))
+
+    def test_deterministic_per_seed(self):
+        a = make_topology(seed=3).sectors()
+        b = make_topology(seed=3).sectors()
+        assert a == b
+
+    def test_nearest_sector_is_truly_nearest(self):
+        topology = make_topology()
+        rng = random.Random(5)
+        sectors = topology.sectors()
+        for _ in range(50):
+            point = topology.point_at_offset(
+                rng.uniform(-40, 40), rng.uniform(-40, 40)
+            )
+            nearest = topology.nearest_sector(point)
+            best = min(sectors, key=lambda s: haversine_km(point, s.location))
+            assert haversine_km(point, nearest.location) == pytest.approx(
+                haversine_km(point, best.location)
+            )
+
+    def test_offsets_clamped_into_box(self):
+        topology = make_topology(box_km=50.0)
+        point = topology.point_at_offset(10_000.0, -10_000.0)
+        # Clamped to the box corner: still resolvable to a sector.
+        sector = topology.nearest_sector(point)
+        assert sector is not None
+
+    @settings(max_examples=30)
+    @given(
+        st.floats(min_value=-60, max_value=60),
+        st.floats(min_value=-60, max_value=60),
+    )
+    def test_nearest_sector_total(self, east, north):
+        topology = make_topology()
+        point = topology.point_at_offset(east, north)
+        assert topology.nearest_sector(point).sector_id
+
+    def test_antenna_pitch_close_to_nominal(self):
+        topology = make_topology(nx=8, ny=8, box_km=80.0)
+        # 10 km pitch with <= 2.5 km jitter: neighbours are 5-15 km apart.
+        sectors = {s.sector_id: s for s in topology.sectors()}
+        a = sectors["S000-000"].location
+        b = sectors["S001-000"].location
+        assert 5.0 <= haversine_km(a, b) <= 15.0
+
+
+class TestSectorMap:
+    def test_lookup(self):
+        topology = make_topology()
+        sector_map = topology.sector_map()
+        sector = topology.sectors()[0]
+        assert sector_map.location_of(sector.sector_id) == sector.location
+        assert sector.sector_id in sector_map
+
+    def test_unknown_sector(self):
+        sector_map = make_topology().sector_map()
+        assert sector_map.get("nope") is None
+        with pytest.raises(KeyError):
+            sector_map.location_of("nope")
+
+    def test_duplicate_ids_rejected(self):
+        sector = Sector("S1", GeoPoint(0.0, 0.0))
+        with pytest.raises(ValueError, match="duplicate"):
+            SectorMap([sector, sector])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            SectorMap([])
+
+    def test_csv_roundtrip(self, tmp_path):
+        sector_map = make_topology().sector_map()
+        path = tmp_path / "sectors.csv"
+        count = sector_map.write_csv(path)
+        loaded = SectorMap.read_csv(path)
+        assert count == len(sector_map) == len(loaded)
+        for sector in sector_map:
+            loaded_location = loaded.location_of(sector.sector_id)
+            assert loaded_location.latitude == pytest.approx(
+                sector.location.latitude
+            )

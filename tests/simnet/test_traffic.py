@@ -1,0 +1,195 @@
+"""Unit tests for the traffic generator."""
+
+import random
+
+import pytest
+
+from repro.simnet.appcatalog import builtin_app_catalog
+from repro.simnet.config import SimulationConfig
+from repro.simnet.mobility_model import MobilityModel
+from repro.simnet.subscribers import PopulationBuilder
+from repro.simnet.topology import Topology
+from repro.simnet.traffic import (
+    DIURNAL_PROFILES,
+    PHONE_HOSTS,
+    TD_SYNC_HOSTS,
+    TrafficGenerator,
+    _poisson,
+)
+from repro.stats.geo import GeoPoint
+
+
+@pytest.fixture(scope="module")
+def setup():
+    config = SimulationConfig.small(seed=9)
+    catalog = builtin_app_catalog()
+    population = PopulationBuilder(config, catalog, random.Random(9)).build()
+    topology = Topology(
+        config.sectors_x,
+        config.sectors_y,
+        config.box_km,
+        GeoPoint(config.center_lat, config.center_lon),
+        random.Random(9),
+    )
+    mobility = MobilityModel(config, topology, random.Random(9))
+    traffic = TrafficGenerator(config, catalog, random.Random(9))
+    return config, catalog, population, mobility, traffic
+
+
+def data_active_account(population):
+    return next(
+        a
+        for a in population.wearable_accounts
+        if a.data_active and a.active_day_prob > 0.2
+    )
+
+
+class TestPoisson:
+    def test_zero_mean(self):
+        assert _poisson(random.Random(1), 0.0) == 0
+
+    def test_mean_matches(self):
+        rng = random.Random(2)
+        draws = [_poisson(rng, 3.0) for _ in range(20_000)]
+        assert sum(draws) / len(draws) == pytest.approx(3.0, rel=0.05)
+
+    def test_cap_respected(self):
+        rng = random.Random(3)
+        assert all(_poisson(rng, 50.0, cap=10) <= 10 for _ in range(100))
+
+
+class TestDiurnalProfiles:
+    def test_all_profiles_have_24_hours(self):
+        for weekday, weekend in DIURNAL_PROFILES.values():
+            assert len(weekday) == 24
+            assert len(weekend) == 24
+
+    def test_commute_peaks_on_weekdays_only(self):
+        weekday, weekend = DIURNAL_PROFILES["commute"]
+        morning_peak_weekday = max(weekday[6:9])
+        morning_weekend = max(weekend[6:9])
+        assert morning_peak_weekday > 1.5 * morning_weekend
+
+
+class TestWearableTraffic:
+    def collect_days(self, setup, account, days=80):
+        config, _, _, mobility, traffic = setup
+        records = []
+        for day in range(days):
+            itinerary = mobility.build_day(account, day % 14, True)
+            home = mobility.home_sector(account)
+            records.extend(
+                traffic.wearable_day_records(account, day % 14, True, itinerary, home)
+            )
+        return records
+
+    def test_non_data_active_users_are_silent(self, setup):
+        config, _, population, mobility, traffic = setup
+        silent = next(
+            a for a in population.wearable_accounts if not a.data_active
+        )
+        itinerary = mobility.build_day(silent, 0, True)
+        for _ in range(30):
+            assert (
+                traffic.wearable_day_records(
+                    silent, 0, True, itinerary, mobility.home_sector(silent)
+                )
+                == []
+            )
+
+    def test_records_use_wearable_sim_identity(self, setup):
+        _, _, population, _, _ = setup
+        account = data_active_account(population)
+        records = self.collect_days(setup, account)
+        assert records, "expected at least one active day"
+        for record in records:
+            assert record.imei == account.wearable_sim.imei
+            assert record.subscriber_id == account.wearable_sim.subscriber_id
+
+    def test_hosts_come_from_installed_app_profiles(self, setup):
+        _, catalog, population, _, _ = setup
+        account = data_active_account(population)
+        allowed = set()
+        for name in account.installed_apps:
+            allowed.update(d.host for d in catalog.get(name).domains)
+        records = self.collect_days(setup, account)
+        assert records
+        assert {r.host for r in records} <= allowed
+
+    def test_sizes_positive_and_mostly_small(self, setup):
+        account = data_active_account(setup[2])
+        records = self.collect_days(setup, account)
+        sizes = [r.total_bytes for r in records]
+        assert all(size > 0 for size in sizes)
+
+    def test_single_location_user_transacts_at_home(self, setup):
+        config, _, population, mobility, traffic = setup
+        pinned = next(
+            (
+                a
+                for a in population.wearable_accounts
+                if a.data_active and a.single_location_tx
+            ),
+            None,
+        )
+        if pinned is None:
+            pytest.skip("no pinned user in this draw")
+        home = mobility.home_sector(pinned)
+        for day in range(40):
+            itinerary = mobility.build_day(pinned, day % 14, True)
+            for record in traffic.wearable_day_records(
+                pinned, day % 14, True, itinerary, home
+            ):
+                assert itinerary.sector_at(record.timestamp) == home
+
+
+class TestPhoneTraffic:
+    def test_records_use_phone_identity(self, setup):
+        _, _, population, _, traffic = setup
+        account = population.general_accounts[0]
+        records = []
+        for day in range(30):
+            records.extend(traffic.phone_day_records(account, day % 14, True))
+        assert records
+        for record in records:
+            assert record.imei == account.phone_sim.imei
+
+    def test_hosts_from_phone_pool_or_td_sync(self, setup):
+        _, _, population, _, traffic = setup
+        allowed = {host for host, _ in PHONE_HOSTS} | set(TD_SYNC_HOSTS.values())
+        for account in population.general_accounts[:10]:
+            for day in range(10):
+                for record in traffic.phone_day_records(account, day, True):
+                    assert record.host in allowed
+
+    def test_detectable_td_owner_emits_sync_host(self, setup):
+        _, _, population, _, traffic = setup
+        owner = next(
+            (
+                a
+                for a in population.general_accounts
+                if a.through_device_kind not in (None, "generic")
+            ),
+            None,
+        )
+        if owner is None:
+            pytest.skip("no detectable TD owner in this draw")
+        sync_host = TD_SYNC_HOSTS[owner.through_device_kind]
+        hosts = set()
+        for day in range(30):
+            hosts.update(
+                r.host for r in traffic.phone_day_records(owner, day % 14, True)
+            )
+        assert sync_host in hosts
+
+    def test_non_td_owner_never_emits_fingerprint_hosts(self, setup):
+        _, _, population, _, traffic = setup
+        plain = next(
+            a for a in population.general_accounts if a.through_device_kind is None
+        )
+        fingerprints = {
+            host for kind, host in TD_SYNC_HOSTS.items() if kind != "generic"
+        }
+        for day in range(30):
+            for record in traffic.phone_day_records(plain, day % 14, True):
+                assert record.host not in fingerprints

@@ -1,0 +1,149 @@
+"""Unit and property tests for concentration/decay/bootstrap statistics."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.concentration import (
+    bootstrap_ci,
+    fit_exponential_decay,
+    gini,
+)
+
+positive_samples = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    min_size=1,
+    max_size=100,
+)
+
+
+class TestGini:
+    def test_equal_values_zero(self):
+        assert gini([5.0, 5.0, 5.0, 5.0]) == pytest.approx(0.0)
+
+    def test_single_holder_approaches_one(self):
+        value = gini([0.0] * 99 + [100.0])
+        assert value == pytest.approx(0.99, abs=0.01)
+
+    def test_known_half(self):
+        # Two people, one has everything: G = 0.5.
+        assert gini([0.0, 10.0]) == pytest.approx(0.5)
+
+    def test_all_zero(self):
+        assert gini([0.0, 0.0]) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            gini([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gini([-1.0, 2.0])
+
+    @given(positive_samples)
+    def test_bounds(self, values):
+        assert -1e-9 <= gini(values) <= 1.0 + 1e-9
+
+    @given(positive_samples, st.floats(min_value=0.1, max_value=100.0))
+    def test_scale_invariant(self, values, scale):
+        if sum(values) > 0:
+            assert gini(values) == pytest.approx(
+                gini([v * scale for v in values]), abs=1e-9
+            )
+
+
+class TestExponentialFit:
+    def test_recovers_known_rate(self):
+        values = [10.0 * math.exp(-0.145 * rank) for rank in range(1, 51)]
+        fit = fit_exponential_decay(values)
+        assert fit.rate == pytest.approx(0.145, rel=1e-6)
+        assert fit.amplitude == pytest.approx(10.0, rel=1e-6)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_noisy_series_still_close(self):
+        rng = random.Random(1)
+        values = [
+            5.0 * math.exp(-0.2 * rank) * rng.uniform(0.8, 1.25)
+            for rank in range(1, 41)
+        ]
+        fit = fit_exponential_decay(values)
+        assert fit.rate == pytest.approx(0.2, rel=0.15)
+        assert fit.r_squared > 0.9
+
+    def test_zero_values_ignored(self):
+        values = [math.exp(-0.1 * rank) for rank in range(1, 20)]
+        values[4] = 0.0
+        fit = fit_exponential_decay(values)
+        assert fit.rate == pytest.approx(0.1, rel=0.05)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            fit_exponential_decay([1.0])
+
+    def test_predict(self):
+        values = [2.0 * math.exp(-0.3 * rank) for rank in range(1, 20)]
+        fit = fit_exponential_decay(values)
+        assert fit.predict(10) == pytest.approx(values[9], rel=1e-6)
+
+
+class TestBootstrap:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([], lambda s: 0.0)
+
+    def test_confidence_validated(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], lambda s: 1.0, confidence=1.0)
+
+    def test_constant_sample_degenerate_interval(self):
+        interval = bootstrap_ci([3.0] * 20, lambda s: sum(s) / len(s))
+        assert interval.estimate == 3.0
+        assert interval.low == 3.0
+        assert interval.high == 3.0
+
+    def test_interval_contains_estimate(self):
+        rng = random.Random(2)
+        sample = [rng.gauss(10.0, 2.0) for _ in range(200)]
+        interval = bootstrap_ci(
+            sample, lambda s: sum(s) / len(s), n_resamples=500, seed=2
+        )
+        assert interval.low <= interval.estimate <= interval.high
+
+    def test_interval_width_shrinks_with_sample_size(self):
+        rng = random.Random(3)
+        small = [rng.gauss(0.0, 1.0) for _ in range(30)]
+        large = [rng.gauss(0.0, 1.0) for _ in range(3000)]
+        mean = lambda s: sum(s) / len(s)
+        narrow = bootstrap_ci(large, mean, n_resamples=300, seed=3)
+        wide = bootstrap_ci(small, mean, n_resamples=300, seed=3)
+        assert (narrow.high - narrow.low) < (wide.high - wide.low)
+
+    def test_deterministic_under_seed(self):
+        sample = [float(i) for i in range(50)]
+        mean = lambda s: sum(s) / len(s)
+        a = bootstrap_ci(sample, mean, seed=7)
+        b = bootstrap_ci(sample, mean, seed=7)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_str_rendering(self):
+        interval = bootstrap_ci([1.0, 2.0, 3.0], lambda s: sum(s) / len(s))
+        assert "@95%" in str(interval)
+
+    @settings(max_examples=20)
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=2,
+            max_size=60,
+        )
+    )
+    def test_median_interval_within_range(self, sample):
+        def median(s):
+            ordered = sorted(s)
+            return ordered[len(ordered) // 2]
+
+        interval = bootstrap_ci(sample, median, n_resamples=100)
+        assert min(sample) <= interval.low <= interval.high <= max(sample)

@@ -1,0 +1,93 @@
+"""Unit and property tests for correlation summaries."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats.correlation import binned_means, pearson
+
+floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        xs = [1.0, 2.0, 3.0, 4.0]
+        ys = [2.0, 4.0, 6.0, 8.0]
+        assert pearson(xs, ys) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        xs = [1.0, 2.0, 3.0]
+        ys = [3.0, 2.0, 1.0]
+        assert pearson(xs, ys) == pytest.approx(-1.0)
+
+    def test_constant_sample_returns_zero(self):
+        assert pearson([1.0, 1.0, 1.0], [1.0, 2.0, 3.0]) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            pearson([1.0], [1.0, 2.0])
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError, match="two points"):
+            pearson([1.0], [1.0])
+
+    @given(st.lists(st.tuples(floats, floats), min_size=2, max_size=50))
+    def test_bounded(self, pairs):
+        xs = [p[0] for p in pairs]
+        ys = [p[1] for p in pairs]
+        assert -1.0 - 1e-9 <= pearson(xs, ys) <= 1.0 + 1e-9
+
+    @given(st.lists(floats, min_size=2, max_size=50))
+    def test_self_correlation(self, xs):
+        if max(xs) - min(xs) > 1e-6:  # avoid float-variance underflow
+            assert pearson(xs, xs) == pytest.approx(1.0)
+
+
+class TestBinnedMeans:
+    def test_empty_input(self):
+        assert binned_means([], []) == []
+
+    def test_single_value_collapses_to_one_bin(self):
+        trend = binned_means([2.0, 2.0], [1.0, 3.0], bins=5)
+        assert len(trend) == 1
+        assert trend[0].mean_y == 2.0
+        assert trend[0].count == 2
+
+    def test_means_per_bin(self):
+        xs = [0.0, 0.1, 9.0, 9.9]
+        ys = [1.0, 3.0, 10.0, 20.0]
+        trend = binned_means(xs, ys, bins=2)
+        assert len(trend) == 2
+        assert trend[0].mean_y == 2.0
+        assert trend[1].mean_y == 15.0
+
+    def test_empty_bins_dropped(self):
+        xs = [0.0, 10.0]
+        ys = [1.0, 2.0]
+        trend = binned_means(xs, ys, bins=10)
+        assert len(trend) == 2
+
+    def test_counts_sum_to_n(self):
+        xs = [float(i) for i in range(37)]
+        ys = [float(i * 2) for i in range(37)]
+        trend = binned_means(xs, ys, bins=5)
+        assert sum(t.count for t in trend) == 37
+
+    def test_bin_center(self):
+        trend = binned_means([0.0, 10.0], [0.0, 1.0], bins=1)
+        assert trend[0].bin_center == 5.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            binned_means([1.0], [1.0, 2.0])
+
+    def test_bins_validated(self):
+        with pytest.raises(ValueError):
+            binned_means([1.0, 2.0], [1.0, 2.0], bins=0)
+
+    def test_rising_trend_detected(self):
+        xs = [float(i) for i in range(100)]
+        ys = [float(i) + 0.5 for i in range(100)]
+        trend = binned_means(xs, ys, bins=4)
+        means = [t.mean_y for t in trend]
+        assert means == sorted(means)

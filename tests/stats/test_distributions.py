@@ -1,0 +1,143 @@
+"""Unit and statistical tests for the heavy-tailed samplers."""
+
+import random
+from math import exp
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.distributions import (
+    LogNormalSampler,
+    ParetoSampler,
+    ZipfSampler,
+    truncated_lognormal,
+)
+
+
+class TestZipfSampler:
+    def test_validation(self):
+        rng = random.Random(1)
+        with pytest.raises(ValueError):
+            ZipfSampler(0, 1.0, rng)
+        with pytest.raises(ValueError):
+            ZipfSampler(5, -0.1, rng)
+
+    def test_pmf_sums_to_one(self):
+        sampler = ZipfSampler(50, 1.2, random.Random(1))
+        total = sum(sampler.probability(rank) for rank in range(1, 51))
+        assert total == pytest.approx(1.0)
+
+    def test_pmf_is_decreasing(self):
+        sampler = ZipfSampler(20, 1.5, random.Random(1))
+        pmf = [sampler.probability(rank) for rank in range(1, 21)]
+        assert pmf == sorted(pmf, reverse=True)
+
+    def test_probability_bounds_checked(self):
+        sampler = ZipfSampler(10, 1.0, random.Random(1))
+        with pytest.raises(ValueError):
+            sampler.probability(0)
+        with pytest.raises(ValueError):
+            sampler.probability(11)
+
+    def test_samples_in_range(self):
+        sampler = ZipfSampler(7, 1.3, random.Random(2))
+        draws = [sampler.sample() for _ in range(2000)]
+        assert min(draws) >= 1
+        assert max(draws) <= 7
+
+    def test_empirical_matches_pmf(self):
+        sampler = ZipfSampler(5, 1.0, random.Random(3))
+        n = 20_000
+        draws = [sampler.sample() for _ in range(n)]
+        for rank in range(1, 6):
+            share = draws.count(rank) / n
+            assert share == pytest.approx(sampler.probability(rank), abs=0.02)
+
+    def test_zero_exponent_is_uniform(self):
+        sampler = ZipfSampler(4, 0.0, random.Random(4))
+        for rank in range(1, 5):
+            assert sampler.probability(rank) == pytest.approx(0.25)
+
+
+class TestLogNormalSampler:
+    def test_validation(self):
+        rng = random.Random(1)
+        with pytest.raises(ValueError):
+            LogNormalSampler(0.0, 1.0, rng)
+        with pytest.raises(ValueError):
+            LogNormalSampler(1.0, -0.5, rng)
+
+    def test_analytic_mean(self):
+        sampler = LogNormalSampler(3.0, 0.8, random.Random(1))
+        assert sampler.mean == pytest.approx(3.0 * exp(0.32))
+
+    def test_samples_positive(self):
+        sampler = LogNormalSampler(5.0, 1.2, random.Random(2))
+        assert all(sampler.sample() > 0 for _ in range(500))
+
+    def test_empirical_median_near_parameter(self):
+        sampler = LogNormalSampler(10.0, 0.7, random.Random(3))
+        draws = sorted(sampler.sample() for _ in range(10_000))
+        median = draws[len(draws) // 2]
+        assert median == pytest.approx(10.0, rel=0.08)
+
+    def test_zero_sigma_is_constant(self):
+        sampler = LogNormalSampler(4.0, 0.0, random.Random(4))
+        assert sampler.sample() == pytest.approx(4.0)
+
+
+class TestParetoSampler:
+    def test_validation(self):
+        rng = random.Random(1)
+        with pytest.raises(ValueError):
+            ParetoSampler(0.0, 1.5, rng)
+        with pytest.raises(ValueError):
+            ParetoSampler(1.0, 0.0, rng)
+
+    def test_samples_at_least_minimum(self):
+        sampler = ParetoSampler(15.0, 2.0, random.Random(2))
+        assert all(sampler.sample() >= 15.0 for _ in range(1000))
+
+    def test_analytic_mean(self):
+        sampler = ParetoSampler(10.0, 2.0, random.Random(1))
+        assert sampler.mean == pytest.approx(20.0)
+
+    def test_infinite_mean_for_small_alpha(self):
+        sampler = ParetoSampler(10.0, 1.0, random.Random(1))
+        assert sampler.mean == float("inf")
+
+    def test_empirical_mean_matches(self):
+        sampler = ParetoSampler(5.0, 3.0, random.Random(3))
+        draws = [sampler.sample() for _ in range(30_000)]
+        assert sum(draws) / len(draws) == pytest.approx(sampler.mean, rel=0.05)
+
+
+class TestTruncatedLognormal:
+    def test_bounds_respected(self):
+        sampler = LogNormalSampler(5.0, 1.5, random.Random(1))
+        for _ in range(300):
+            value = truncated_lognormal(sampler, 1.0, 20.0)
+            assert 1.0 <= value <= 20.0
+
+    def test_invalid_window_rejected(self):
+        sampler = LogNormalSampler(5.0, 1.0, random.Random(1))
+        with pytest.raises(ValueError):
+            truncated_lognormal(sampler, 10.0, 10.0)
+
+    def test_fallback_clamps(self):
+        # A window the sampler almost never hits: the clamp fallback fires.
+        sampler = LogNormalSampler(5.0, 0.01, random.Random(2))
+        value = truncated_lognormal(sampler, 100.0, 101.0, max_attempts=3)
+        assert 100.0 <= value <= 101.0
+
+    @settings(max_examples=25)
+    @given(
+        st.floats(min_value=0.5, max_value=100.0),
+        st.floats(min_value=0.0, max_value=2.0),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_always_within_window(self, median, sigma, seed):
+        sampler = LogNormalSampler(median, sigma, random.Random(seed))
+        value = truncated_lognormal(sampler, 0.5, 1e6)
+        assert 0.5 <= value <= 1e6

@@ -1,0 +1,84 @@
+"""Unit and property tests for location entropy estimators."""
+
+from math import log2
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats.entropy import (
+    dwell_weighted_entropy,
+    normalized_entropy,
+    shannon_entropy,
+)
+
+
+class TestShannonEntropy:
+    def test_uniform_two_items_is_one_bit(self):
+        assert shannon_entropy(["a", "b"]) == pytest.approx(1.0)
+
+    def test_single_item_is_zero(self):
+        assert shannon_entropy(["a", "a", "a"]) == 0.0
+
+    def test_empty_is_zero(self):
+        assert shannon_entropy([]) == 0.0
+
+    def test_skew_reduces_entropy(self):
+        balanced = shannon_entropy(["a", "b", "a", "b"])
+        skewed = shannon_entropy(["a", "a", "a", "b"])
+        assert skewed < balanced
+
+    def test_uniform_n_items(self):
+        items = [str(i) for i in range(8)]
+        assert shannon_entropy(items) == pytest.approx(3.0)
+
+    @given(st.lists(st.sampled_from("abcdef"), min_size=1, max_size=100))
+    def test_bounded_by_log_of_distinct(self, visits):
+        entropy = shannon_entropy(visits)
+        distinct = len(set(visits))
+        assert 0.0 <= entropy <= log2(distinct) + 1e-9
+
+
+class TestDwellWeightedEntropy:
+    def test_equal_dwell_matches_uniform(self):
+        assert dwell_weighted_entropy({"a": 10.0, "b": 10.0}) == pytest.approx(1.0)
+
+    def test_dominant_dwell_lowers_entropy(self):
+        concentrated = dwell_weighted_entropy({"home": 23.0, "shop": 1.0})
+        spread = dwell_weighted_entropy({"home": 12.0, "shop": 12.0})
+        assert concentrated < spread
+
+    def test_zero_and_negative_dwell_ignored(self):
+        assert dwell_weighted_entropy({"a": 5.0, "b": 0.0, "c": -1.0}) == 0.0
+
+    def test_empty_is_zero(self):
+        assert dwell_weighted_entropy({}) == 0.0
+
+    def test_scale_invariant(self):
+        small = dwell_weighted_entropy({"a": 1.0, "b": 3.0})
+        large = dwell_weighted_entropy({"a": 100.0, "b": 300.0})
+        assert small == pytest.approx(large)
+
+    @given(
+        st.dictionaries(
+            st.text(min_size=1, max_size=3),
+            st.floats(min_value=0.001, max_value=1e6),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_bounds(self, dwell):
+        entropy = dwell_weighted_entropy(dwell)
+        assert 0.0 <= entropy <= log2(len(dwell)) + 1e-9
+
+
+class TestNormalizedEntropy:
+    def test_single_location_is_zero(self):
+        assert normalized_entropy(["a", "a"]) == 0.0
+
+    def test_uniform_is_one(self):
+        assert normalized_entropy(["a", "b", "c"]) == pytest.approx(1.0)
+
+    @given(st.lists(st.sampled_from("abcd"), min_size=1, max_size=60))
+    def test_in_unit_interval(self, visits):
+        assert 0.0 <= normalized_entropy(visits) <= 1.0 + 1e-9

@@ -1,0 +1,90 @@
+"""Unit and property tests for great-circle geometry."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats.geo import GeoPoint, haversine_km, max_displacement_km
+
+latitudes = st.floats(min_value=-89.0, max_value=89.0)
+longitudes = st.floats(min_value=-179.0, max_value=179.0)
+points = st.builds(GeoPoint, latitude=latitudes, longitude=longitudes)
+
+
+class TestGeoPoint:
+    def test_valid_point(self):
+        point = GeoPoint(40.4168, -3.7038)
+        assert point.latitude == 40.4168
+
+    def test_latitude_bounds_enforced(self):
+        with pytest.raises(ValueError, match="latitude"):
+            GeoPoint(91.0, 0.0)
+        with pytest.raises(ValueError, match="latitude"):
+            GeoPoint(-90.5, 0.0)
+
+    def test_longitude_bounds_enforced(self):
+        with pytest.raises(ValueError, match="longitude"):
+            GeoPoint(0.0, 181.0)
+
+
+class TestHaversine:
+    def test_zero_for_identical_points(self):
+        p = GeoPoint(48.8566, 2.3522)
+        assert haversine_km(p, p) == 0.0
+
+    def test_paris_to_london(self):
+        paris = GeoPoint(48.8566, 2.3522)
+        london = GeoPoint(51.5074, -0.1278)
+        assert haversine_km(paris, london) == pytest.approx(343.5, abs=3.0)
+
+    def test_one_degree_latitude(self):
+        a = GeoPoint(0.0, 0.0)
+        b = GeoPoint(1.0, 0.0)
+        assert haversine_km(a, b) == pytest.approx(111.2, abs=0.5)
+
+    def test_equator_quarter_circumference(self):
+        a = GeoPoint(0.0, 0.0)
+        b = GeoPoint(0.0, 90.0)
+        assert haversine_km(a, b) == pytest.approx(10_007.5, abs=10.0)
+
+    @given(points, points)
+    def test_symmetric(self, a, b):
+        assert haversine_km(a, b) == pytest.approx(haversine_km(b, a))
+
+    @given(points, points)
+    def test_non_negative_and_bounded(self, a, b):
+        distance = haversine_km(a, b)
+        assert 0.0 <= distance <= 20_040.0  # half the circumference
+
+    @given(points, points, points)
+    def test_triangle_inequality(self, a, b, c):
+        assert haversine_km(a, c) <= (
+            haversine_km(a, b) + haversine_km(b, c) + 1e-6
+        )
+
+
+class TestMaxDisplacement:
+    def test_empty_and_single_are_zero(self):
+        assert max_displacement_km([]) == 0.0
+        assert max_displacement_km([GeoPoint(1.0, 1.0)]) == 0.0
+
+    def test_duplicates_collapse(self):
+        p = GeoPoint(10.0, 10.0)
+        assert max_displacement_km([p, GeoPoint(10.0, 10.0)]) == 0.0
+
+    def test_picks_furthest_pair(self):
+        home = GeoPoint(0.0, 0.0)
+        near = GeoPoint(0.05, 0.0)
+        far = GeoPoint(0.5, 0.0)
+        displacement = max_displacement_km([home, near, far])
+        assert displacement == pytest.approx(haversine_km(home, far))
+
+    @given(st.lists(points, min_size=2, max_size=12))
+    def test_at_least_any_pair(self, pts):
+        displacement = max_displacement_km(pts)
+        assert displacement + 1e-9 >= haversine_km(pts[0], pts[-1])
+
+    @given(st.lists(points, min_size=1, max_size=12))
+    def test_adding_a_point_never_shrinks(self, pts):
+        extra = GeoPoint(0.0, 0.0)
+        assert max_displacement_km(pts + [extra]) + 1e-9 >= max_displacement_km(pts)

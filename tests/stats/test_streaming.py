@@ -1,0 +1,139 @@
+"""Unit, property and convergence tests for streaming statistics."""
+
+import random
+import statistics
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.streaming import OnlineStats, P2Quantile, ReservoirSampler
+
+values = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    min_size=1,
+    max_size=300,
+)
+
+
+class TestOnlineStats:
+    def test_empty_raises(self):
+        stats = OnlineStats()
+        with pytest.raises(ValueError):
+            stats.mean
+
+    def test_known_values(self):
+        stats = OnlineStats()
+        stats.extend([1.0, 2.0, 3.0, 4.0])
+        assert stats.count == 4
+        assert stats.mean == 2.5
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+        assert stats.total == 10.0
+        assert stats.variance == pytest.approx(1.25)
+
+    @given(values)
+    def test_matches_batch_computation(self, xs):
+        stats = OnlineStats()
+        stats.extend(xs)
+        assert stats.mean == pytest.approx(statistics.fmean(xs), rel=1e-9, abs=1e-6)
+        assert stats.minimum == min(xs)
+        assert stats.maximum == max(xs)
+        if len(xs) > 1:
+            assert stats.variance == pytest.approx(
+                statistics.pvariance(xs), rel=1e-6, abs=1e-3
+            )
+
+
+class TestReservoirSampler:
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            ReservoirSampler(0)
+
+    def test_small_stream_kept_exactly(self):
+        sampler = ReservoirSampler(10)
+        sampler.extend([1.0, 2.0, 3.0])
+        assert sorted(sampler.sample) == [1.0, 2.0, 3.0]
+
+    def test_capacity_respected(self):
+        sampler = ReservoirSampler(50, seed=1)
+        sampler.extend(float(i) for i in range(10_000))
+        assert len(sampler.sample) == 50
+        assert sampler.seen == 10_000
+
+    def test_sampling_is_roughly_uniform(self):
+        # Mean of a uniform 0..9999 stream is ~5000; a 500-sample
+        # reservoir should land close.
+        sampler = ReservoirSampler(500, seed=2)
+        sampler.extend(float(i) for i in range(10_000))
+        mean = sum(sampler.sample) / len(sampler.sample)
+        assert mean == pytest.approx(5000.0, rel=0.15)
+
+    def test_ecdf_approximates_stream(self):
+        rng = random.Random(3)
+        sampler = ReservoirSampler(2000, seed=3)
+        stream = [rng.gauss(0.0, 1.0) for _ in range(50_000)]
+        sampler.extend(stream)
+        ecdf = sampler.ecdf()
+        assert ecdf(0.0) == pytest.approx(0.5, abs=0.05)
+        assert ecdf(1.0) == pytest.approx(0.841, abs=0.05)
+
+
+class TestP2Quantile:
+    def test_q_validated(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.5).value
+
+    def test_exact_for_tiny_streams(self):
+        estimator = P2Quantile(0.5)
+        for value in (5.0, 1.0, 3.0):
+            estimator.add(value)
+        assert estimator.value == 3.0
+
+    def test_median_of_uniform_stream(self):
+        rng = random.Random(4)
+        estimator = P2Quantile(0.5)
+        for _ in range(50_000):
+            estimator.add(rng.random())
+        assert estimator.value == pytest.approx(0.5, abs=0.02)
+
+    def test_p90_of_uniform_stream(self):
+        rng = random.Random(5)
+        estimator = P2Quantile(0.9)
+        for _ in range(50_000):
+            estimator.add(rng.random())
+        assert estimator.value == pytest.approx(0.9, abs=0.03)
+
+    def test_median_of_lognormal_stream(self):
+        rng = random.Random(6)
+        estimator = P2Quantile(0.5)
+        for _ in range(50_000):
+            estimator.add(rng.lognormvariate(8.0, 1.0))
+        import math
+
+        assert estimator.value == pytest.approx(math.exp(8.0), rel=0.1)
+
+    @settings(max_examples=30)
+    @given(values)
+    def test_estimate_within_observed_range(self, xs):
+        estimator = P2Quantile(0.5)
+        for value in xs:
+            estimator.add(value)
+        assert min(xs) <= estimator.value <= max(xs)
+
+    def test_sorted_and_reversed_streams_agree(self):
+        ordered = [float(i) for i in range(5000)]
+        up = P2Quantile(0.5)
+        down = P2Quantile(0.5)
+        for value in ordered:
+            up.add(value)
+        for value in reversed(ordered):
+            down.add(value)
+        assert up.value == pytest.approx(2500.0, rel=0.05)
+        assert down.value == pytest.approx(2500.0, rel=0.05)

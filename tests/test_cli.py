@@ -1,0 +1,120 @@
+"""End-to-end tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def trace_dir(tmp_path_factory):
+    """A small exported trace shared by the CLI tests."""
+    out = tmp_path_factory.mktemp("cli") / "trace"
+    code = main(
+        ["simulate", "--scale", "small", "--seed", "11", "--out", str(out)]
+    )
+    assert code == 0
+    return out
+
+
+class TestSimulate:
+    def test_creates_all_artifacts(self, trace_dir):
+        for name in (
+            "proxy.csv",
+            "mme.csv",
+            "devices.csv",
+            "sectors.csv",
+            "accounts.csv",
+            "metadata.json",
+        ):
+            assert (trace_dir / name).exists(), name
+
+    def test_overrides_apply(self, tmp_path, capsys):
+        out = tmp_path / "trace"
+        code = main(
+            [
+                "simulate",
+                "--scale",
+                "small",
+                "--seed",
+                "3",
+                "--out",
+                str(out),
+                "--wearable-users",
+                "30",
+                "--general-users",
+                "15",
+            ]
+        )
+        assert code == 0
+        from repro.core.dataset import StudyDataset
+
+        dataset = StudyDataset.load(out)
+        # 30 wearable + 15 general accounts => 30 + 45 SIMs.
+        assert len(dataset.account_directory) == 75
+
+    def test_anonymize_flag(self, tmp_path):
+        out = tmp_path / "anon"
+        code = main(
+            [
+                "simulate",
+                "--scale",
+                "small",
+                "--seed",
+                "11",
+                "--out",
+                str(out),
+                "--anonymize",
+            ]
+        )
+        assert code == 0
+        from repro.core.dataset import StudyDataset
+
+        anonymized = StudyDataset.load(out)
+        # Pseudonymous subscriber ids start with the 'p' prefix.
+        assert all(
+            s.startswith("p") for s in list(anonymized.account_directory)[:10]
+        )
+
+
+class TestValidate:
+    def test_clean_trace_exit_zero(self, trace_dir, capsys):
+        assert main(["validate", str(trace_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "no issues" in out
+
+    def test_corrupt_trace_exit_nonzero(self, trace_dir, tmp_path, capsys):
+        import shutil
+
+        broken = tmp_path / "broken"
+        shutil.copytree(trace_dir, broken)
+        # Drop the accounts directory: every record becomes orphaned.
+        (broken / "accounts.csv").write_text("subscriber_id,account_id\n")
+        assert main(["validate", str(broken)]) == 1
+        assert "subscriber" in capsys.readouterr().out
+
+
+class TestAnalyze:
+    def test_prints_selected_figure(self, trace_dir, capsys):
+        assert main(["analyze", str(trace_dir), "--figures", "fig8"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 8" in out
+
+    def test_unknown_figure_rejected(self, trace_dir, capsys):
+        assert main(["analyze", str(trace_dir), "--figures", "fig99"]) == 2
+
+    def test_writes_all_figures_to_directory(self, trace_dir, tmp_path):
+        out_dir = tmp_path / "figs"
+        assert main(["analyze", str(trace_dir), "--out", str(out_dir)]) == 0
+        from repro.core.figures import FIGURE_RENDERERS
+
+        written = {p.stem for p in out_dir.glob("*.txt")}
+        assert written == set(FIGURE_RENDERERS)
+
+
+class TestScoreboard:
+    def test_prints_paper_vs_measured(self, trace_dir, capsys):
+        assert main(["scoreboard", str(trace_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "paper" in out
+        assert "measured" in out
+        assert "growth %/month" in out

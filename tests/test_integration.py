@@ -1,0 +1,97 @@
+"""Cross-cutting integration tests.
+
+These check properties of the *whole* system: seed stability of measured
+statistics, invariance of shape claims under population scaling, and
+consistency between the in-memory and on-disk paths.
+"""
+
+import pytest
+
+from repro.core.dataset import StudyDataset
+from repro.core.pipeline import WearableStudy
+from repro.simnet.config import SimulationConfig
+from repro.simnet.simulator import Simulator
+
+
+def run_study(config: SimulationConfig) -> WearableStudy:
+    output = Simulator(config).run()
+    return WearableStudy(StudyDataset.from_simulation(output))
+
+
+class TestSeedStability:
+    """Headline shape claims must hold across random seeds."""
+
+    @pytest.fixture(scope="class", params=[1, 2])
+    def study(self, request) -> WearableStudy:
+        return run_study(SimulationConfig.medium(seed=request.param))
+
+    def test_adoption_grows(self, study):
+        assert study.adoption.monthly_growth_percent > 0.0
+
+    def test_minority_is_data_active(self, study):
+        assert study.adoption.data_active_fraction < 0.55
+
+    def test_owners_out_consume_general(self, study):
+        assert study.comparison.extra_data_percent > 0.0
+        assert study.comparison.extra_tx_percent > 0.0
+
+    def test_wearable_users_more_mobile_and_entropic(self, study):
+        mobility = study.mobility
+        assert (
+            mobility.mean_user_displacement_wearable_km
+            > mobility.mean_user_displacement_general_km
+        )
+        assert mobility.entropy_excess_percent > 0.0
+
+    def test_transaction_sizes_small(self, study):
+        assert study.activity.median_tx_bytes < 10_000
+
+    def test_weather_category_traffic_present(self, study):
+        categories = {row.category for row in study.apps.per_category}
+        assert "Weather" in categories
+        assert "Communication" in categories
+
+
+class TestScaleInvariance:
+    """Shape claims survive halving the population."""
+
+    def test_key_ratios_stable_under_scaling(self):
+        big = run_study(SimulationConfig.medium(seed=9))
+        small_config = SimulationConfig.medium(seed=9)
+        small_config = SimulationConfig(
+            seed=9,
+            total_days=small_config.total_days,
+            detailed_days=small_config.detailed_days,
+            n_wearable_users=small_config.n_wearable_users // 2,
+            n_general_users=small_config.n_general_users // 2,
+            sectors_x=small_config.sectors_x,
+            sectors_y=small_config.sectors_y,
+        )
+        small = run_study(small_config)
+        # Direction of every major claim is scale-invariant.
+        for study in (big, small):
+            assert study.adoption.data_active_fraction < 0.6
+            assert study.comparison.extra_tx_percent > 0.0
+            assert study.mobility.entropy_excess_percent > 0.0
+        # Median transaction size is a per-transaction property: nearly
+        # identical across scales.
+        assert small.activity.median_tx_bytes == pytest.approx(
+            big.activity.median_tx_bytes, rel=0.35
+        )
+
+
+class TestDiskPathEquivalence:
+    def test_full_report_identical_after_roundtrip(self, tmp_path):
+        output = Simulator(SimulationConfig.small(seed=31)).run()
+        in_memory = WearableStudy(StudyDataset.from_simulation(output)).run_all()
+        output.write(tmp_path / "trace")
+        loaded = WearableStudy(StudyDataset.load(tmp_path / "trace")).run_all()
+        assert in_memory.adoption == loaded.adoption
+        assert in_memory.census == loaded.census
+        assert (
+            in_memory.domains.third_party_data_ratio
+            == loaded.domains.third_party_data_ratio
+        )
+        assert in_memory.through_device.detected_users == (
+            loaded.through_device.detected_users
+        )

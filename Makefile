@@ -1,0 +1,35 @@
+# Convenience targets; everything assumes the in-tree layout (PYTHONPATH=src)
+# so no install step is needed.
+
+PY ?= python
+PYTEST = PYTHONPATH=src $(PY) -m pytest
+
+.PHONY: test bench bench-perf trace clean
+
+## Tier-1 suite: unit / integration / property tests (the CI gate).
+test:
+	$(PYTEST) tests/ -q
+
+## Regenerate every paper figure into benchmarks/reports/ (slow: runs a
+## paper-scale simulation once).
+bench:
+	$(PYTEST) benchmarks/ --benchmark-only
+
+## Performance benchmarks only: engine throughput, CSV I/O, kernels.
+bench-perf:
+	$(PYTEST) benchmarks/test_perf_engine.py benchmarks/test_perf_io.py \
+	    benchmarks/test_perf_primitives.py
+
+## Same perf modules with timing disabled — fast correctness pass for CI.
+bench-perf-check:
+	$(PYTEST) benchmarks/test_perf_engine.py benchmarks/test_perf_io.py \
+	    -q --benchmark-disable
+
+## Example end-to-end trace (sharded run, per-shard timings on stderr).
+trace:
+	PYTHONPATH=src $(PY) -m repro simulate --scale medium --seed 7 \
+	    --out trace/ --shards 4
+
+clean:
+	rm -rf trace/ .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

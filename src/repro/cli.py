@@ -28,7 +28,7 @@ from repro.core.report import format_comparison
 from repro.logs.anonymize import Anonymizer
 from repro.logs.validate import validate_trace
 from repro.simnet.config import SimulationConfig
-from repro.simnet.simulator import Simulator
+from repro.simnet.engine import ShardedSimulationEngine
 
 
 def _build_config(args: argparse.Namespace) -> SimulationConfig:
@@ -51,30 +51,45 @@ def _build_config(args: argparse.Namespace) -> SimulationConfig:
 
 def cmd_simulate(args: argparse.Namespace) -> int:
     config = _build_config(args)
+    workers = max(1, args.workers)
+    shards = args.shards if args.shards is not None else workers
+    if shards < 1:
+        print("--shards must be >= 1", file=sys.stderr)
+        return 2
     print(
         f"simulating: {config.n_wearable_users} wearable + "
         f"{config.n_general_users} general accounts over "
-        f"{config.total_days} days (seed {config.seed})",
+        f"{config.total_days} days (seed {config.seed}, "
+        f"{shards} shard{'s' if shards != 1 else ''} / "
+        f"{workers} worker{'s' if workers != 1 else ''})",
         file=sys.stderr,
     )
     started = time.time()
-    output = Simulator(config).run()
-    if args.anonymize:
-        anonymizer = Anonymizer()
-        output.proxy_records = anonymizer.proxy_records(output.proxy_records)
-        output.mme_records = anonymizer.mme_records(output.mme_records)
-        output.account_directory = anonymizer.account_directory(
-            output.account_directory
+    engine = ShardedSimulationEngine(config, shards=shards, workers=workers)
+    run = engine.run_streaming()
+    try:
+        anonymizer = None
+        if args.anonymize:
+            anonymizer = Anonymizer()
+            print("trace pseudonymised (fresh key, discarded)", file=sys.stderr)
+        paths = run.write(args.out, compress=args.compress, anonymizer=anonymizer)
+        elapsed = time.time() - started
+        for stats in run.shard_stats:
+            print(
+                f"  shard {stats.shard}: {stats.accounts} accounts, "
+                f"{stats.proxy_records:,} proxy / {stats.mme_records:,} MME "
+                f"records in {stats.elapsed_seconds:.2f}s",
+                file=sys.stderr,
+            )
+        print(
+            f"wrote {run.proxy_count:,} proxy / "
+            f"{run.mme_count:,} MME records to {args.out} "
+            f"in {elapsed:.1f}s "
+            f"(peak resident: {run.peak_resident_records:,} records)",
+            file=sys.stderr,
         )
-        print("trace pseudonymised (fresh key, discarded)", file=sys.stderr)
-    paths = output.write(args.out, compress=args.compress)
-    elapsed = time.time() - started
-    print(
-        f"wrote {len(output.proxy_records):,} proxy / "
-        f"{len(output.mme_records):,} MME records to {args.out} "
-        f"in {elapsed:.1f}s",
-        file=sys.stderr,
-    )
+    finally:
+        run.cleanup()
     for name in sorted(paths):
         print(paths[name])
     return 0
@@ -94,8 +109,15 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     if args.json:
         path = write_report_json(full_report, args.json)
         print(f"wrote JSON report to {path}", file=sys.stderr)
+    # Tolerate whitespace around commas ("fig2a, fig5a"), drop empty
+    # tokens and deduplicate while preserving the requested order.
+    wanted: list[str] = []
     if args.figures:
-        wanted = args.figures.split(",")
+        for token in args.figures.split(","):
+            token = token.strip()
+            if token and token not in wanted:
+                wanted.append(token)
+    if wanted:
         unknown = [name for name in wanted if name not in FIGURE_RENDERERS]
         if unknown:
             print(
@@ -196,6 +218,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--compress",
         action="store_true",
         help="write the proxy and MME logs gzip-compressed",
+    )
+    simulate.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for sharded simulation (default: 1, serial)",
+    )
+    simulate.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="account shards (default: --workers); the trace is "
+        "byte-identical for any shard/worker count at a fixed seed",
     )
     simulate.set_defaults(func=cmd_simulate)
 

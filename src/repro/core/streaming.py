@@ -23,6 +23,7 @@ from typing import Iterable
 
 from repro.core.dataset import StudyWindow
 from repro.logs.records import MmeRecord, ProxyRecord
+from repro.logs.timeutil import hour_of_day
 from repro.stats.streaming import OnlineStats, P2Quantile, ReservoirSampler
 
 
@@ -174,9 +175,11 @@ class StreamingActivity:
         if size < 10_000.0:
             self._under_10kb += 1
         day = self._window.day_of(record.timestamp)
-        hour = int(
-            (record.timestamp - self._window.study_start) % 86_400 // 3_600
-        )
+        # Wall-clock hour of day, exactly as the batch analysis buckets it
+        # (core.activity uses hour_of_day).  The previous arithmetic
+        # ``(ts - study_start) % 86_400 // 3_600`` only equals the
+        # wall-clock hour when study_start is midnight-aligned.
+        hour = hour_of_day(record.timestamp)
         subscriber = record.subscriber_id
         self._user_days[subscriber].add(day)
         self._user_day_hours[subscriber].add((day, hour))

@@ -1,0 +1,79 @@
+"""Chunked spill-to-disk writers and k-way merge readers for log records.
+
+The sharded simulation engine (:mod:`repro.simnet.engine`) never holds the
+full trace in memory: each shard sorts its own records and *spills* them to
+a chunk file, and the final logs are produced by a streaming k-way merge of
+those chunks.  This module owns the two halves of that contract:
+
+* :func:`write_sorted_chunk` — sort one shard's records by the canonical
+  :meth:`~repro.logs.records.ProxyRecord.sort_key` and write them as a CSV
+  chunk (optionally gzip-compressed via the ``.gz`` suffix);
+* :func:`merge_record_chunks` — lazily stream the union of any number of
+  sorted chunks in canonical order with ``heapq.merge``, holding at most
+  one record per chunk in memory.
+
+Because the canonical order is the *full field tuple* (timestamp first),
+the merged stream is a total order independent of how records were
+partitioned into chunks: merging K=1 chunk or K=64 chunks of the same
+trace yields byte-identical output.
+"""
+
+from __future__ import annotations
+
+import heapq
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence, Type
+
+from repro.logs.io import read_csv_records, write_csv_records
+from repro.logs.records import (
+    MmeRecord,
+    ProxyRecord,
+    fields_for,
+    record_sort_key,
+)
+
+__all__ = [
+    "write_sorted_chunk",
+    "merge_record_chunks",
+    "merge_proxy_chunks",
+    "merge_mme_chunks",
+]
+
+
+def write_sorted_chunk(
+    path: str | Path,
+    records: Iterable[ProxyRecord] | Iterable[MmeRecord],
+    record_type: Type[ProxyRecord] | Type[MmeRecord],
+) -> int:
+    """Sort ``records`` canonically and write one CSV chunk; returns count.
+
+    The sort happens in memory — callers bound chunk size by sharding, so
+    peak memory is O(largest shard), never O(trace).
+    """
+    ordered = sorted(records, key=record_sort_key)
+    return write_csv_records(path, ordered, fields_for(record_type))
+
+
+def merge_record_chunks(
+    paths: Sequence[str | Path],
+    record_type: Type[ProxyRecord] | Type[MmeRecord],
+) -> Iterator[ProxyRecord] | Iterator[MmeRecord]:
+    """Stream the k-way merge of sorted chunk files in canonical order.
+
+    Each chunk is read lazily (generator per file); ``heapq.merge`` keeps
+    exactly one head record per chunk resident, so memory is O(k) records
+    regardless of trace size.  Chunks must have been written by
+    :func:`write_sorted_chunk` (or be otherwise canonically sorted).
+    """
+    streams = [read_csv_records(path, record_type) for path in paths]
+    return heapq.merge(*streams, key=record_sort_key)
+
+
+def merge_proxy_chunks(paths: Sequence[str | Path]) -> Iterator[ProxyRecord]:
+    """K-way merge of sorted proxy-log chunks."""
+    return merge_record_chunks(paths, ProxyRecord)
+
+
+def merge_mme_chunks(paths: Sequence[str | Path]) -> Iterator[MmeRecord]:
+    """K-way merge of sorted MME-log chunks."""
+    return merge_record_chunks(paths, MmeRecord)

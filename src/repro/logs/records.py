@@ -73,6 +73,26 @@ class ProxyRecord:
         """Type Allocation Code: the first 8 digits of the IMEI."""
         return self.imei[:8]
 
+    def sort_key(self) -> tuple:
+        """Canonical total-order key: timestamp first, then every field.
+
+        Sorting by the *full* field tuple (not just the timestamp) gives a
+        partition-independent global order: however a trace is sharded, the
+        k-way merge of per-shard sorted chunks reproduces byte-identical
+        output.  Records that compare equal are identical rows, so their
+        relative order is immaterial.
+        """
+        return (
+            self.timestamp,
+            self.subscriber_id,
+            self.imei,
+            self.host,
+            self.path,
+            self.protocol,
+            self.bytes_up,
+            self.bytes_down,
+        )
+
 
 @dataclass(frozen=True, slots=True)
 class MmeRecord:
@@ -107,6 +127,22 @@ class MmeRecord:
         """Type Allocation Code: the first 8 digits of the IMEI."""
         return self.imei[:8]
 
+    def sort_key(self) -> tuple:
+        """Canonical total-order key; see :meth:`ProxyRecord.sort_key`."""
+        return (
+            self.timestamp,
+            self.subscriber_id,
+            self.imei,
+            self.sector_id,
+            self.event,
+        )
+
+
+#: Key function usable with ``sorted``/``heapq.merge`` for either record type.
+def record_sort_key(record) -> tuple:
+    """Module-level alias so merge helpers can take a plain callable."""
+    return record.sort_key()
+
 
 # Column orders used by the CSV serialisation in :mod:`repro.logs.io`.
 PROXY_FIELDS = (
@@ -120,3 +156,12 @@ PROXY_FIELDS = (
     "bytes_down",
 )
 MME_FIELDS = ("timestamp", "subscriber_id", "imei", "sector_id", "event")
+
+
+def fields_for(record_type: type) -> tuple[str, ...]:
+    """The CSV column order for a record type."""
+    if record_type is ProxyRecord:
+        return PROXY_FIELDS
+    if record_type is MmeRecord:
+        return MME_FIELDS
+    raise TypeError(f"unknown record type: {record_type!r}")

@@ -1,0 +1,539 @@
+"""Sharded, multi-process simulation engine with spill-to-disk export.
+
+The paper's substrate is a national mobile ISP with tens of millions of
+subscribers; a single-threaded loop that materialises every record in RAM
+and sorts at the end cannot approach that.  This engine restructures the
+generative model the way passive-measurement pipelines are conventionally
+scaled: **partition by subscriber, generate per shard, merge by time**.
+
+Determinism contract
+--------------------
+Every account is its own *RNG micro-shard*: before an account's window is
+generated, each concern's stream is reseeded from the derivation string
+``f"{seed}:{concern}:{shard_key}"`` where the shard key is the account id
+(itself a deterministic function of the population stream).  Draws for one
+account therefore never depend on which worker shard it landed in, which
+accounts share that shard, or how many shards exist.  Combined with the
+canonical full-tuple sort order (:func:`repro.logs.records.record_sort_key`)
+used for per-shard chunks and the k-way merge, **any shard count K
+reproduces the exact same population-level trace, byte for byte**.
+
+Memory contract
+---------------
+Workers hold only their own shard's records, sort them, and *spill* them as
+time-sorted CSV chunks via :mod:`repro.logs.merge`.  The final logs are a
+streaming ``heapq.merge`` of those chunks, holding one head record per
+chunk.  Peak resident record count is therefore O(largest shard), not
+O(trace); :class:`ShardStats` records the actual counts so tests can assert
+the bound rather than trust it.
+
+Process model
+-------------
+``workers > 1`` fans shards out over a :class:`concurrent.futures.
+ProcessPoolExecutor`; ``workers == 1`` (the default, and the path unit
+tests take) runs the same shard code serially in-process with no pickling.
+The population and topology are always built once in the parent so the
+billing directory, device database and sector plan are shared artefacts.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import shutil
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from heapq import merge as heap_merge
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator, Sequence
+from zlib import crc32
+
+from repro.devicedb.catalog import builtin_database
+from repro.devicedb.database import DeviceDatabase
+from repro.logs.io import write_mme_log, write_proxy_log
+from repro.logs.merge import (
+    merge_mme_chunks,
+    merge_proxy_chunks,
+    write_sorted_chunk,
+)
+from repro.logs.records import MmeRecord, ProxyRecord, record_sort_key
+from repro.logs.timeutil import SECONDS_PER_DAY, weekday
+from repro.simnet.appcatalog import AppCatalog, builtin_app_catalog
+from repro.simnet.config import SimulationConfig
+from repro.simnet.mme import MmeEventGenerator
+from repro.simnet.mobility_model import MobilityModel
+from repro.simnet.subscribers import (
+    Population,
+    PopulationBuilder,
+    SubscriberProfile,
+)
+from repro.simnet.topology import SectorMap, Topology
+from repro.simnet.traffic import TrafficGenerator
+from repro.stats.geo import GeoPoint
+
+if TYPE_CHECKING:  # avoid a circular import at runtime
+    from repro.simnet.simulator import SimulationOutput
+
+__all__ = [
+    "ShardedSimulationEngine",
+    "EngineRun",
+    "ShardStats",
+    "shard_of",
+    "stream_seed",
+    "partition_accounts",
+]
+
+
+# --------------------------------------------------------------------- seeds
+def stream_seed(seed: int, concern: str, shard_key: str) -> str:
+    """Derivation string for a per-shard RNG stream.
+
+    ``shard_key`` is the account id: the finest-grained (per-subscriber)
+    shard unit, which is what makes the trace invariant to how accounts
+    are grouped into worker shards.
+    """
+    return f"{seed}:{concern}:{shard_key}"
+
+
+def shard_of(account_id: str, shards: int) -> int:
+    """Deterministic, seed-independent shard index for an account."""
+    return crc32(account_id.encode("utf-8")) % shards
+
+
+def partition_accounts(
+    population: Population, shards: int
+) -> list["ShardTask"]:
+    """Split the population into ``shards`` deterministic account groups.
+
+    Assignment hashes the stable account id, so it does not depend on the
+    population ordering; within a shard, accounts keep population order.
+    """
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    wearable: list[list[SubscriberProfile]] = [[] for _ in range(shards)]
+    general: list[list[SubscriberProfile]] = [[] for _ in range(shards)]
+    for account in population.wearable_accounts:
+        wearable[shard_of(account.account_id, shards)].append(account)
+    for account in population.general_accounts:
+        general[shard_of(account.account_id, shards)].append(account)
+    return [
+        ShardTask(
+            shard=index,
+            wearable_accounts=tuple(wearable[index]),
+            general_accounts=tuple(general[index]),
+        )
+        for index in range(shards)
+    ]
+
+
+# --------------------------------------------------------------------- tasks
+@dataclass(frozen=True)
+class ShardTask:
+    """One shard's slice of the population."""
+
+    shard: int
+    wearable_accounts: tuple[SubscriberProfile, ...]
+    general_accounts: tuple[SubscriberProfile, ...]
+
+    @property
+    def accounts(self) -> int:
+        return len(self.wearable_accounts) + len(self.general_accounts)
+
+
+@dataclass(frozen=True)
+class ShardStats:
+    """What one shard generated, and how long it took."""
+
+    shard: int
+    accounts: int
+    proxy_records: int
+    mme_records: int
+    elapsed_seconds: float
+
+    @property
+    def resident_records(self) -> int:
+        """Records this shard held in memory at its peak (pre-spill)."""
+        return self.proxy_records + self.mme_records
+
+
+@dataclass(frozen=True)
+class _ShardPayload:
+    """Everything a worker process needs; must stay picklable."""
+
+    config: SimulationConfig
+    catalog: AppCatalog
+    task: ShardTask
+    proxy_path: str
+    mme_path: str
+
+
+# --------------------------------------------------------------- generation
+def _build_topology(config: SimulationConfig) -> Topology:
+    """The radio plane; identical in every process for a given seed."""
+    return Topology(
+        nx=config.sectors_x,
+        ny=config.sectors_y,
+        box_km=config.box_km,
+        center=GeoPoint(config.center_lat, config.center_lon),
+        rng=random.Random(f"{config.seed}:topology"),
+    )
+
+
+def _generate_shard(
+    config: SimulationConfig,
+    catalog: AppCatalog,
+    task: ShardTask,
+) -> tuple[list[ProxyRecord], list[MmeRecord]]:
+    """Generate one shard's records, account-major, per-subscriber RNG."""
+    topology = _build_topology(config)
+    mobility_rng = random.Random()
+    traffic_rng = random.Random()
+    mme_rng = random.Random()
+    mobility = MobilityModel(config, topology, mobility_rng)
+    traffic = TrafficGenerator(config, catalog, traffic_rng)
+    mme_gen = MmeEventGenerator(config, mme_rng)
+
+    seed = config.seed
+    window_first_day = config.total_days - config.detailed_days
+    days = []
+    for day in range(config.total_days):
+        day_ts = config.study_start + day * SECONDS_PER_DAY
+        days.append((day, weekday(day_ts) < 5, day >= window_first_day))
+
+    proxy_records: list[ProxyRecord] = []
+    mme_records: list[MmeRecord] = []
+
+    for account in task.wearable_accounts:
+        key = account.account_id
+        mobility_rng.seed(stream_seed(seed, "mobility", key))
+        traffic_rng.seed(stream_seed(seed, "traffic", key))
+        mme_rng.seed(stream_seed(seed, "mme", key))
+        assert account.wearable_sim is not None
+        for day, is_weekday, in_window in days:
+            if mme_gen.registers_today(account, day):
+                home = mobility.home_sector(account)
+                itinerary = None
+                if in_window:
+                    itinerary = mobility.build_day(account, day, is_weekday)
+                    mme_records.extend(
+                        mme_gen.itinerary_records(account.wearable_sim, itinerary)
+                    )
+                else:
+                    mme_records.append(
+                        mme_gen.presence_record(account.wearable_sim, day, home)
+                    )
+                proxy_records.extend(
+                    traffic.wearable_day_records(
+                        account, day, is_weekday, itinerary, home
+                    )
+                )
+            if in_window:
+                # Wearable owners' phones carry their (heavier) smartphone
+                # traffic inside the detailed window.
+                proxy_records.extend(
+                    traffic.phone_day_records(account, day, is_weekday)
+                )
+
+    for account in task.general_accounts:
+        key = account.account_id
+        mobility_rng.seed(stream_seed(seed, "mobility", key))
+        traffic_rng.seed(stream_seed(seed, "traffic", key))
+        mme_rng.seed(stream_seed(seed, "mme", key))
+        for day, is_weekday, in_window in days:
+            if not in_window:
+                continue
+            itinerary = mobility.build_day(account, day, is_weekday)
+            mme_records.extend(
+                mme_gen.itinerary_records(account.phone_sim, itinerary)
+            )
+            proxy_records.extend(
+                traffic.phone_day_records(account, day, is_weekday)
+            )
+
+    return proxy_records, mme_records
+
+
+def _run_shard_to_spool(payload: _ShardPayload) -> ShardStats:
+    """Worker entry point: generate one shard and spill sorted chunks."""
+    started = time.perf_counter()
+    proxy_records, mme_records = _generate_shard(
+        payload.config, payload.catalog, payload.task
+    )
+    write_sorted_chunk(payload.proxy_path, proxy_records, ProxyRecord)
+    write_sorted_chunk(payload.mme_path, mme_records, MmeRecord)
+    return ShardStats(
+        shard=payload.task.shard,
+        accounts=payload.task.accounts,
+        proxy_records=len(proxy_records),
+        mme_records=len(mme_records),
+        elapsed_seconds=time.perf_counter() - started,
+    )
+
+
+# ---------------------------------------------------------------- run handle
+@dataclass
+class EngineRun:
+    """Handle over a sharded run's spilled chunks and shared artefacts.
+
+    Nothing here holds record lists; the two logs exist only as per-shard
+    sorted chunk files until :meth:`write` or the ``iter_*`` streams merge
+    them on demand.
+    """
+
+    config: SimulationConfig
+    device_db: DeviceDatabase
+    sector_map: SectorMap
+    account_directory: dict[str, str]
+    app_catalog: AppCatalog
+    population: Population
+    spool_dir: Path
+    proxy_chunks: list[Path]
+    mme_chunks: list[Path]
+    shard_stats: list[ShardStats] = field(default_factory=list)
+    _owns_spool: bool = True
+
+    # ------------------------------------------------------------- counting
+    @property
+    def proxy_count(self) -> int:
+        return sum(stats.proxy_records for stats in self.shard_stats)
+
+    @property
+    def mme_count(self) -> int:
+        return sum(stats.mme_records for stats in self.shard_stats)
+
+    @property
+    def peak_resident_records(self) -> int:
+        """Largest record count any single worker held in memory.
+
+        This is the engine's memory bound: generation holds one shard's
+        records (measured here from the actual list sizes at spill time),
+        and the merge phase holds one head record per chunk.
+        """
+        if not self.shard_stats:
+            return 0
+        return max(stats.resident_records for stats in self.shard_stats)
+
+    # ------------------------------------------------------------ streaming
+    def iter_proxy(self) -> Iterator[ProxyRecord]:
+        """Stream the merged proxy log in canonical time order."""
+        return merge_proxy_chunks(self.proxy_chunks)
+
+    def iter_mme(self) -> Iterator[MmeRecord]:
+        """Stream the merged MME log in canonical time order."""
+        return merge_mme_chunks(self.mme_chunks)
+
+    def write(
+        self,
+        directory: str | Path,
+        compress: bool = False,
+        anonymizer=None,
+    ) -> dict[str, Path]:
+        """Streaming export: merge chunks straight into the final logs.
+
+        Unlike :meth:`SimulationOutput.write` this never materialises a
+        record list — memory during export is O(number of chunks).  With
+        ``anonymizer`` the records and billing directory are pseudonymised
+        on the fly (timestamps are untouched, so the logs stay
+        time-ordered).
+        """
+        from repro.simnet.simulator import write_side_artifacts
+
+        base = Path(directory)
+        base.mkdir(parents=True, exist_ok=True)
+        suffix = ".csv.gz" if compress else ".csv"
+        proxy_path = base / f"proxy{suffix}"
+        mme_path = base / f"mme{suffix}"
+
+        proxy_iter: Iterator[ProxyRecord] = self.iter_proxy()
+        mme_iter: Iterator[MmeRecord] = self.iter_mme()
+        directory_map = self.account_directory
+        if anonymizer is not None:
+            proxy_iter = map(anonymizer.proxy_record, proxy_iter)
+            mme_iter = map(anonymizer.mme_record, mme_iter)
+            directory_map = anonymizer.account_directory(directory_map)
+
+        write_proxy_log(proxy_path, proxy_iter)
+        write_mme_log(mme_path, mme_iter)
+        paths = write_side_artifacts(
+            base,
+            config=self.config,
+            device_db=self.device_db,
+            sector_map=self.sector_map,
+            account_directory=directory_map,
+        )
+        paths["proxy"] = proxy_path
+        paths["mme"] = mme_path
+        return paths
+
+    # ---------------------------------------------------------- materialise
+    def to_output(self) -> "SimulationOutput":
+        """Materialise the merged trace into a :class:`SimulationOutput`."""
+        from repro.simnet.simulator import SimulationOutput
+
+        return SimulationOutput(
+            config=self.config,
+            proxy_records=list(self.iter_proxy()),
+            mme_records=list(self.iter_mme()),
+            device_db=self.device_db,
+            sector_map=self.sector_map,
+            account_directory=self.account_directory,
+            app_catalog=self.app_catalog,
+            population=self.population,
+        )
+
+    def cleanup(self) -> None:
+        """Remove the spool directory (if this run owns it)."""
+        if self._owns_spool and self.spool_dir.exists():
+            shutil.rmtree(self.spool_dir, ignore_errors=True)
+
+
+# -------------------------------------------------------------------- engine
+class ShardedSimulationEngine:
+    """Runs the synthetic operator sharded across processes.
+
+    ``shards`` fixes the partition granularity (and therefore the memory
+    bound); ``workers`` fixes the parallelism.  Any combination yields the
+    same trace; ``workers=1`` is the fully serial fallback used by unit
+    tests and by :class:`~repro.simnet.simulator.Simulator`.
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        app_catalog: AppCatalog | None = None,
+        device_db: DeviceDatabase | None = None,
+        population: Population | None = None,
+        shards: int = 1,
+        workers: int | None = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self._config = config
+        self._catalog = app_catalog or builtin_app_catalog()
+        self._device_db = device_db or builtin_database()
+        self._population = population
+        self._shards = shards
+        if workers is None:
+            workers = min(shards, os.cpu_count() or 1)
+        self._workers = max(1, min(workers, shards))
+
+    # ------------------------------------------------------------- plumbing
+    def _population_or_build(self) -> Population:
+        if self._population is not None:
+            return self._population
+        return PopulationBuilder(
+            self._config,
+            self._catalog,
+            random.Random(f"{self._config.seed}:population"),
+        ).build()
+
+    def _payloads(
+        self, tasks: Sequence[ShardTask], spool_dir: Path
+    ) -> list[_ShardPayload]:
+        return [
+            _ShardPayload(
+                config=self._config,
+                catalog=self._catalog,
+                task=task,
+                proxy_path=str(spool_dir / f"proxy-{task.shard:04d}.csv"),
+                mme_path=str(spool_dir / f"mme-{task.shard:04d}.csv"),
+            )
+            for task in tasks
+        ]
+
+    # ------------------------------------------------------------- spilling
+    def run_streaming(self, spool_dir: str | Path | None = None) -> EngineRun:
+        """Generate the trace shard by shard, spilled to disk.
+
+        Returns an :class:`EngineRun` whose logs exist only as sorted
+        per-shard chunk files; peak resident records is O(largest shard).
+        """
+        owns_spool = spool_dir is None
+        spool = Path(
+            tempfile.mkdtemp(prefix="repro-spool-")
+            if spool_dir is None
+            else spool_dir
+        )
+        spool.mkdir(parents=True, exist_ok=True)
+
+        population = self._population_or_build()
+        tasks = partition_accounts(population, self._shards)
+        payloads = self._payloads(tasks, spool)
+
+        if self._workers <= 1:
+            stats = [_run_shard_to_spool(payload) for payload in payloads]
+        else:
+            with ProcessPoolExecutor(max_workers=self._workers) as pool:
+                stats = list(pool.map(_run_shard_to_spool, payloads))
+        stats.sort(key=lambda item: item.shard)
+
+        topology = _build_topology(self._config)
+        return EngineRun(
+            config=self._config,
+            device_db=self._device_db,
+            sector_map=topology.sector_map(),
+            account_directory=population.account_directory(),
+            app_catalog=self._catalog,
+            population=population,
+            spool_dir=spool,
+            proxy_chunks=[Path(payload.proxy_path) for payload in payloads],
+            mme_chunks=[Path(payload.mme_path) for payload in payloads],
+            shard_stats=stats,
+            _owns_spool=owns_spool,
+        )
+
+    # ----------------------------------------------------------- in-memory
+    def run(self) -> "SimulationOutput":
+        """Materialised run, preserving the :class:`SimulationOutput` API.
+
+        Serial (``workers=1``) runs never touch disk: each shard's sorted
+        records are merged in memory.  Parallel runs go through the spill
+        path and materialise the merged chunks.
+        """
+        from repro.simnet.simulator import SimulationOutput
+
+        if self._workers > 1:
+            run = self.run_streaming()
+            try:
+                return run.to_output()
+            finally:
+                run.cleanup()
+
+        population = self._population_or_build()
+        tasks = partition_accounts(population, self._shards)
+        proxy_chunks: list[list[ProxyRecord]] = []
+        mme_chunks: list[list[MmeRecord]] = []
+        stats: list[ShardStats] = []
+        for task in tasks:
+            started = time.perf_counter()
+            proxy_records, mme_records = _generate_shard(
+                self._config, self._catalog, task
+            )
+            proxy_records.sort(key=record_sort_key)
+            mme_records.sort(key=record_sort_key)
+            proxy_chunks.append(proxy_records)
+            mme_chunks.append(mme_records)
+            stats.append(
+                ShardStats(
+                    shard=task.shard,
+                    accounts=task.accounts,
+                    proxy_records=len(proxy_records),
+                    mme_records=len(mme_records),
+                    elapsed_seconds=time.perf_counter() - started,
+                )
+            )
+        self.last_shard_stats = stats
+
+        topology = _build_topology(self._config)
+        return SimulationOutput(
+            config=self._config,
+            proxy_records=list(heap_merge(*proxy_chunks, key=record_sort_key)),
+            mme_records=list(heap_merge(*mme_chunks, key=record_sort_key)),
+            device_db=self._device_db,
+            sector_map=topology.sector_map(),
+            account_directory=population.account_directory(),
+            app_catalog=self._catalog,
+            population=population,
+        )

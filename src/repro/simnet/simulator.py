@@ -11,6 +11,13 @@ paper's measurement infrastructure exposes:
   subscriber ids to accounts,
 * study metadata (window boundaries).
 
+Since the sharded engine landed, :meth:`Simulator.run` is a thin wrapper
+over :class:`~repro.simnet.engine.ShardedSimulationEngine`: the trace is
+generated per-subscriber with derived RNG streams and merged in canonical
+time order, so the same seed yields the same trace whether it is produced
+serially here or across N worker processes (see the engine's determinism
+contract).
+
 The ground-truth :class:`~repro.simnet.subscribers.Population` is also kept
 on the output for calibration tests — the analyses in :mod:`repro.core`
 never touch it.
@@ -20,7 +27,6 @@ from __future__ import annotations
 
 import csv
 import json
-import random
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -28,15 +34,48 @@ from repro.devicedb.catalog import builtin_database
 from repro.devicedb.database import DeviceDatabase
 from repro.logs.io import write_mme_log, write_proxy_log
 from repro.logs.records import MmeRecord, ProxyRecord
-from repro.logs.timeutil import SECONDS_PER_DAY, weekday
 from repro.simnet.appcatalog import AppCatalog, builtin_app_catalog
 from repro.simnet.config import SimulationConfig
-from repro.simnet.mme import MmeEventGenerator
-from repro.simnet.mobility_model import MobilityModel
-from repro.simnet.subscribers import Population, PopulationBuilder
-from repro.simnet.topology import SectorMap, Topology
-from repro.simnet.traffic import TrafficGenerator
-from repro.stats.geo import GeoPoint
+from repro.simnet.subscribers import Population
+from repro.simnet.topology import SectorMap
+
+
+def write_side_artifacts(
+    base: Path,
+    config: SimulationConfig,
+    device_db: DeviceDatabase,
+    sector_map: SectorMap,
+    account_directory: dict[str, str],
+) -> dict[str, Path]:
+    """Export the non-log artefacts of a trace directory.
+
+    Shared by the materialised :meth:`SimulationOutput.write` and the
+    engine's streaming :meth:`~repro.simnet.engine.EngineRun.write`.
+    """
+    paths = {
+        "devices": base / "devices.csv",
+        "sectors": base / "sectors.csv",
+        "accounts": base / "accounts.csv",
+        "metadata": base / "metadata.json",
+    }
+    device_db.write_csv(paths["devices"])
+    sector_map.write_csv(paths["sectors"])
+    with paths["accounts"].open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(("subscriber_id", "account_id"))
+        for subscriber_id, account_id in sorted(account_directory.items()):
+            writer.writerow((subscriber_id, account_id))
+    with paths["metadata"].open("w", encoding="utf-8") as handle:
+        json.dump(
+            {
+                "study_start": config.study_start,
+                "total_days": config.total_days,
+                "detailed_days": config.detailed_days,
+            },
+            handle,
+            indent=2,
+        )
+    return paths
 
 
 @dataclass
@@ -71,42 +110,38 @@ class SimulationOutput:
 
         With ``compress=True`` the two large logs (proxy, MME) are written
         gzip-compressed (``.csv.gz``); readers detect the suffix.
+
+        For traces produced by the sharded engine prefer
+        :meth:`repro.simnet.engine.EngineRun.write`, which streams the
+        chunk merge straight to disk and never holds the record lists.
         """
         base = Path(directory)
         base.mkdir(parents=True, exist_ok=True)
         suffix = ".csv.gz" if compress else ".csv"
-        paths = {
-            "proxy": base / f"proxy{suffix}",
-            "mme": base / f"mme{suffix}",
-            "devices": base / "devices.csv",
-            "sectors": base / "sectors.csv",
-            "accounts": base / "accounts.csv",
-            "metadata": base / "metadata.json",
-        }
-        write_proxy_log(paths["proxy"], self.proxy_records)
-        write_mme_log(paths["mme"], self.mme_records)
-        self.device_db.write_csv(paths["devices"])
-        self.sector_map.write_csv(paths["sectors"])
-        with paths["accounts"].open("w", newline="", encoding="utf-8") as handle:
-            writer = csv.writer(handle)
-            writer.writerow(("subscriber_id", "account_id"))
-            for subscriber_id, account_id in sorted(self.account_directory.items()):
-                writer.writerow((subscriber_id, account_id))
-        with paths["metadata"].open("w", encoding="utf-8") as handle:
-            json.dump(
-                {
-                    "study_start": self.config.study_start,
-                    "total_days": self.config.total_days,
-                    "detailed_days": self.config.detailed_days,
-                },
-                handle,
-                indent=2,
-            )
+        proxy_path = base / f"proxy{suffix}"
+        mme_path = base / f"mme{suffix}"
+        write_proxy_log(proxy_path, self.proxy_records)
+        write_mme_log(mme_path, self.mme_records)
+        paths = write_side_artifacts(
+            base,
+            config=self.config,
+            device_db=self.device_db,
+            sector_map=self.sector_map,
+            account_directory=self.account_directory,
+        )
+        paths["proxy"] = proxy_path
+        paths["mme"] = mme_path
         return paths
 
 
 class Simulator:
-    """Runs the synthetic operator for one configuration."""
+    """Runs the synthetic operator for one configuration.
+
+    This is the materialised, serial entry point; it delegates to the
+    sharded engine with ``shards=1``.  Pass ``shards``/``workers`` (or use
+    :class:`~repro.simnet.engine.ShardedSimulationEngine` directly) to
+    parallelise — the trace is identical either way.
+    """
 
     def __init__(
         self,
@@ -114,6 +149,8 @@ class Simulator:
         app_catalog: AppCatalog | None = None,
         device_db: DeviceDatabase | None = None,
         population: Population | None = None,
+        shards: int = 1,
+        workers: int = 1,
     ) -> None:
         """``device_db`` and ``population`` default to the built-in
         catalog and a freshly drawn population; scenarios inject modified
@@ -122,84 +159,19 @@ class Simulator:
         self._catalog = app_catalog or builtin_app_catalog()
         self._device_db = device_db or builtin_database()
         self._population = population
-
-    def _stream(self, name: str) -> random.Random:
-        """An independent, reproducible RNG stream per concern."""
-        return random.Random(f"{self._config.seed}:{name}")
+        self._shards = shards
+        self._workers = workers
 
     def run(self) -> SimulationOutput:
-        """Generate the full observation window."""
-        config = self._config
-        topology = Topology(
-            nx=config.sectors_x,
-            ny=config.sectors_y,
-            box_km=config.box_km,
-            center=GeoPoint(config.center_lat, config.center_lon),
-            rng=self._stream("topology"),
-        )
-        population = self._population or PopulationBuilder(
-            config, self._catalog, self._stream("population")
-        ).build()
-        mobility = MobilityModel(config, topology, self._stream("mobility"))
-        traffic = TrafficGenerator(config, self._catalog, self._stream("traffic"))
-        mme_gen = MmeEventGenerator(config, self._stream("mme"))
+        """Generate the full observation window (delegates to the engine)."""
+        from repro.simnet.engine import ShardedSimulationEngine
 
-        proxy_records: list[ProxyRecord] = []
-        mme_records: list[MmeRecord] = []
-        window_first_day = config.total_days - config.detailed_days
-
-        for day in range(config.total_days):
-            day_ts = config.study_start + day * SECONDS_PER_DAY
-            is_weekday = weekday(day_ts) < 5
-            in_window = day >= window_first_day
-
-            for account in population.wearable_accounts:
-                if not mme_gen.registers_today(account, day):
-                    continue
-                home = mobility.home_sector(account)
-                itinerary = None
-                if in_window:
-                    itinerary = mobility.build_day(account, day, is_weekday)
-                    assert account.wearable_sim is not None
-                    mme_records.extend(
-                        mme_gen.itinerary_records(account.wearable_sim, itinerary)
-                    )
-                else:
-                    assert account.wearable_sim is not None
-                    mme_records.append(
-                        mme_gen.presence_record(account.wearable_sim, day, home)
-                    )
-                proxy_records.extend(
-                    traffic.wearable_day_records(
-                        account, day, is_weekday, itinerary, home
-                    )
-                )
-
-            if in_window:
-                # Wearable owners' phones carry their (heavier) smartphone
-                # traffic; general phones additionally trace mobility.
-                for account in population.wearable_accounts:
-                    proxy_records.extend(
-                        traffic.phone_day_records(account, day, is_weekday)
-                    )
-                for account in population.general_accounts:
-                    itinerary = mobility.build_day(account, day, is_weekday)
-                    mme_records.extend(
-                        mme_gen.itinerary_records(account.phone_sim, itinerary)
-                    )
-                    proxy_records.extend(
-                        traffic.phone_day_records(account, day, is_weekday)
-                    )
-
-        proxy_records.sort(key=lambda record: record.timestamp)
-        mme_records.sort(key=lambda record: record.timestamp)
-        return SimulationOutput(
-            config=config,
-            proxy_records=proxy_records,
-            mme_records=mme_records,
-            device_db=self._device_db,
-            sector_map=topology.sector_map(),
-            account_directory=population.account_directory(),
+        engine = ShardedSimulationEngine(
+            self._config,
             app_catalog=self._catalog,
-            population=population,
+            device_db=self._device_db,
+            population=self._population,
+            shards=self._shards,
+            workers=self._workers,
         )
+        return engine.run()

@@ -4,7 +4,13 @@ import pytest
 
 from repro.core.activity import analyze_activity
 from repro.core.adoption import analyze_adoption
+from repro.core.dataset import StudyDataset, StudyWindow
 from repro.core.streaming import StreamingActivity, StreamingAdoption
+from repro.devicedb import builtin_database
+from repro.logs.records import ProxyRecord
+from repro.logs.timeutil import SECONDS_PER_DAY, SECONDS_PER_HOUR, parse_timestamp
+from repro.simnet.topology import Sector, SectorMap
+from repro.stats.geo import GeoPoint
 
 
 class TestStreamingAdoption:
@@ -100,3 +106,104 @@ class TestStreamingActivity:
         )
         with pytest.raises(ValueError, match="no wearable"):
             empty.result()
+
+
+class TestNonMidnightStudyStart:
+    """Regression: streaming hour buckets must be wall-clock hours.
+
+    ``StreamingActivity.add`` used to bucket hours with
+    ``(ts - study_start) % 86_400 // 3_600``, which only matches the batch
+    analysis (``hour_of_day``) when ``study_start`` is midnight-aligned.
+    With a 05:30 study start, two transactions inside the same wall-clock
+    hour landed in *different* offset buckets, inflating
+    ``mean_active_hours_per_day``.
+    """
+
+    # Midnight UTC plus 5.5 hours: deliberately not day-aligned.
+    MIDNIGHT = parse_timestamp("2017-12-15T00:00:00")
+    START = MIDNIGHT + 5 * SECONDS_PER_HOUR + 1800
+
+    @pytest.fixture(scope="class")
+    def wearable_imei(self):
+        tac = sorted(builtin_database().wearable_tacs())[0]
+        return tac + "0000011"
+
+    def _dataset(self, records, total_days=14):
+        window = StudyWindow(
+            study_start=self.START, total_days=total_days, detailed_days=total_days
+        )
+        return StudyDataset(
+            proxy_records=records,
+            mme_records=[],
+            device_db=builtin_database(),
+            sector_map=SectorMap(
+                [Sector("S001-001", GeoPoint(40.0, -3.0))]
+            ),
+            account_directory={},
+            window=window,
+        )
+
+    def test_same_wall_clock_hour_is_one_active_hour(self, wearable_imei):
+        """01:00 and 01:30 on the same day are ONE active hour.
+
+        Under the old offset arithmetic (study start 05:30) they fell into
+        buckets 19 and 20, i.e. two active hours.
+        """
+        day1 = self.MIDNIGHT + SECONDS_PER_DAY
+        records = [
+            ProxyRecord(
+                timestamp=day1 + SECONDS_PER_HOUR + offset,
+                subscriber_id="s1",
+                imei=wearable_imei,
+                host="api.example.com",
+                bytes_down=512,
+            )
+            for offset in (0.0, 1800.0)
+        ]
+        dataset = self._dataset(records)
+        streaming = (
+            StreamingActivity(dataset.window, dataset.wearable_tacs)
+            .consume(records)
+            .result()
+        )
+        assert streaming.mean_active_hours_per_day == 1.0
+        batch = analyze_activity(dataset)
+        assert streaming.mean_active_hours_per_day == pytest.approx(
+            batch.mean_active_hours_per_day
+        )
+
+    def test_streaming_matches_batch_across_hours_and_days(self, wearable_imei):
+        """Dense synthetic stream: exact aggregate equivalence."""
+        records = []
+        for user in range(5):
+            for day in range(1, 13):
+                for hour in (0, 5, 6, 11, 18, 23):
+                    if (user + day + hour) % 3 == 0:
+                        continue
+                    records.append(
+                        ProxyRecord(
+                            timestamp=self.MIDNIGHT
+                            + day * SECONDS_PER_DAY
+                            + hour * SECONDS_PER_HOUR
+                            + 60.0 * user,
+                            subscriber_id=f"u{user}",
+                            imei=wearable_imei,
+                            host="cloud.example.com",
+                            bytes_down=1000 + hour,
+                        )
+                    )
+        dataset = self._dataset(records)
+        batch = analyze_activity(dataset)
+        streaming = (
+            StreamingActivity(dataset.window, dataset.wearable_tacs)
+            .consume(records)
+            .result()
+        )
+        assert streaming.transactions == len(batch.transaction_sizes)
+        assert streaming.mean_tx_bytes == pytest.approx(batch.mean_tx_bytes)
+        assert streaming.mean_active_days_per_week == pytest.approx(
+            batch.mean_active_days_per_week
+        )
+        assert streaming.mean_active_hours_per_day == pytest.approx(
+            batch.mean_active_hours_per_day
+        )

@@ -82,3 +82,47 @@ class TestCompressedTraceDirectory:
     def test_missing_logs_reported(self, tmp_path):
         with pytest.raises(FileNotFoundError, match="proxy"):
             StudyDataset._log_path(tmp_path, "proxy")
+
+
+class TestGzipWriteLevel:
+    """Exports use a faster compresslevel; readers are level-agnostic."""
+
+    def test_write_level_is_not_the_slow_default(self):
+        from repro.logs.io import GZIP_COMPRESSLEVEL
+
+        assert 1 <= GZIP_COMPRESSLEVEL < 9
+
+    def test_empty_gz_roundtrip(self, tmp_path):
+        path = tmp_path / "empty.csv.gz"
+        assert write_proxy_log(path, []) == 0
+        assert list(read_proxy_log(path)) == []
+
+    def test_headerless_gz_file_raises(self, tmp_path):
+        from repro.logs.io import LogReadError, read_csv_records
+
+        path = tmp_path / "bad.csv.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write("")
+        with pytest.raises(LogReadError, match="header"):
+            list(read_csv_records(path, ProxyRecord))
+
+    def test_truncated_gz_row_reports_location(self, tmp_path, records):
+        from repro.logs.io import LogReadError
+
+        path = tmp_path / "trunc.csv.gz"
+        write_proxy_log(path, records)
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        # Drop a column from the first data row.
+        lines[1] = ",".join(lines[1].split(",")[:-1]) + "\n"
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.writelines(lines)
+        with pytest.raises(LogReadError, match="2"):
+            list(read_proxy_log(path))
+
+    def test_level6_output_still_readable_by_plain_gzip(self, tmp_path, records):
+        path = tmp_path / "proxy.csv.gz"
+        write_proxy_log(path, records)
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            body = handle.read()
+        assert body.count("\n") == len(records) + 1  # header + rows

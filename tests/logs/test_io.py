@@ -131,3 +131,32 @@ class TestJsonlRoundtrip:
         path.write_text("[1, 2, 3]\n")
         with pytest.raises(LogReadError, match="not an object"):
             list(read_jsonl_records(path, MmeRecord))
+
+
+class TestFieldTypeCache:
+    """The per-row hot path must not rebuild the dataclass type map."""
+
+    def test_field_types_cached_per_record_type(self):
+        from repro.logs.io import _field_types
+
+        assert _field_types(ProxyRecord) is _field_types(ProxyRecord)
+        assert _field_types(MmeRecord) is _field_types(MmeRecord)
+        assert _field_types(ProxyRecord) is not _field_types(MmeRecord)
+
+    def test_cached_map_is_correct(self):
+        from repro.logs.io import _field_types
+
+        types = _field_types(ProxyRecord)
+        assert types["timestamp"] is float
+        assert types["bytes_up"] is int
+        assert types["host"] is str
+        mme_types = _field_types(MmeRecord)
+        assert mme_types["sector_id"] is str
+        assert mme_types["timestamp"] is float
+
+    def test_read_path_still_coerces_after_caching(self, tmp_path, proxy_records):
+        """Round-trip through the cached coercion path twice."""
+        path = tmp_path / "proxy.csv"
+        write_proxy_log(path, proxy_records)
+        assert list(read_proxy_log(path)) == proxy_records
+        assert list(read_proxy_log(path)) == proxy_records

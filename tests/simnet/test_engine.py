@@ -1,0 +1,223 @@
+"""Sharded engine: determinism, spill-to-disk export, memory bounds."""
+
+import hashlib
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.logs.records import MmeRecord, ProxyRecord, record_sort_key
+from repro.simnet.config import SimulationConfig
+from repro.simnet.engine import (
+    ShardedSimulationEngine,
+    partition_accounts,
+    shard_of,
+    stream_seed,
+)
+from repro.simnet.simulator import Simulator
+
+
+def tiny_config(seed: int = 7) -> SimulationConfig:
+    """Smaller than the `small` preset: sub-second per run."""
+    return replace(
+        SimulationConfig.small(seed=seed),
+        total_days=14,
+        detailed_days=7,
+        n_wearable_users=25,
+        n_general_users=15,
+        sectors_x=8,
+        sectors_y=8,
+        box_km=100.0,
+    )
+
+
+def file_digest(path: Path) -> str:
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+class TestPartitioning:
+    def test_shard_of_is_stable_and_in_range(self):
+        for shards in (1, 2, 7):
+            for key in ("a0001", "a0002", "abcdef"):
+                index = shard_of(key, shards)
+                assert 0 <= index < shards
+                assert index == shard_of(key, shards)
+
+    def test_partition_covers_population_exactly_once(self):
+        output = Simulator(tiny_config()).run()
+        tasks = partition_accounts(output.population, 4)
+        seen = [
+            account.account_id
+            for task in tasks
+            for account in task.wearable_accounts + task.general_accounts
+        ]
+        expected = [
+            account.account_id for account in output.population.all_accounts
+        ]
+        assert sorted(seen) == sorted(expected)
+        assert len(tasks) == 4
+
+    def test_stream_seed_is_per_concern_and_per_shard(self):
+        assert stream_seed(7, "traffic", "a1") == "7:traffic:a1"
+        assert stream_seed(7, "traffic", "a1") != stream_seed(7, "mme", "a1")
+        assert stream_seed(7, "traffic", "a1") != stream_seed(7, "traffic", "a2")
+
+
+class TestShardInvariance:
+    def test_simulator_matches_engine_any_shard_count(self):
+        config = tiny_config(seed=3)
+        baseline = Simulator(config).run()
+        for shards in (2, 5):
+            sharded = ShardedSimulationEngine(config, shards=shards).run()
+            assert sharded.proxy_records == baseline.proxy_records
+            assert sharded.mme_records == baseline.mme_records
+            assert sharded.account_directory == baseline.account_directory
+
+    def test_process_pool_matches_serial(self):
+        config = tiny_config(seed=5)
+        serial = ShardedSimulationEngine(config, shards=2, workers=1).run()
+        parallel = ShardedSimulationEngine(config, shards=2, workers=2).run()
+        assert parallel.proxy_records == serial.proxy_records
+        assert parallel.mme_records == serial.mme_records
+
+    def test_exported_files_byte_identical_across_shard_counts(self, tmp_path):
+        config = tiny_config(seed=11)
+        digests = {}
+        for shards in (1, 4):
+            run = ShardedSimulationEngine(config, shards=shards).run_streaming()
+            try:
+                paths = run.write(tmp_path / f"k{shards}")
+            finally:
+                run.cleanup()
+            digests[shards] = {
+                name: file_digest(path) for name, path in paths.items()
+            }
+        assert digests[1] == digests[4]
+
+    @settings(
+        max_examples=5,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        shards=st.integers(min_value=1, max_value=6),
+    )
+    def test_same_seed_same_trace_for_any_shard_count(self, seed, shards):
+        config = tiny_config(seed=seed)
+        baseline = ShardedSimulationEngine(config, shards=1).run()
+        sharded = ShardedSimulationEngine(config, shards=shards).run()
+        assert sharded.proxy_records == baseline.proxy_records
+        assert sharded.mme_records == baseline.mme_records
+
+    def test_different_seeds_differ(self):
+        a = ShardedSimulationEngine(tiny_config(seed=1), shards=3).run()
+        b = ShardedSimulationEngine(tiny_config(seed=2), shards=3).run()
+        assert a.proxy_records != b.proxy_records
+
+
+class TestStreamingRun:
+    @pytest.fixture(scope="class")
+    def run(self, tmp_path_factory):
+        spool = tmp_path_factory.mktemp("spool")
+        engine = ShardedSimulationEngine(tiny_config(seed=9), shards=4)
+        handle = engine.run_streaming(spool_dir=spool)
+        yield handle
+        handle.cleanup()
+
+    def test_one_chunk_pair_per_shard(self, run):
+        assert len(run.proxy_chunks) == 4
+        assert len(run.mme_chunks) == 4
+        assert all(path.exists() for path in run.proxy_chunks + run.mme_chunks)
+
+    def test_chunks_are_sorted(self, run):
+        from repro.logs.io import read_csv_records
+
+        for path in run.proxy_chunks:
+            keys = [record_sort_key(r) for r in read_csv_records(path, ProxyRecord)]
+            assert keys == sorted(keys)
+        for path in run.mme_chunks:
+            keys = [record_sort_key(r) for r in read_csv_records(path, MmeRecord)]
+            assert keys == sorted(keys)
+
+    def test_merged_stream_is_time_ordered_and_complete(self, run):
+        proxy = list(run.iter_proxy())
+        assert len(proxy) == run.proxy_count
+        assert proxy == sorted(proxy, key=record_sort_key)
+        mme = list(run.iter_mme())
+        assert len(mme) == run.mme_count
+        assert mme == sorted(mme, key=record_sort_key)
+
+    def test_peak_resident_records_is_one_shard_not_the_trace(self, run):
+        """Record-count accounting of the engine's memory bound.
+
+        During generation a worker holds exactly its shard's records (the
+        per-shard counts measured at spill time); the merge holds one head
+        record per chunk.  Peak resident must therefore be the *largest
+        shard*, strictly below the full trace.
+        """
+        total = run.proxy_count + run.mme_count
+        largest = max(s.resident_records for s in run.shard_stats)
+        assert run.peak_resident_records == largest
+        assert run.peak_resident_records < total
+        # All shards contributed: the bound is meaningful, not degenerate.
+        assert sum(s.resident_records for s in run.shard_stats) == total
+        assert all(s.resident_records > 0 for s in run.shard_stats)
+
+    def test_write_streams_without_materialising(self, run, tmp_path, monkeypatch):
+        """The export path must consume lazy iterators, never lists."""
+        import repro.simnet.engine as engine_mod
+
+        seen_types = []
+        real_write_proxy = engine_mod.write_proxy_log
+
+        def spying_write_proxy(path, records):
+            seen_types.append(type(records))
+            return real_write_proxy(path, records)
+
+        monkeypatch.setattr(engine_mod, "write_proxy_log", spying_write_proxy)
+        paths = run.write(tmp_path / "trace")
+        assert paths["proxy"].exists()
+        assert seen_types and all(t is not list for t in seen_types)
+
+    def test_streaming_write_equals_materialised_write(self, run, tmp_path):
+        streamed = run.write(tmp_path / "streamed")
+        materialised = run.to_output().write(tmp_path / "materialised")
+        for name in ("proxy", "mme", "devices", "sectors", "accounts"):
+            assert file_digest(streamed[name]) == file_digest(
+                materialised[name]
+            ), name
+
+    def test_anonymized_streaming_export_stays_time_ordered(self, run, tmp_path):
+        from repro.logs.anonymize import Anonymizer
+        from repro.logs.io import read_proxy_log
+
+        paths = run.write(tmp_path / "anon", anonymizer=Anonymizer(key=b"k" * 32))
+        records = list(read_proxy_log(paths["proxy"]))
+        assert len(records) == run.proxy_count
+        times = [record.timestamp for record in records]
+        assert times == sorted(times)
+        assert all(record.subscriber_id.startswith("p") for record in records[:50])
+
+
+class TestSpoolOwnership:
+    def test_owned_spool_removed_on_cleanup(self):
+        run = ShardedSimulationEngine(tiny_config(), shards=2).run_streaming()
+        spool = run.spool_dir
+        assert spool.exists()
+        run.cleanup()
+        assert not spool.exists()
+
+    def test_caller_spool_not_removed(self, tmp_path):
+        spool = tmp_path / "spool"
+        run = ShardedSimulationEngine(tiny_config(), shards=2).run_streaming(
+            spool_dir=spool
+        )
+        run.cleanup()
+        assert spool.exists()
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ValueError, match="shards"):
+            ShardedSimulationEngine(tiny_config(), shards=0)

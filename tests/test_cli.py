@@ -76,6 +76,56 @@ class TestSimulate:
         )
 
 
+class TestSimulateSharded:
+    def test_workers_and_shards_flags_roundtrip(self, tmp_path, capsys):
+        serial = tmp_path / "serial"
+        sharded = tmp_path / "sharded"
+        base = ["simulate", "--scale", "small", "--seed", "11"]
+        assert main(base + ["--out", str(serial)]) == 0
+        assert (
+            main(base + ["--out", str(sharded), "--shards", "4", "--workers", "2"])
+            == 0
+        )
+        # The trace is byte-identical for any shard/worker count.
+        for name in ("proxy.csv", "mme.csv", "accounts.csv"):
+            assert (sharded / name).read_bytes() == (serial / name).read_bytes()
+
+    def test_per_shard_timings_reported(self, tmp_path, capsys):
+        out = tmp_path / "trace"
+        code = main(
+            [
+                "simulate",
+                "--scale",
+                "small",
+                "--seed",
+                "11",
+                "--out",
+                str(out),
+                "--shards",
+                "3",
+            ]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "shard 0:" in err
+        assert "shard 2:" in err
+        assert "peak resident" in err
+
+    def test_invalid_shard_count_rejected(self, tmp_path):
+        code = main(
+            [
+                "simulate",
+                "--scale",
+                "small",
+                "--out",
+                str(tmp_path / "x"),
+                "--shards",
+                "0",
+            ]
+        )
+        assert code == 2
+
+
 class TestValidate:
     def test_clean_trace_exit_zero(self, trace_dir, capsys):
         assert main(["validate", str(trace_dir)]) == 0
@@ -101,6 +151,30 @@ class TestAnalyze:
 
     def test_unknown_figure_rejected(self, trace_dir, capsys):
         assert main(["analyze", str(trace_dir), "--figures", "fig99"]) == 2
+
+    def test_figures_tolerate_whitespace_and_dupes(self, trace_dir, tmp_path):
+        """`--figures "fig2a, fig8"` must not report ' fig8' as unknown."""
+        out_dir = tmp_path / "figs"
+        code = main(
+            [
+                "analyze",
+                str(trace_dir),
+                "--figures",
+                " fig2a, fig8 ,fig2a,, ",
+                "--out",
+                str(out_dir),
+            ]
+        )
+        assert code == 0
+        written = {p.stem for p in out_dir.glob("*.txt")}
+        assert written == {"fig2a", "fig8"}
+
+    def test_figures_only_whitespace_means_all(self, trace_dir, tmp_path):
+        out_dir = tmp_path / "figs"
+        assert main(["analyze", str(trace_dir), "--figures", " , ", "--out", str(out_dir)]) == 0
+        from repro.core.figures import FIGURE_RENDERERS
+
+        assert {p.stem for p in out_dir.glob("*.txt")} == set(FIGURE_RENDERERS)
 
     def test_writes_all_figures_to_directory(self, trace_dir, tmp_path):
         out_dir = tmp_path / "figs"

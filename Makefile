@@ -4,11 +4,22 @@
 PY ?= python
 PYTEST = PYTHONPATH=src $(PY) -m pytest
 
-.PHONY: test bench bench-perf trace clean
+.PHONY: test coverage chaos bench bench-perf bench-perf-check trace clean
 
 ## Tier-1 suite: unit / integration / property tests (the CI gate).
 test:
 	$(PYTEST) tests/ -q
+
+## Tier-1 suite under coverage with a hard floor (requires pytest-cov).
+coverage:
+	$(PYTEST) tests/ -q --cov=repro --cov-report=term-missing \
+	    --cov-fail-under=80
+
+## Fault-injection suite: corrupt the small preset with every fault class
+## and prove quarantine-and-continue ingestion survives it end to end.
+chaos:
+	$(PYTEST) tests/logs/test_faults.py tests/logs/test_quarantine.py \
+	    tests/logs/test_roundtrip_property.py tests/test_chaos.py -q
 
 ## Regenerate every paper figure into benchmarks/reports/ (slow: runs a
 ## paper-scale simulation once).

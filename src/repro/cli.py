@@ -1,21 +1,30 @@
 """Command-line interface.
 
-Four subcommands cover the full workflow::
+Five subcommands cover the full workflow::
 
     python -m repro simulate  --scale medium --seed 7 --out trace/
-    python -m repro validate  trace/
+    python -m repro corrupt   trace/ --out chaos/ [--rate 0.02]
+    python -m repro validate  trace/ [--lenient]
     python -m repro analyze   trace/ [--figures fig2a,fig5a] [--out reports/]
+                              [--lenient --quarantine-report q.json]
     python -m repro scoreboard trace/
 
 ``simulate`` runs the synthetic operator and exports the trace directory
-(optionally pseudonymised); ``validate`` checks trace integrity;
-``analyze`` regenerates paper figures from the trace; ``scoreboard``
-prints the paper-vs-measured headline table.
+(optionally pseudonymised); ``corrupt`` injects deterministic faults into
+an exported trace to build chaos fixtures; ``validate`` checks trace
+integrity; ``analyze`` regenerates paper figures from the trace (with
+``--lenient`` it survives corrupted traces by quarantining bad rows);
+``scoreboard`` prints the paper-vs-measured headline table.
+
+Operational failures — a missing or unreadable trace directory, a
+corrupted log in strict mode — exit with code 2 and a one-line
+diagnostic on stderr instead of a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
@@ -26,6 +35,8 @@ from repro.core.figures import FIGURE_RENDERERS, render_all
 from repro.core.pipeline import WearableStudy
 from repro.core.report import format_comparison
 from repro.logs.anonymize import Anonymizer
+from repro.logs.faults import FaultSpec, corrupt_trace
+from repro.logs.io import LogReadError
 from repro.logs.validate import validate_trace
 from repro.simnet.config import SimulationConfig
 from repro.simnet.engine import ShardedSimulationEngine
@@ -95,15 +106,52 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_corrupt(args: argparse.Namespace) -> int:
+    spec = FaultSpec(
+        seed=args.seed,
+        drop_rate=_rate(args.drop_rate, args.rate),
+        duplicate_rate=_rate(args.duplicate_rate, args.rate),
+        shuffle_rate=_rate(args.shuffle_rate, args.rate),
+        bad_imei_rate=_rate(args.bad_imei_rate, args.rate),
+        bad_sector_rate=_rate(args.bad_sector_rate, args.rate),
+        bad_bytes_rate=_rate(args.bad_bytes_rate, args.rate),
+        garbage_rate=_rate(args.garbage_rate, args.rate),
+        truncate_fraction=args.truncate,
+        truncate_files=tuple(args.truncate_file or ("proxy",)),
+        drop_files=tuple(args.drop_file or ()),
+    )
+    report = corrupt_trace(args.trace, args.out, spec)
+    manifest = Path(args.out) / "faults.json"
+    with manifest.open("w", encoding="utf-8") as handle:
+        json.dump(report.to_dict(), handle, indent=2)
+        handle.write("\n")
+    print(report.summary(), file=sys.stderr)
+    print(args.out)
+    return 0
+
+
+def _rate(override: float | None, default: float) -> float:
+    return default if override is None else override
+
+
 def cmd_validate(args: argparse.Namespace) -> int:
-    dataset = StudyDataset.load(args.trace)
+    dataset = StudyDataset.load(args.trace, lenient=args.lenient)
     report = validate_trace(dataset)
     print(report.summary())
     return 0 if report.ok else 1
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
-    dataset = StudyDataset.load(args.trace)
+    if args.quarantine_report and not args.lenient:
+        print("--quarantine-report requires --lenient", file=sys.stderr)
+        return 2
+    dataset = StudyDataset.load(args.trace, lenient=args.lenient)
+    if dataset.quarantine is not None:
+        if not dataset.quarantine.ok:
+            print(dataset.quarantine.summary(), file=sys.stderr)
+        if args.quarantine_report:
+            path = dataset.quarantine.write_json(args.quarantine_report)
+            print(f"wrote quarantine report to {path}", file=sys.stderr)
     study = WearableStudy(dataset)
     full_report = study.run_all()
     if args.json:
@@ -234,8 +282,62 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.set_defaults(func=cmd_simulate)
 
+    corrupt = subparsers.add_parser(
+        "corrupt",
+        help="inject deterministic faults into an exported trace "
+        "(chaos fixtures for resilience testing)",
+    )
+    corrupt.add_argument("trace", help="pristine trace directory to corrupt")
+    corrupt.add_argument("--out", required=True, help="corrupted trace output")
+    corrupt.add_argument("--seed", type=int, default=0)
+    corrupt.add_argument(
+        "--rate",
+        type=float,
+        default=0.02,
+        help="default per-row probability for every row-level fault "
+        "class (default: 0.02); per-class flags override it",
+    )
+    for flag, text in (
+        ("--drop-rate", "silently drop rows"),
+        ("--duplicate-rate", "emit rows twice, back to back"),
+        ("--shuffle-rate", "swap timestamps with the previous row"),
+        ("--bad-imei-rate", "malform IMEIs"),
+        ("--bad-sector-rate", "rewrite MME sectors to unknown ids"),
+        ("--bad-bytes-rate", "NaN/negative proxy byte counts"),
+        ("--garbage-rate", "insert non-CSV noise lines"),
+    ):
+        corrupt.add_argument(flag, type=float, default=None, help=text)
+    corrupt.add_argument(
+        "--truncate",
+        type=float,
+        default=0.0,
+        help="fraction of file bytes to cut from the tail of each "
+        "log named by --truncate-file (default: 0, no truncation)",
+    )
+    corrupt.add_argument(
+        "--truncate-file",
+        action="append",
+        choices=("proxy", "mme"),
+        default=None,
+        help="log(s) to truncate (repeatable; default: proxy)",
+    )
+    corrupt.add_argument(
+        "--drop-file",
+        action="append",
+        choices=("proxy", "mme"),
+        default=None,
+        help="log file(s) to remove entirely (repeatable)",
+    )
+    corrupt.set_defaults(func=cmd_corrupt)
+
     validate = subparsers.add_parser("validate", help="check trace integrity")
     validate.add_argument("trace", help="trace directory")
+    validate.add_argument(
+        "--lenient",
+        action="store_true",
+        help="load the trace leniently first (quarantining unreadable "
+        "rows) so even corrupted traces produce a report",
+    )
     validate.set_defaults(func=cmd_validate)
 
     analyze = subparsers.add_parser(
@@ -254,6 +356,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="additionally write the full report as JSON to this path",
     )
+    analyze.add_argument(
+        "--lenient",
+        action="store_true",
+        help="survive corrupted traces: quarantine unreadable/invalid "
+        "rows instead of failing (strict is the default)",
+    )
+    analyze.add_argument(
+        "--quarantine-report",
+        default=None,
+        metavar="PATH",
+        help="with --lenient, write the quarantine report as JSON here",
+    )
     analyze.set_defaults(func=cmd_analyze)
 
     scoreboard = subparsers.add_parser(
@@ -266,10 +380,33 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Entry point; returns the process exit code."""
+    """Entry point; returns the process exit code.
+
+    Operational failures (missing or unreadable trace directories,
+    corrupted logs in strict mode) are reported as a one-line ``error:``
+    diagnostic on stderr with exit code 2, never a traceback.  Strict-mode
+    log corruption carries the matching quarantine issue code (e.g.
+    ``[proxy-truncated]``) so operators know what ``--lenient`` would
+    have quarantined.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except LogReadError as exc:
+        stem = Path(exc.path).name.split(".", 1)[0]
+        print(f"error [{stem}-{exc.code}]: {exc}", file=sys.stderr)
+        print(
+            "hint: use --lenient to quarantine bad rows and continue",
+            file=sys.stderr,
+        )
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (NotADirectoryError, PermissionError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -57,6 +57,7 @@ from repro.core.streaming import (
     StreamingActivityResult,
     StreamingAdoption,
     StreamingAdoptionResult,
+    StreamingWeekly,
 )
 from repro.core.throughdevice_full import (
     ThroughDeviceFullResult,
@@ -91,6 +92,7 @@ __all__ = [
     "StreamingActivityResult",
     "StreamingAdoption",
     "StreamingAdoptionResult",
+    "StreamingWeekly",
     "StudyDataset",
     "StudyReport",
     "StudyWindow",

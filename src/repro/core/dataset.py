@@ -20,9 +20,13 @@ from dataclasses import dataclass
 from functools import cached_property
 from pathlib import Path
 
+from typing import Iterable, Iterator
+
 from repro.devicedb.database import DeviceDatabase
-from repro.logs.io import read_mme_log, read_proxy_log
-from repro.logs.records import MmeRecord, ProxyRecord
+from repro.devicedb.tac import IMEI_LENGTH
+from repro.logs.io import read_csv_records, read_mme_log, read_proxy_log
+from repro.logs.quarantine import QuarantineCollector, QuarantineReport
+from repro.logs.records import MmeRecord, ProxyRecord, record_sort_key
 from repro.logs.timeutil import SECONDS_PER_DAY
 from repro.simnet.topology import SectorMap
 
@@ -70,6 +74,7 @@ class StudyDataset:
         sector_map: SectorMap,
         account_directory: dict[str, str],
         window: StudyWindow,
+        quarantine: QuarantineReport | None = None,
     ) -> None:
         self.proxy_records = proxy_records
         self.mme_records = mme_records
@@ -77,6 +82,9 @@ class StudyDataset:
         self.sector_map = sector_map
         self.account_directory = account_directory
         self.window = window
+        #: Present when the dataset was loaded leniently: what ingestion
+        #: quarantined to keep the pipeline alive (None = strict load).
+        self.quarantine = quarantine
 
     # ------------------------------------------------------------ loading
     @classmethod
@@ -107,31 +115,97 @@ class StudyDataset:
         raise FileNotFoundError(f"neither {plain} nor {compressed} exists")
 
     @classmethod
-    def load(cls, directory: str | Path) -> "StudyDataset":
+    def load(
+        cls, directory: str | Path, *, lenient: bool = False
+    ) -> "StudyDataset":
         """Load a trace directory written by ``SimulationOutput.write``.
 
         Both plain and gzip-compressed (``.csv.gz``) proxy/MME logs are
         accepted.
+
+        Strict mode (the default) raises on the first defect — a missing
+        log, a truncated gzip member, an unparseable row.  With
+        ``lenient=True`` ingestion *survives* a corrupted trace: bad rows
+        are quarantined (dropped and accounted for), truncated streams
+        keep their readable prefix, missing logs load as empty, rows with
+        malformed IMEIs or unknown sectors are removed, exact duplicates
+        are deduplicated, and out-of-order logs are re-sorted.  The full
+        accounting lands in :attr:`quarantine` (a
+        :class:`~repro.logs.quarantine.QuarantineReport`).
+
+        The window metadata (``metadata.json``), billing directory,
+        device database and cell plan are structural: they stay strict in
+        both modes, since no analysis is meaningful without them.
         """
         base = Path(directory)
-        with (base / "metadata.json").open("r", encoding="utf-8") as handle:
+        if not base.is_dir():
+            raise FileNotFoundError(f"trace directory not found: {base}")
+        meta_path = base / "metadata.json"
+        if not meta_path.exists():
+            raise FileNotFoundError(
+                f"not a trace directory (missing metadata.json): {base}"
+            )
+        with meta_path.open("r", encoding="utf-8") as handle:
             meta = json.load(handle)
         account_directory: dict[str, str] = {}
         with (base / "accounts.csv").open("r", newline="", encoding="utf-8") as handle:
             for row in csv.DictReader(handle):
                 account_directory[row["subscriber_id"]] = row["account_id"]
-        return cls(
-            proxy_records=list(read_proxy_log(cls._log_path(base, "proxy"))),
-            mme_records=list(read_mme_log(cls._log_path(base, "mme"))),
-            device_db=DeviceDatabase.read_csv(base / "devices.csv"),
-            sector_map=SectorMap.read_csv(base / "sectors.csv"),
-            account_directory=account_directory,
-            window=StudyWindow(
-                study_start=float(meta["study_start"]),
-                total_days=int(meta["total_days"]),
-                detailed_days=int(meta["detailed_days"]),
-            ),
+        device_db = DeviceDatabase.read_csv(base / "devices.csv")
+        sector_map = SectorMap.read_csv(base / "sectors.csv")
+        window = StudyWindow(
+            study_start=float(meta["study_start"]),
+            total_days=int(meta["total_days"]),
+            detailed_days=int(meta["detailed_days"]),
         )
+
+        quarantine: QuarantineReport | None = None
+        if lenient:
+            collector = QuarantineCollector()
+            proxy_records = _scrub_records(
+                cls._lenient_log(base, "proxy", ProxyRecord, collector),
+                "proxy",
+                collector,
+            )
+            mme_records = _scrub_records(
+                cls._lenient_log(base, "mme", MmeRecord, collector),
+                "mme",
+                collector,
+                sector_map=sector_map,
+            )
+            quarantine = collector.report()
+        else:
+            proxy_records = list(read_proxy_log(cls._log_path(base, "proxy")))
+            mme_records = list(read_mme_log(cls._log_path(base, "mme")))
+
+        return cls(
+            proxy_records=proxy_records,
+            mme_records=mme_records,
+            device_db=device_db,
+            sector_map=sector_map,
+            account_directory=account_directory,
+            window=window,
+            quarantine=quarantine,
+        )
+
+    @staticmethod
+    def _lenient_log(
+        base: Path,
+        stem: str,
+        record_type: type,
+        collector: QuarantineCollector,
+    ) -> Iterator:
+        """Lenient record stream for one log; empty when the file is gone."""
+        try:
+            path = StudyDataset._log_path(base, stem)
+        except FileNotFoundError:
+            collector.note(
+                f"{stem}-missing",
+                "log file missing from the trace directory",
+                f"{stem}.csv[.gz]",
+            )
+            return iter(())
+        return read_csv_records(path, record_type, collector)
 
     # ------------------------------------------------------------ partitions
     @cached_property
@@ -192,3 +266,64 @@ class StudyDataset:
     def account_of(self, subscriber_id: str) -> str | None:
         """Billing account of a subscriber, when known."""
         return self.account_directory.get(subscriber_id)
+
+
+def _scrub_records(
+    records: Iterable,
+    kind: str,
+    collector: QuarantineCollector,
+    sector_map: SectorMap | None = None,
+) -> list:
+    """Semantic row filter for lenient ingestion.
+
+    The I/O layer already dropped rows that failed to *parse*; this pass
+    drops rows that parsed but cannot be analysed — malformed IMEIs
+    (``<kind>-imei``), sectors absent from the cell plan
+    (``mme-sector``) — removes exact duplicates of the immediately
+    preceding row (``<kind>-duplicate``), and notes out-of-order
+    timestamps (``<kind>-order``), re-sorting the log into canonical
+    order when any were seen so downstream sessionisation stays correct.
+    """
+    kept: list = []
+    last_seen = None
+    previous_ts = float("-inf")
+    disorder = 0
+    for index, record in enumerate(records):
+        where = f"{kind}[{index}]"
+        if record == last_seen:
+            collector.quarantine_row(
+                kind,
+                f"{kind}-duplicate",
+                "exact duplicate of the previous row",
+                where,
+            )
+            continue
+        last_seen = record
+        if len(record.imei) != IMEI_LENGTH or not record.imei.isdigit():
+            collector.quarantine_row(
+                kind,
+                f"{kind}-imei",
+                "malformed IMEI",
+                f"{where} {record.imei!r}",
+            )
+            continue
+        if sector_map is not None and record.sector_id not in sector_map:
+            collector.quarantine_row(
+                kind,
+                f"{kind}-sector",
+                "sector missing from the cell plan",
+                f"{where} {record.sector_id}",
+            )
+            continue
+        if record.timestamp < previous_ts:
+            disorder += 1
+            collector.note(
+                f"{kind}-order",
+                "records out of time order (kept; log re-sorted)",
+                where,
+            )
+        previous_ts = record.timestamp
+        kept.append(record)
+    if disorder:
+        kept.sort(key=record_sort_key)
+    return kept

@@ -32,6 +32,7 @@ from repro.core.devices import DeviceResult, analyze_devices
 from repro.core.domains import DomainsResult, analyze_domains
 from repro.core.identification import DeviceCensus, WearableIdentifier
 from repro.core.mobility import MobilityResult, analyze_mobility
+from repro.logs.quarantine import QuarantineReport
 from repro.core.protocols import ProtocolResult, analyze_protocols
 from repro.core.sessions import UsageSession, sessionize
 from repro.core.throughdevice import ThroughDeviceResult, analyze_through_device
@@ -54,6 +55,9 @@ class StudyReport:
     weekly: WeeklyResult
     protocols: ProtocolResult
     devices: DeviceResult
+    #: What lenient ingestion quarantined to produce the dataset these
+    #: results were computed over (None for strict / in-memory datasets).
+    quarantine: QuarantineReport | None = None
 
 
 class WearableStudy:
@@ -143,6 +147,12 @@ class WearableStudy:
     def devices(self) -> DeviceResult:
         return analyze_devices(self.dataset)
 
+    @property
+    def quarantine(self) -> QuarantineReport | None:
+        """Ingestion quarantine of the underlying dataset, when loaded
+        leniently."""
+        return self.dataset.quarantine
+
     def run_all(self) -> StudyReport:
         """Run every analysis and bundle the results."""
         return StudyReport(
@@ -157,4 +167,5 @@ class WearableStudy:
             weekly=self.weekly,
             protocols=self.protocols,
             devices=self.devices,
+            quarantine=self.quarantine,
         )

@@ -9,10 +9,16 @@ pass with memory bounded by the number of users (not records):
   wearable-subscriber stream;
 * :class:`StreamingActivity` — the §4.3 activity/transaction-size numbers
   from a wearable proxy stream, with transaction-size quantiles estimated
-  by a reservoir.
+  by a reservoir;
+* :class:`StreamingWeekly` — the §4.2 weekly-pattern and relative-usage
+  numbers from the *full* proxy stream (it needs the total ISP traffic
+  for the wearable-share denominators).
 
-Both mirror their batch counterparts; equivalence is asserted in the test
-suite (exact for counts and means, approximate for sampled quantiles).
+All mirror their batch counterparts; equivalence is asserted by the
+differential test layer (exact for counts, sums and derived ratios,
+approximate only for sampled quantiles).  The implementations are kept
+deliberately independent of the batch code paths so the differential
+tests compare two genuinely different computations.
 """
 
 from __future__ import annotations
@@ -22,8 +28,9 @@ from dataclasses import dataclass
 from typing import Iterable
 
 from repro.core.dataset import StudyWindow
+from repro.core.weekly import EVENING_HOURS, WeeklyResult
 from repro.logs.records import MmeRecord, ProxyRecord
-from repro.logs.timeutil import hour_of_day
+from repro.logs.timeutil import hour_of_day, is_weekend, weekday
 from repro.stats.streaming import OnlineStats, P2Quantile, ReservoirSampler
 
 
@@ -213,4 +220,114 @@ class StreamingActivity:
             mean_active_days_per_week=sum(days_per_week) / len(days_per_week),
             mean_active_hours_per_day=sum(hours_per_day) / len(hours_per_day),
             distinct_users=len(self._user_days),
+        )
+
+
+class StreamingWeekly:
+    """One-pass §4.2 aggregation over the full proxy stream.
+
+    Unlike :class:`StreamingActivity` this consumes *every* proxy record —
+    the wearable share of total ISP traffic needs the phone traffic in the
+    denominators.  State is a handful of fixed-size hour/day-of-week
+    accumulators plus one ``(subscriber, date)`` set per day of week:
+    O(active wearable user-days), independent of record count.
+
+    Produces the same :class:`~repro.core.weekly.WeeklyResult` as the
+    batch :func:`~repro.core.weekly.analyze_weekly`; the differential test
+    layer asserts exact agreement.
+    """
+
+    def __init__(self, window: StudyWindow, wearable_tacs: frozenset[str]) -> None:
+        self._window = window
+        self._tacs = wearable_tacs
+        self._dow_tx = [0.0] * 7
+        self._dow_bytes = [0.0] * 7
+        self._dow_users: list[set[tuple[str, int]]] = [set() for _ in range(7)]
+        self._hour_wearable = [0] * 24
+        self._hour_total = [0] * 24
+        self._daytype_wearable = {True: 0, False: 0}
+        self._daytype_total = {True: 0, False: 0}
+        self._seen_dates: dict[int, set[int]] = defaultdict(set)
+
+    def add(self, record: ProxyRecord) -> None:
+        timestamp = record.timestamp
+        if not self._window.in_detailed(timestamp):
+            return
+        hour = hour_of_day(timestamp)
+        weekend = is_weekend(timestamp)
+        dow = weekday(timestamp)
+        date = self._window.day_of(timestamp)
+        self._seen_dates[dow].add(date)
+        self._hour_total[hour] += 1
+        self._daytype_total[weekend] += 1
+        if record.tac in self._tacs:
+            self._dow_tx[dow] += 1
+            self._dow_bytes[dow] += record.total_bytes
+            self._dow_users[dow].add((record.subscriber_id, date))
+            self._hour_wearable[hour] += 1
+            self._daytype_wearable[weekend] += 1
+
+    def consume(self, records: Iterable[ProxyRecord]) -> "StreamingWeekly":
+        for record in records:
+            self.add(record)
+        return self
+
+    def result(self) -> WeeklyResult:
+        if sum(self._dow_tx) == 0:
+            raise ValueError("no wearable transactions in the detailed window")
+
+        day_count = {dow: len(dates) for dow, dates in self._seen_dates.items()}
+
+        def per_day(series: list[float]) -> list[float]:
+            return [
+                series[dow] / day_count[dow] if day_count.get(dow) else 0.0
+                for dow in range(7)
+            ]
+
+        def index(values: list[float]) -> list[float]:
+            mean = sum(values) / len(values)
+            if mean == 0:
+                return [0.0] * len(values)
+            return [value / mean for value in values]
+
+        tx_index = index(per_day(self._dow_tx))
+        bytes_index = index(per_day(self._dow_bytes))
+        users_index = index(
+            per_day([float(len(users)) for users in self._dow_users])
+        )
+        max_deviation = max(abs(value - 1.0) for value in tx_index)
+
+        shares = [
+            self._hour_wearable[hour] / self._hour_total[hour]
+            if self._hour_total[hour]
+            else 0.0
+            for hour in range(24)
+        ]
+        relative_by_hour = index(shares)
+
+        def share(weekend: bool) -> float:
+            total = self._daytype_total[weekend]
+            return self._daytype_wearable[weekend] / total if total else 0.0
+
+        weekday_share = share(False)
+        weekend_boost = share(True) / weekday_share if weekday_share else 0.0
+
+        evening_wearable = sum(self._hour_wearable[h] for h in EVENING_HOURS)
+        evening_total = sum(self._hour_total[h] for h in EVENING_HOURS)
+        rest_wearable = sum(self._hour_wearable) - evening_wearable
+        rest_total = sum(self._hour_total) - evening_total
+        evening_share = (
+            evening_wearable / evening_total if evening_total else 0.0
+        )
+        rest_share = rest_wearable / rest_total if rest_total else 0.0
+        evening_boost = evening_share / rest_share if rest_share else 0.0
+
+        return WeeklyResult(
+            weekday_tx_index=tx_index,
+            weekday_bytes_index=bytes_index,
+            weekday_users_index=users_index,
+            max_daily_tx_deviation=max_deviation,
+            relative_usage_by_hour=relative_by_hour,
+            weekend_relative_boost=weekend_boost,
+            evening_relative_boost=evening_boost,
         )

@@ -23,8 +23,23 @@ from repro.logs.records import (
     MmeRecord,
     ProxyRecord,
 )
+from repro.logs.faults import (
+    FAULT_CLASSES,
+    FAULT_ISSUE_CODES,
+    FaultSpec,
+    InjectionReport,
+    corrupt_trace,
+)
+from repro.logs.quarantine import (
+    MAX_EXAMPLES,
+    Issue,
+    IssueSet,
+    QuarantineCollector,
+    QuarantineReport,
+)
 from repro.logs.io import (
     LogReadError,
+    log_kind,
     read_csv_records,
     read_jsonl_records,
     read_mme_log,
@@ -53,11 +68,22 @@ __all__ = [
     "EVENT_DETACH",
     "EVENT_HANDOVER",
     "EVENT_TAU",
+    "FAULT_CLASSES",
+    "FAULT_ISSUE_CODES",
+    "FaultSpec",
+    "InjectionReport",
+    "Issue",
+    "IssueSet",
+    "LogReadError",
+    "MAX_EXAMPLES",
+    "MmeRecord",
     "PROTOCOL_HTTP",
     "PROTOCOL_HTTPS",
-    "LogReadError",
-    "MmeRecord",
     "ProxyRecord",
+    "QuarantineCollector",
+    "QuarantineReport",
+    "corrupt_trace",
+    "log_kind",
     "SECONDS_PER_DAY",
     "SECONDS_PER_HOUR",
     "SECONDS_PER_WEEK",

@@ -1,0 +1,397 @@
+"""Deterministic fault injection for exported trace directories.
+
+Months of real ISP logs are never pristine: gzip members get truncated by
+full disks, rows get dropped or doubled by at-least-once shippers, clocks
+skew, IMEIs arrive mangled, whole files go missing.  This module *builds*
+such traces on purpose, so the lenient ingestion path and every later
+robustness feature can be tested against reproducible chaos instead of
+hand-crafted fixtures.
+
+:func:`corrupt_trace` copies a trace directory (as written by
+``SimulationOutput.write`` / ``EngineRun.write``) and applies a seeded
+:class:`FaultSpec` to the two log files.  All randomness derives from
+``random.Random(f"{seed}:{stem}")``, so a given (trace, spec) pair always
+produces byte-identical corruption; a spec with every rate at zero is a
+byte-identical no-op (files are copied verbatim, never re-encoded).
+
+Fault classes and how lenient ingestion surfaces them:
+
+===============  =====================================  ====================
+fault class      what is injected                       quarantine evidence
+===============  =====================================  ====================
+``dropped``      row silently removed                   row-count deficit
+``duplicated``   row emitted twice, back to back        ``<log>-duplicate``
+``shuffled``     timestamps swapped with the previous   ``<log>-order``
+                 row (out-of-order events)
+``bad_imei``     IMEI replaced with a malformed one     ``<log>-imei``
+``bad_sector``   sector id not in the cell plan (MME)   ``mme-sector``
+``bad_bytes``    NaN / negative byte counts (proxy)     ``<log>-value``
+``garbage``      non-CSV noise line inserted            ``<log>-fields``
+``truncated``    file cut mid-byte (kills the tail of   ``<log>-truncated``
+                 a gzip member / the final CSV row)
+``dropped_file`` whole log file absent                  ``<log>-missing``
+===============  =====================================  ====================
+"""
+
+from __future__ import annotations
+
+import csv
+import gzip
+import io as _io
+import random
+import shutil
+from dataclasses import dataclass, fields as dataclass_fields, replace
+from pathlib import Path
+
+__all__ = [
+    "FAULT_CLASSES",
+    "FAULT_ISSUE_CODES",
+    "FaultSpec",
+    "InjectionReport",
+    "corrupt_trace",
+]
+
+#: The two row-oriented log files a trace directory contains.
+LOG_STEMS = ("proxy", "mme")
+
+#: Every fault class :func:`corrupt_trace` can inject.
+FAULT_CLASSES = (
+    "dropped",
+    "duplicated",
+    "shuffled",
+    "bad_imei",
+    "bad_sector",
+    "bad_bytes",
+    "garbage",
+    "truncated",
+    "dropped_file",
+)
+
+#: fault class -> quarantine issue code template (``{stem}`` is the log
+#: name).  ``dropped`` is absent: silently removed rows leave no per-row
+#: evidence, only a row-count deficit.
+FAULT_ISSUE_CODES = {
+    "duplicated": "{stem}-duplicate",
+    "shuffled": "{stem}-order",
+    "bad_imei": "{stem}-imei",
+    "bad_sector": "mme-sector",
+    "bad_bytes": "{stem}-value",
+    "garbage": "{stem}-fields",
+    "truncated": "{stem}-truncated",
+    "dropped_file": "{stem}-missing",
+}
+
+_GARBAGE_ALPHABET = "abcdefABCDEF0123456789#@!$%^&*"
+
+
+@dataclass(frozen=True, slots=True)
+class FaultSpec:
+    """Seeded description of what to break, and how often.
+
+    All ``*_rate`` values are per-row probabilities in ``[0, 1]``.
+    ``truncate_fraction`` removes that fraction of the *bytes* from the
+    tail of each file named in ``truncate_files`` (on a gzip file this
+    corrupts the member, so readers lose everything after the cut;
+    on plain CSV it leaves one torn final row).  ``drop_files`` removes
+    whole logs from the corrupted copy.
+    """
+
+    seed: int = 0
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    shuffle_rate: float = 0.0
+    bad_imei_rate: float = 0.0
+    bad_sector_rate: float = 0.0
+    bad_bytes_rate: float = 0.0
+    garbage_rate: float = 0.0
+    truncate_fraction: float = 0.0
+    truncate_files: tuple[str, ...] = ("proxy",)
+    drop_files: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        for spec in dataclass_fields(self):
+            if spec.name.endswith("_rate") or spec.name == "truncate_fraction":
+                value = getattr(self, spec.name)
+                if not 0.0 <= value <= 1.0:
+                    raise ValueError(f"{spec.name} must be in [0, 1], got {value!r}")
+        for name in (*self.truncate_files, *self.drop_files):
+            if name not in LOG_STEMS:
+                raise ValueError(
+                    f"unknown log stem {name!r}; expected one of {LOG_STEMS}"
+                )
+
+    # ------------------------------------------------------------ presets
+    @classmethod
+    def chaos(cls, seed: int = 0, rate: float = 0.02) -> "FaultSpec":
+        """Every row-level fault class at ``rate``, plus a truncated
+        proxy tail — the standard chaos fixture for resilience tests."""
+        return cls(
+            seed=seed,
+            drop_rate=rate,
+            duplicate_rate=rate,
+            shuffle_rate=rate,
+            bad_imei_rate=rate,
+            bad_sector_rate=rate,
+            bad_bytes_rate=rate,
+            garbage_rate=rate,
+            truncate_fraction=0.2,
+            truncate_files=("proxy",),
+        )
+
+    def with_rate(self, rate: float) -> "FaultSpec":
+        """Copy of this spec with every row-level rate set to ``rate``."""
+        return replace(
+            self,
+            drop_rate=rate,
+            duplicate_rate=rate,
+            shuffle_rate=rate,
+            bad_imei_rate=rate,
+            bad_sector_rate=rate,
+            bad_bytes_rate=rate,
+            garbage_rate=rate,
+        )
+
+    # ---------------------------------------------------------- inspection
+    @property
+    def row_rates(self) -> dict[str, float]:
+        return {
+            "dropped": self.drop_rate,
+            "duplicated": self.duplicate_rate,
+            "shuffled": self.shuffle_rate,
+            "bad_imei": self.bad_imei_rate,
+            "bad_sector": self.bad_sector_rate,
+            "bad_bytes": self.bad_bytes_rate,
+            "garbage": self.garbage_rate,
+        }
+
+    def touches_rows(self) -> bool:
+        return any(rate > 0.0 for rate in self.row_rates.values())
+
+    def truncates(self, stem: str) -> bool:
+        return self.truncate_fraction > 0.0 and stem in self.truncate_files
+
+
+@dataclass(slots=True)
+class InjectionReport:
+    """What :func:`corrupt_trace` actually injected.
+
+    ``counts`` is keyed ``"<stem>.<fault>"`` (e.g. ``"proxy.dropped"``);
+    :meth:`total` aggregates one fault class across logs.
+    """
+
+    seed: int
+    counts: dict[str, int]
+    source: str = ""
+    destination: str = ""
+
+    def total(self, fault: str) -> int:
+        if fault not in FAULT_CLASSES:
+            raise KeyError(f"unknown fault class {fault!r}")
+        return sum(
+            count
+            for key, count in self.counts.items()
+            if key.split(".", 1)[1] == fault
+        )
+
+    def injected_classes(self) -> frozenset[str]:
+        """Fault classes injected at least once."""
+        return frozenset(
+            fault for fault in FAULT_CLASSES if self.total(fault) > 0
+        )
+
+    def expected_issue_codes(self) -> frozenset[str]:
+        """Quarantine issue codes a lenient load of the corrupted trace
+        must report with nonzero counts (``dropped`` leaves none)."""
+        codes: set[str] = set()
+        for key, count in self.counts.items():
+            if count <= 0:
+                continue
+            stem, fault = key.split(".", 1)
+            template = FAULT_ISSUE_CODES.get(fault)
+            if template is not None:
+                codes.add(template.format(stem=stem))
+        return frozenset(codes)
+
+    def summary(self) -> str:
+        lines = [f"fault injection (seed {self.seed}):"]
+        injected = {key: n for key, n in sorted(self.counts.items()) if n}
+        if not injected:
+            lines.append("  no faults injected")
+        for key, count in injected.items():
+            lines.append(f"  {key}: {count}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "source": self.source,
+            "destination": self.destination,
+            "counts": dict(self.counts),
+            "totals": {fault: self.total(fault) for fault in FAULT_CLASSES},
+        }
+
+
+# ----------------------------------------------------------------- helpers
+def _read_log_rows(path: Path) -> list[list[str]]:
+    """All CSV rows (header included) of a plain or gzipped log."""
+    if path.suffix == ".gz":
+        with gzip.open(path, "rt", encoding="utf-8", newline="") as handle:
+            return list(csv.reader(handle))
+    with path.open("r", newline="", encoding="utf-8") as handle:
+        return list(csv.reader(handle))
+
+
+def _serialize_log(entries: list, is_gzip: bool) -> bytes:
+    """Render ``("row", fields) | ("raw", text)`` entries to file bytes.
+
+    Uses the same csv dialect the exporters use, so untouched rows come
+    out byte-identical; gzip output pins ``mtime=0`` so corruption is
+    reproducible byte-for-byte across runs.
+    """
+    buffer = _io.StringIO(newline="")
+    writer = csv.writer(buffer)
+    for kind, payload in entries:
+        if kind == "row":
+            writer.writerow(payload)
+        else:
+            buffer.write(payload + "\r\n")
+    data = buffer.getvalue().encode("utf-8")
+    if is_gzip:
+        return gzip.compress(data, compresslevel=6, mtime=0)
+    return data
+
+
+def _swap_timestamps(
+    previous: list[str], current: list[str], ts_index: int
+) -> bool:
+    """Swap the timestamp fields of two rows; False when impossible."""
+    if ts_index >= len(previous) or ts_index >= len(current):
+        return False
+    a, b = previous[ts_index], current[ts_index]
+    if a == b:
+        return False
+    try:
+        float(a), float(b)
+    except ValueError:
+        return False
+    previous[ts_index], current[ts_index] = b, a
+    return True
+
+
+def _mutate_imei(imei: str, rng: random.Random) -> str:
+    choice = rng.randrange(3)
+    if choice == 0:
+        return imei[:7]  # too short
+    if choice == 1:
+        return "IMEI" + imei[4:]  # letters in the digits
+    return imei + "99"  # too long
+
+
+def _corrupt_log(
+    src: Path,
+    stem: str,
+    spec: FaultSpec,
+    rng: random.Random,
+    counts: dict[str, int],
+) -> bytes:
+    """Apply row-level faults to one log file; returns the new bytes."""
+
+    def bump(fault: str, by: int = 1) -> None:
+        key = f"{stem}.{fault}"
+        counts[key] = counts.get(key, 0) + by
+
+    rows = _read_log_rows(src)
+    header, data = rows[0], rows[1:]
+    column = {name: index for index, name in enumerate(header)}
+    ts_index = column.get("timestamp")
+
+    entries: list = [("row", header)]
+    previous_index: int | None = None  # index of the last data row kept
+    for fields in data:
+        if rng.random() < spec.garbage_rate:
+            noise = "".join(rng.choices(_GARBAGE_ALPHABET, k=24))
+            entries.append(("raw", noise))
+            bump("garbage")
+        if rng.random() < spec.drop_rate:
+            bump("dropped")
+            continue
+        fields = list(fields)
+        # Field mutations are exclusive per row so injected counts map
+        # one-to-one onto quarantined rows.
+        if "imei" in column and rng.random() < spec.bad_imei_rate:
+            fields[column["imei"]] = _mutate_imei(fields[column["imei"]], rng)
+            bump("bad_imei")
+        elif "sector_id" in column and rng.random() < spec.bad_sector_rate:
+            fields[column["sector_id"]] = f"sector-bogus-{rng.randrange(10**6)}"
+            bump("bad_sector")
+        elif "bytes_up" in column and rng.random() < spec.bad_bytes_rate:
+            fields[column["bytes_up"]] = rng.choice(("NaN", "-1", "-4096"))
+            bump("bad_bytes")
+        if (
+            ts_index is not None
+            and previous_index is not None
+            and rng.random() < spec.shuffle_rate
+        ):
+            prev_kind, prev_fields = entries[previous_index]
+            if prev_kind == "row" and _swap_timestamps(
+                prev_fields, fields, ts_index
+            ):
+                bump("shuffled")
+        entries.append(("row", fields))
+        previous_index = len(entries) - 1
+        if rng.random() < spec.duplicate_rate:
+            entries.append(("row", list(fields)))
+            bump("duplicated")
+
+    return _serialize_log(entries, is_gzip=src.suffix == ".gz")
+
+
+def corrupt_trace(
+    source: str | Path, destination: str | Path, spec: FaultSpec
+) -> InjectionReport:
+    """Copy a trace directory, injecting the faults described by ``spec``.
+
+    Files the spec does not touch (side artefacts, or the logs themselves
+    when every rate is zero) are copied byte-for-byte, which is what makes
+    an all-zero spec a provable no-op.  The source directory is never
+    modified.
+    """
+    src_base = Path(source)
+    dst_base = Path(destination)
+    if not (src_base / "metadata.json").exists():
+        raise FileNotFoundError(
+            f"not a trace directory (missing metadata.json): {src_base}"
+        )
+    dst_base.mkdir(parents=True, exist_ok=True)
+
+    counts: dict[str, int] = {}
+    for path in sorted(src_base.iterdir()):
+        if not path.is_file():
+            continue
+        stem = path.name.split(".", 1)[0]
+        target = dst_base / path.name
+        if stem in LOG_STEMS and stem in spec.drop_files:
+            counts[f"{stem}.dropped_file"] = 1
+            continue
+        if stem not in LOG_STEMS or not (
+            spec.touches_rows() or spec.truncates(stem)
+        ):
+            shutil.copyfile(path, target)
+            continue
+        rng = random.Random(f"{spec.seed}:{stem}")
+        if spec.touches_rows():
+            data = _corrupt_log(path, stem, spec, rng, counts)
+        else:
+            data = path.read_bytes()
+        if spec.truncates(stem):
+            keep = int(len(data) * (1.0 - spec.truncate_fraction))
+            data = data[:keep]
+            counts[f"{stem}.truncated"] = counts.get(f"{stem}.truncated", 0) + 1
+        target.write_bytes(data)
+
+    return InjectionReport(
+        seed=spec.seed,
+        counts=counts,
+        source=str(src_base),
+        destination=str(dst_base),
+    )

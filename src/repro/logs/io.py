@@ -8,8 +8,16 @@ Two wire formats are supported for every record type:
   inspection and for appending heterogeneous metadata.
 
 Readers are generators: a seven-week proxy trace is consumed row by row and
-never materialised.  Malformed rows raise :class:`LogReadError` carrying the
-file name and line number so broken exports are easy to locate.
+never materialised.  Two failure disciplines are supported:
+
+* **strict** (the default): malformed rows raise :class:`LogReadError`
+  carrying the file name, line number and a machine-readable issue code so
+  broken exports are easy to locate;
+* **lenient**: pass a :class:`~repro.logs.quarantine.QuarantineCollector`
+  and bad rows are recorded and *skipped* instead of raising — truncated
+  gzip members and mid-stream decode failures end the stream gracefully,
+  keeping every row parsed so far.  This is how the pipeline survives the
+  dirty, partial exports real cellular vantage points produce.
 """
 
 from __future__ import annotations
@@ -22,6 +30,7 @@ from functools import lru_cache
 from pathlib import Path
 from typing import IO, Iterable, Iterator, Type, TypeVar
 
+from repro.logs.quarantine import QuarantineCollector
 from repro.logs.records import MME_FIELDS, PROXY_FIELDS, MmeRecord, ProxyRecord
 
 RecordT = TypeVar("RecordT", ProxyRecord, MmeRecord)
@@ -53,13 +62,44 @@ def _open_text(path: Path, mode: str) -> IO[str]:
 
 
 class LogReadError(ValueError):
-    """A log file contained a row that could not be parsed."""
+    """A log file contained a row (or a stream) that could not be parsed.
 
-    def __init__(self, path: Path, line_number: int, reason: str) -> None:
+    ``code`` is the defect class suffix used by the shared issue
+    vocabulary (:mod:`repro.logs.quarantine`): ``"fields"`` for rows with
+    missing columns, ``"value"`` for unparseable or out-of-domain values,
+    ``"parse"`` for undecodable JSON rows and ``"truncated"`` for streams
+    that died mid-read (bad gzip member, empty file, decode error).
+    """
+
+    def __init__(
+        self, path: Path, line_number: int, reason: str, code: str = "value"
+    ) -> None:
         super().__init__(f"{path}:{line_number}: {reason}")
         self.path = path
         self.line_number = line_number
         self.reason = reason
+        self.code = code
+
+
+def log_kind(record_type: type) -> str:
+    """Short stream name used in issue codes (``proxy`` / ``mme``)."""
+    if record_type is ProxyRecord:
+        return "proxy"
+    if record_type is MmeRecord:
+        return "mme"
+    return record_type.__name__.lower()
+
+
+#: Human labels for per-row quarantine codes.
+_ROW_MESSAGES = {
+    "fields": "row with missing fields",
+    "value": "row with an unparseable or out-of-domain value",
+    "parse": "row that could not be parsed",
+}
+
+#: Exceptions that mean the underlying *stream* died (truncated gzip
+#: member, undecodable bytes, NUL bytes confusing the csv module, ...).
+_STREAM_ERRORS = (EOFError, gzip.BadGzipFile, UnicodeDecodeError, csv.Error, OSError)
 
 
 @lru_cache(maxsize=None)
@@ -90,20 +130,27 @@ def _coerce_row(
     line_number: int,
 ) -> RecordT:
     """Build one record from a string-valued mapping."""
+    types = _field_types(record_type)
+    missing = [name for name in types if name not in row or row[name] is None]
+    if missing:
+        raise LogReadError(
+            path,
+            line_number,
+            "missing field " + ", ".join(repr(name) for name in missing),
+            code="fields",
+        )
     converted: dict[str, object] = {}
-    for name, type_ in _field_types(record_type).items():
-        if name not in row or row[name] is None:
-            raise LogReadError(path, line_number, f"missing field {name!r}")
+    for name, type_ in types.items():
         try:
             converted[name] = type_(row[name])
         except (TypeError, ValueError) as exc:
             raise LogReadError(
-                path, line_number, f"bad value for {name!r}: {exc}"
+                path, line_number, f"bad value for {name!r}: {exc}", code="value"
             ) from exc
     try:
         return record_type(**converted)  # type: ignore[arg-type]
     except ValueError as exc:
-        raise LogReadError(path, line_number, str(exc)) from exc
+        raise LogReadError(path, line_number, str(exc), code="value") from exc
 
 
 def write_csv_records(
@@ -126,15 +173,70 @@ def write_csv_records(
 def read_csv_records(
     path: str | Path,
     record_type: Type[RecordT],
+    quarantine: QuarantineCollector | None = None,
 ) -> Iterator[RecordT]:
-    """Stream records from a CSV file written by :func:`write_csv_records`."""
+    """Stream records from a CSV file written by :func:`write_csv_records`.
+
+    Strict by default.  With a ``quarantine`` collector, malformed rows
+    are recorded and skipped, and a stream that dies mid-read (truncated
+    gzip member, decode error) ends the iteration gracefully after noting
+    a ``<kind>-truncated`` issue — every row parsed before the failure is
+    still yielded.
+    """
     source = Path(path)
-    with _open_text(source, "r") as handle:
-        reader = csv.DictReader(handle)
-        if reader.fieldnames is None:
-            raise LogReadError(source, 1, "empty file (no header row)")
-        for line_number, row in enumerate(reader, start=2):
-            yield _coerce_row(record_type, row, source, line_number)
+    kind = log_kind(record_type)
+    try:
+        with _open_text(source, "r") as handle:
+            reader = csv.DictReader(handle)
+            if reader.fieldnames is None:
+                if quarantine is not None:
+                    quarantine.note(
+                        f"{kind}-truncated",
+                        "log file empty (no header row)",
+                        str(source),
+                    )
+                    return
+                raise LogReadError(
+                    source, 1, "empty file (no header row)", code="truncated"
+                )
+            rows = enumerate(reader, start=2)
+            while True:
+                try:
+                    line_number, row = next(rows)
+                except StopIteration:
+                    return
+                if quarantine is None:
+                    yield _coerce_row(record_type, row, source, line_number)
+                    continue
+                quarantine.saw_row(kind)
+                try:
+                    record = _coerce_row(record_type, row, source, line_number)
+                except LogReadError as exc:
+                    quarantine.quarantine_row(
+                        kind,
+                        f"{kind}-{exc.code}",
+                        _ROW_MESSAGES.get(exc.code, "unparseable row"),
+                        f"{source.name}:{line_number}: {exc.reason}",
+                    )
+                    continue
+                yield record
+    except FileNotFoundError:
+        if quarantine is None:
+            raise
+        quarantine.note(f"{kind}-missing", "log file missing", str(source))
+    except _STREAM_ERRORS as exc:
+        if quarantine is None:
+            raise LogReadError(
+                source,
+                0,
+                f"unreadable or truncated stream: {exc}",
+                code="truncated",
+            ) from exc
+        quarantine.note(
+            f"{kind}-truncated",
+            "log stream unreadable or truncated mid-read; tail rows lost",
+            f"{source.name}: {exc}",
+        )
 
 
 def write_jsonl_records(path: str | Path, records: Iterable[RecordT]) -> int:
@@ -155,26 +257,67 @@ def write_jsonl_records(path: str | Path, records: Iterable[RecordT]) -> int:
 def read_jsonl_records(
     path: str | Path,
     record_type: Type[RecordT],
+    quarantine: QuarantineCollector | None = None,
 ) -> Iterator[RecordT]:
-    """Stream records from a JSON-lines file."""
+    """Stream records from a JSON-lines file.
+
+    Same strict/lenient contract as :func:`read_csv_records`.
+    """
     source = Path(path)
-    with _open_text(source, "r") as handle:
-        for line_number, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                row = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise LogReadError(source, line_number, f"bad JSON: {exc}") from exc
-            if not isinstance(row, dict):
-                raise LogReadError(source, line_number, "row is not an object")
-            yield _coerce_row(
-                record_type,
-                {key: value for key, value in row.items()},
+    kind = log_kind(record_type)
+    try:
+        with _open_text(source, "r") as handle:
+            lines = enumerate(handle, start=1)
+            while True:
+                try:
+                    line_number, line = next(lines)
+                except StopIteration:
+                    return
+                line = line.strip()
+                if not line:
+                    continue
+                if quarantine is not None:
+                    quarantine.saw_row(kind)
+                try:
+                    try:
+                        row = json.loads(line)
+                    except json.JSONDecodeError as exc:
+                        raise LogReadError(
+                            source, line_number, f"bad JSON: {exc}", code="parse"
+                        ) from exc
+                    if not isinstance(row, dict):
+                        raise LogReadError(
+                            source, line_number, "row is not an object", code="parse"
+                        )
+                    record = _coerce_row(record_type, dict(row), source, line_number)
+                except LogReadError as exc:
+                    if quarantine is None:
+                        raise
+                    quarantine.quarantine_row(
+                        kind,
+                        f"{kind}-{exc.code}",
+                        _ROW_MESSAGES.get(exc.code, "unparseable row"),
+                        f"{source.name}:{line_number}: {exc.reason}",
+                    )
+                    continue
+                yield record
+    except FileNotFoundError:
+        if quarantine is None:
+            raise
+        quarantine.note(f"{kind}-missing", "log file missing", str(source))
+    except _STREAM_ERRORS as exc:
+        if quarantine is None:
+            raise LogReadError(
                 source,
-                line_number,
-            )
+                0,
+                f"unreadable or truncated stream: {exc}",
+                code="truncated",
+            ) from exc
+        quarantine.note(
+            f"{kind}-truncated",
+            "log stream unreadable or truncated mid-read; tail rows lost",
+            f"{source.name}: {exc}",
+        )
 
 
 def write_proxy_log(path: str | Path, records: Iterable[ProxyRecord]) -> int:
@@ -182,9 +325,11 @@ def write_proxy_log(path: str | Path, records: Iterable[ProxyRecord]) -> int:
     return write_csv_records(path, records, PROXY_FIELDS)
 
 
-def read_proxy_log(path: str | Path) -> Iterator[ProxyRecord]:
+def read_proxy_log(
+    path: str | Path, quarantine: QuarantineCollector | None = None
+) -> Iterator[ProxyRecord]:
     """Stream a transparent-proxy transaction log written as CSV."""
-    return read_csv_records(path, ProxyRecord)
+    return read_csv_records(path, ProxyRecord, quarantine)
 
 
 def write_mme_log(path: str | Path, records: Iterable[MmeRecord]) -> int:
@@ -192,6 +337,8 @@ def write_mme_log(path: str | Path, records: Iterable[MmeRecord]) -> int:
     return write_csv_records(path, records, MME_FIELDS)
 
 
-def read_mme_log(path: str | Path) -> Iterator[MmeRecord]:
+def read_mme_log(
+    path: str | Path, quarantine: QuarantineCollector | None = None
+) -> Iterator[MmeRecord]:
     """Stream an MME mobility event log written as CSV."""
-    return read_csv_records(path, MmeRecord)
+    return read_csv_records(path, MmeRecord, quarantine)

@@ -7,6 +7,11 @@ timestamps ordered and inside the declared window.  :func:`validate_trace`
 checks all of it and returns a :class:`ValidationReport` listing each
 violation with a bounded number of examples, rather than dying on the
 first bad row.
+
+Issues are expressed in the shared vocabulary of
+:mod:`repro.logs.quarantine`, so a report over a leniently loaded trace
+(where ingestion already quarantined rows) folds the ingestion issues in
+and the two stages tell one coherent story.
 """
 
 from __future__ import annotations
@@ -15,28 +20,19 @@ from dataclasses import dataclass, field
 
 from repro.core.dataset import StudyDataset
 from repro.devicedb.tac import IMEI_LENGTH
+from repro.logs.quarantine import MAX_EXAMPLES, Issue, IssueSet
 from repro.logs.timeutil import SECONDS_PER_HOUR
 
-#: How many offending examples each issue keeps.
-MAX_EXAMPLES = 5
+__all__ = [
+    "MAX_EXAMPLES",
+    "Issue",
+    "ValidationReport",
+    "WINDOW_SLACK_S",
+    "validate_trace",
+]
 
 #: Sessions may spill slightly past the last midnight of the window.
 WINDOW_SLACK_S = 1 * SECONDS_PER_HOUR
-
-
-@dataclass(slots=True)
-class Issue:
-    """One class of violation with representative examples."""
-
-    code: str
-    message: str
-    count: int = 0
-    examples: list[str] = field(default_factory=list)
-
-    def record(self, example: str) -> None:
-        self.count += 1
-        if len(self.examples) < MAX_EXAMPLES:
-            self.examples.append(example)
 
 
 @dataclass(slots=True)
@@ -46,6 +42,9 @@ class ValidationReport:
     proxy_records: int = 0
     mme_records: int = 0
     issues: list[Issue] = field(default_factory=list)
+    #: Rows lenient ingestion dropped before validation ever saw the
+    #: dataset (0 for strict loads).
+    rows_quarantined: int = 0
 
     @property
     def ok(self) -> bool:
@@ -56,6 +55,8 @@ class ValidationReport:
             f"proxy records: {self.proxy_records:,}",
             f"mme records:   {self.mme_records:,}",
         ]
+        if self.rows_quarantined:
+            lines.append(f"quarantined:   {self.rows_quarantined:,} rows")
         if self.ok:
             lines.append("no issues found")
         for issue in self.issues:
@@ -65,23 +66,18 @@ class ValidationReport:
         return "\n".join(lines)
 
 
-class _IssueSet:
-    def __init__(self) -> None:
-        self._issues: dict[str, Issue] = {}
-
-    def record(self, code: str, message: str, example: str) -> None:
-        issue = self._issues.get(code)
-        if issue is None:
-            issue = Issue(code=code, message=message)
-            self._issues[code] = issue
-        issue.record(example)
-
-    def to_list(self) -> list[Issue]:
-        return list(self._issues.values())
+#: Backwards-compatible alias; the implementation moved to
+#: :mod:`repro.logs.quarantine` so ingestion shares it.
+_IssueSet = IssueSet
 
 
 def validate_trace(dataset: StudyDataset) -> ValidationReport:
-    """Validate a loaded trace; returns a report instead of raising."""
+    """Validate a loaded trace; returns a report instead of raising.
+
+    When the dataset was loaded leniently, the ingestion-side quarantine
+    issues are folded into the report (first, in ingestion order) so one
+    summary covers everything wrong with the trace.
+    """
     issues = _IssueSet()
     window = dataset.window
     directory = dataset.account_directory
@@ -150,8 +146,16 @@ def validate_trace(dataset: StudyDataset) -> ValidationReport:
                 "mme-imei", "malformed IMEI in MME log", f"{where} {record.imei!r}"
             )
 
+    merged: list[Issue] = []
+    rows_quarantined = 0
+    if dataset.quarantine is not None:
+        merged.extend(dataset.quarantine.issues)
+        rows_quarantined = dataset.quarantine.total_quarantined
+    merged.extend(issues.to_list())
+
     return ValidationReport(
         proxy_records=len(dataset.proxy_records),
         mme_records=len(dataset.mme_records),
-        issues=issues.to_list(),
+        issues=merged,
+        rows_quarantined=rows_quarantined,
     )

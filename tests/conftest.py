@@ -32,6 +32,22 @@ def small_study(small_dataset: StudyDataset) -> WearableStudy:
 
 
 @pytest.fixture(scope="session")
+def small_trace_dir(small_output: SimulationOutput, tmp_path_factory):
+    """The small simulation exported as a plain-CSV trace directory."""
+    base = tmp_path_factory.mktemp("trace") / "small"
+    small_output.write(base)
+    return base
+
+
+@pytest.fixture(scope="session")
+def small_trace_dir_gz(small_output: SimulationOutput, tmp_path_factory):
+    """The small simulation exported gzip-compressed."""
+    base = tmp_path_factory.mktemp("trace-gz") / "small"
+    small_output.write(base, compress=True)
+    return base
+
+
+@pytest.fixture(scope="session")
 def medium_output() -> SimulationOutput:
     """The integration-scale simulation used for calibration-band tests."""
     return Simulator(SimulationConfig.medium(seed=42)).run()

@@ -1,0 +1,80 @@
+"""Golden-trace regression: the small preset is frozen, byte for byte.
+
+The exported trace of ``SimulationConfig.small(seed=7)`` is part of the
+repo's compatibility contract: downstream fixtures, the fault-injection
+suite, and the scoreboard all assume it is stable.  These checksums pin
+the *uncompressed* export (gzip embeds no timestamp here, but plain CSV
+removes the container from the equation entirely) for both a serial run
+and a 4-way sharded run — the engine's partition-independence guarantee
+means the merged bytes must be identical either way.
+
+If a change legitimately alters the simulation output (new fields, new
+traffic model), regenerate with::
+
+    PYTHONPATH=src python -c "
+    import hashlib, tempfile, pathlib
+    from repro.simnet.config import SimulationConfig
+    from repro.simnet.engine import ShardedSimulationEngine
+    run = ShardedSimulationEngine(SimulationConfig.small(seed=7)).run_streaming()
+    out = pathlib.Path(tempfile.mkdtemp()) / 'trace'; run.write(out)
+    print({p.name: hashlib.sha256(p.read_bytes()).hexdigest()
+           for p in sorted(out.iterdir())}); run.cleanup()"
+
+and update ``GOLDEN_SHA256`` in the same commit that changes the model.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.simnet.config import SimulationConfig
+from repro.simnet.engine import ShardedSimulationEngine
+
+GOLDEN_SEED = 7
+
+GOLDEN_SHA256 = {
+    "accounts.csv": "74e83d36928dc016f068589432a1074ca0d99cb9569d64dae48e85f244d2122a",
+    "devices.csv": "72c57101dbbe11e494aa7cf9aed3e24204d2ef960db26959b77207df6a99e342",
+    "metadata.json": "1c44b00c3a73a8853b66592e544a7b162b879505d215781f3851ba479349383b",
+    "mme.csv": "662f429fdee980e40ef608bd91f467ed38a47fb7b5244f6084a3eb9d533e7920",
+    "proxy.csv": "dfb12b6d4fedf9cc4ea58cb26705e3d84faae745522bf4e7ba7d236a54a33fe5",
+    "sectors.csv": "c63bc344bf4d8e818505288b0e4e7de97fac395b6aac722fec79207534a6bfbb",
+}
+
+
+def _export(tmp_path, shards: int):
+    run = ShardedSimulationEngine(
+        SimulationConfig.small(seed=GOLDEN_SEED), shards=shards, workers=1
+    ).run_streaming(spool_dir=tmp_path / f"spool-{shards}")
+    out = tmp_path / f"trace-{shards}"
+    run.write(out, compress=False)
+    return out
+
+
+def _digests(directory):
+    return {
+        path.name: hashlib.sha256(path.read_bytes()).hexdigest()
+        for path in sorted(directory.iterdir())
+        if path.is_file()
+    }
+
+
+@pytest.mark.parametrize("shards", [1, 4])
+def test_small_preset_matches_golden_checksums(tmp_path, shards):
+    digests = _digests(_export(tmp_path, shards))
+    assert set(digests) == set(GOLDEN_SHA256)
+    mismatched = {
+        name: digests[name]
+        for name in GOLDEN_SHA256
+        if digests[name] != GOLDEN_SHA256[name]
+    }
+    assert not mismatched, (
+        "simulation output drifted from the golden trace; if intentional, "
+        f"update GOLDEN_SHA256 for: {sorted(mismatched)}"
+    )
+
+
+def test_sharding_is_invisible_in_the_bytes(tmp_path):
+    serial = _digests(_export(tmp_path, 1))
+    sharded = _digests(_export(tmp_path, 4))
+    assert serial == sharded

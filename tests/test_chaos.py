@@ -1,0 +1,108 @@
+"""Chaos acceptance: the full pipeline survives a corrupted trace.
+
+The closed loop the fault-injection harness exists for:
+
+1. export the small simulation as a gzip trace;
+2. corrupt it with the chaos preset (every row fault class plus gzip
+   truncation);
+3. ingest leniently — every injected fault class must surface in the
+   quarantine report under its expected issue code;
+4. run *all* paper analyses to completion on the surviving rows.
+
+Run standalone via ``make chaos``.
+"""
+
+import pytest
+
+from repro.core.dataset import StudyDataset
+from repro.core.pipeline import WearableStudy
+from repro.logs.faults import FAULT_ISSUE_CODES, FaultSpec, corrupt_trace
+from repro.logs.io import LogReadError
+
+
+@pytest.fixture(scope="module")
+def chaos_spec():
+    return FaultSpec.chaos(seed=1234, rate=0.02)
+
+
+@pytest.fixture(scope="module")
+def chaos_trace(small_trace_dir_gz, tmp_path_factory, chaos_spec):
+    out = tmp_path_factory.mktemp("chaos") / "trace"
+    report = corrupt_trace(small_trace_dir_gz, out, chaos_spec)
+    return out, report
+
+
+@pytest.fixture(scope="module")
+def chaos_dataset(chaos_trace):
+    directory, _ = chaos_trace
+    return StudyDataset.load(directory, lenient=True)
+
+
+class TestChaosIngestion:
+    def test_every_injected_fault_is_observed(self, chaos_trace, chaos_dataset):
+        _, injection = chaos_trace
+        quarantine = chaos_dataset.quarantine
+        assert quarantine is not None and not quarantine.ok
+        expected = injection.expected_issue_codes()
+        assert expected  # the chaos preset really injected something
+        for code in expected:
+            assert quarantine.count(code) > 0, f"no quarantine entries for {code}"
+
+    def test_dropped_rows_show_as_deficit(
+        self, small_trace_dir_gz, chaos_trace, chaos_dataset
+    ):
+        _, injection = chaos_trace
+        pristine = StudyDataset.load(small_trace_dir_gz)
+        quarantine = chaos_dataset.quarantine
+        # rows_read counts everything the reader saw; dropped rows are the
+        # only fault class invisible to the reader, so the deficit between
+        # the pristine row count and rows_read is dropped + whatever the
+        # truncation chopped off the end of the gzip member.
+        deficit = len(pristine.proxy_records) - quarantine.rows_read["proxy"]
+        assert deficit >= injection.counts.get("proxy.dropped", 0) > 0
+
+    def test_strict_load_refuses_the_same_trace(self, chaos_trace):
+        directory, _ = chaos_trace
+        with pytest.raises(LogReadError) as excinfo:
+            StudyDataset.load(directory)
+        assert excinfo.value.code in {"value", "fields", "truncated"}
+
+    def test_issue_code_map_covers_every_fault_class(self, chaos_spec):
+        # Guard the vocabulary: every chaos-injectable row fault maps to an
+        # issue-code template (only "dropped" is legitimately silent).
+        for fault in chaos_spec.row_rates:
+            template = FAULT_ISSUE_CODES.get(fault)
+            if fault == "dropped":
+                assert template is None
+            else:
+                assert template
+
+
+class TestChaosAnalyses:
+    def test_full_study_runs_to_completion(self, chaos_dataset):
+        report = WearableStudy(chaos_dataset).run_all()
+        assert report.quarantine is chaos_dataset.quarantine
+        assert report.adoption.daily_counts
+        assert report.activity.mean_tx_bytes > 0
+        assert report.weekly.weekday_tx_index
+        assert len(report.weekly.relative_usage_by_hour) == 24
+
+    def test_quarantine_travels_with_the_report(self, chaos_dataset):
+        study = WearableStudy(chaos_dataset)
+        assert study.quarantine is chaos_dataset.quarantine
+        assert study.quarantine.total_quarantined > 0
+
+
+class TestMissingLogFile:
+    def test_dropped_mme_log_is_survivable(self, small_trace_dir, tmp_path):
+        out = tmp_path / "no-mme"
+        report = corrupt_trace(
+            small_trace_dir, out, FaultSpec(seed=5, drop_files=("mme",))
+        )
+        assert "mme-missing" in report.expected_issue_codes()
+        dataset = StudyDataset.load(out, lenient=True)
+        assert dataset.mme_records == []
+        assert dataset.quarantine.count("mme-missing") == 1
+        # Proxy-side analyses still run.
+        result = WearableStudy(dataset).activity
+        assert result.mean_tx_bytes > 0

@@ -1,5 +1,7 @@
 """End-to-end tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -192,3 +194,146 @@ class TestScoreboard:
         assert "paper" in out
         assert "measured" in out
         assert "growth %/month" in out
+
+
+class TestCleanErrors:
+    """No tracebacks: bad inputs produce one-line diagnostics + exit 2."""
+
+    def test_missing_trace_dir(self, tmp_path, capsys):
+        assert main(["analyze", str(tmp_path / "nope")]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "trace directory not found" in err
+
+    def test_file_instead_of_directory(self, tmp_path, capsys):
+        bogus = tmp_path / "not-a-trace"
+        bogus.mkdir()
+        assert main(["analyze", str(bogus)]) == 2
+        err = capsys.readouterr().err
+        assert "metadata.json" in err
+
+    def test_strict_analyze_of_corrupt_trace_names_the_code(
+        self, trace_dir, tmp_path, capsys
+    ):
+        out = tmp_path / "bad"
+        assert (
+            main(
+                [
+                    "corrupt",
+                    str(trace_dir),
+                    "--out",
+                    str(out),
+                    "--seed",
+                    "3",
+                    "--rate",
+                    "0.05",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["analyze", str(out)]) == 2
+        err = capsys.readouterr().err
+        assert "error [proxy-" in err or "error [mme-" in err
+        assert "--lenient" in err  # the hint
+
+    def test_quarantine_report_requires_lenient(self, trace_dir, tmp_path, capsys):
+        code = main(
+            [
+                "analyze",
+                str(trace_dir),
+                "--quarantine-report",
+                str(tmp_path / "q.json"),
+            ]
+        )
+        assert code == 2
+        assert "--lenient" in capsys.readouterr().err
+
+
+class TestCorrupt:
+    @pytest.fixture(scope="class")
+    def corrupted(self, trace_dir, tmp_path_factory):
+        out = tmp_path_factory.mktemp("cli-corrupt") / "trace"
+        code = main(
+            [
+                "corrupt",
+                str(trace_dir),
+                "--out",
+                str(out),
+                "--seed",
+                "21",
+                "--rate",
+                "0.03",
+                "--truncate",
+                "0.0",
+            ]
+        )
+        assert code == 0
+        return out
+
+    def test_writes_fault_manifest(self, corrupted):
+        manifest = json.loads((corrupted / "faults.json").read_text())
+        assert manifest["seed"] == 21
+        assert any(count > 0 for count in manifest["counts"].values())
+
+    def test_lenient_analyze_completes_with_report(
+        self, corrupted, tmp_path, capsys
+    ):
+        report_path = tmp_path / "quarantine.json"
+        code = main(
+            [
+                "analyze",
+                str(corrupted),
+                "--lenient",
+                "--quarantine-report",
+                str(report_path),
+                "--figures",
+                "fig8",
+            ]
+        )
+        assert code == 0
+        report = json.loads(report_path.read_text())
+        assert report["total_quarantined"] > 0
+        assert "quarantined" in capsys.readouterr().err
+
+    def test_zero_rate_copy_is_identical(self, trace_dir, tmp_path):
+        out = tmp_path / "copy"
+        assert (
+            main(
+                [
+                    "corrupt",
+                    str(trace_dir),
+                    "--out",
+                    str(out),
+                    "--rate",
+                    "0.0",
+                    "--truncate",
+                    "0.0",
+                ]
+            )
+            == 0
+        )
+        assert (out / "proxy.csv").read_bytes() == (
+            trace_dir / "proxy.csv"
+        ).read_bytes()
+
+    def test_drop_file_flag(self, trace_dir, tmp_path):
+        out = tmp_path / "dropped"
+        code = main(
+            [
+                "corrupt",
+                str(trace_dir),
+                "--out",
+                str(out),
+                "--rate",
+                "0.0",
+                "--truncate",
+                "0.0",
+                "--drop-file",
+                "mme",
+            ]
+        )
+        assert code == 0
+        assert not (out / "mme.csv").exists()
+        # …and a lenient validate still exits cleanly with issues reported.
+        assert main(["validate", str(out), "--lenient"]) == 1

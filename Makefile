@@ -4,7 +4,8 @@
 PY ?= python
 PYTEST = PYTHONPATH=src $(PY) -m pytest
 
-.PHONY: test coverage chaos bench bench-perf bench-perf-check trace clean
+.PHONY: test coverage chaos bench bench-perf bench-perf-check trace \
+    obs-smoke clean
 
 ## Tier-1 suite: unit / integration / property tests (the CI gate).
 test:
@@ -36,11 +37,28 @@ bench-perf-check:
 	$(PYTEST) benchmarks/test_perf_engine.py benchmarks/test_perf_io.py \
 	    -q --benchmark-disable
 
+## Observability smoke: simulate the small preset sharded with metrics +
+## chrome-trace artifacts, validate both against their schemas, and render
+## the stage table.  Artifacts land in obs-smoke/ (uploaded by CI).
+obs-smoke:
+	rm -rf obs-smoke && mkdir -p obs-smoke
+	PYTHONPATH=src $(PY) -m repro simulate --preset small --seed 7 \
+	    --shards 4 --workers 2 --out obs-smoke/trace \
+	    --metrics-out obs-smoke/run-report.json \
+	    --trace-out obs-smoke/perfetto-trace.json
+	PYTHONPATH=src $(PY) -c "\
+	from repro.obs.export import validate_run_report_file, \
+	    validate_chrome_trace_file; \
+	validate_run_report_file('obs-smoke/run-report.json'); \
+	validate_chrome_trace_file('obs-smoke/perfetto-trace.json'); \
+	print('obs-smoke: both artifacts schema-valid')"
+	PYTHONPATH=src $(PY) -m repro obs summarize obs-smoke/run-report.json
+
 ## Example end-to-end trace (sharded run, per-shard timings on stderr).
 trace:
 	PYTHONPATH=src $(PY) -m repro simulate --scale medium --seed 7 \
 	    --out trace/ --shards 4
 
 clean:
-	rm -rf trace/ .pytest_cache
+	rm -rf trace/ obs-smoke/ .pytest_cache
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -5,6 +5,12 @@ records) runs once per session; benchmarks then time the *analyses* over
 the shared dataset and print paper-vs-measured tables for each figure.
 Each module also writes its table to ``benchmarks/reports/`` so the figure
 reproductions survive the run.
+
+The paper simulation runs under an enabled :mod:`repro.obs` instance, and
+the session teardown writes the resulting run report (metrics snapshot +
+span tree) to ``benchmarks/reports/BENCH_obs.json`` — so every benchmark
+run leaves a machine-readable perf trajectory next to the figure tables
+(``python -m repro obs summarize benchmarks/reports/BENCH_obs.json``).
 """
 
 from __future__ import annotations
@@ -13,8 +19,10 @@ from pathlib import Path
 
 import pytest
 
+from repro import obs
 from repro.core.dataset import StudyDataset
 from repro.core.pipeline import WearableStudy
+from repro.obs.export import build_run_report, write_run_report
 from repro.simnet.config import SimulationConfig
 from repro.simnet.simulator import Simulator
 
@@ -23,9 +31,29 @@ PAPER_SEED = 2018
 REPORTS_DIR = Path(__file__).parent / "reports"
 
 
+@pytest.fixture(scope="session", autouse=True)
+def bench_obs():
+    """Session-wide observability; writes BENCH_obs.json on teardown."""
+    instance = obs.Observability(enabled=True)
+    previous = obs.install(instance)
+    try:
+        yield instance
+    finally:
+        obs.install(previous)
+        REPORTS_DIR.mkdir(exist_ok=True)
+        report = build_run_report(
+            instance.metrics.snapshot(),
+            instance.tracer.tree(),
+            meta={"command": "benchmarks", "seed": PAPER_SEED},
+        )
+        write_run_report(REPORTS_DIR / "BENCH_obs.json", report)
+        instance.close()
+
+
 @pytest.fixture(scope="session")
-def paper_dataset() -> StudyDataset:
-    output = Simulator(SimulationConfig.paper(seed=PAPER_SEED)).run()
+def paper_dataset(bench_obs) -> StudyDataset:
+    with obs.span("bench.paper_simulation"):
+        output = Simulator(SimulationConfig.paper(seed=PAPER_SEED)).run()
     return StudyDataset.from_simulation(output)
 
 

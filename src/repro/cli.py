@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Five subcommands cover the full workflow::
+Six subcommands cover the full workflow::
 
     python -m repro simulate  --scale medium --seed 7 --out trace/
     python -m repro corrupt   trace/ --out chaos/ [--rate 0.02]
@@ -8,13 +8,34 @@ Five subcommands cover the full workflow::
     python -m repro analyze   trace/ [--figures fig2a,fig5a] [--out reports/]
                               [--lenient --quarantine-report q.json]
     python -m repro scoreboard trace/
+    python -m repro obs summarize report.json
 
 ``simulate`` runs the synthetic operator and exports the trace directory
 (optionally pseudonymised); ``corrupt`` injects deterministic faults into
 an exported trace to build chaos fixtures; ``validate`` checks trace
 integrity; ``analyze`` regenerates paper figures from the trace (with
 ``--lenient`` it survives corrupted traces by quarantining bad rows);
-``scoreboard`` prints the paper-vs-measured headline table.
+``scoreboard`` prints the paper-vs-measured headline table; ``obs
+summarize`` renders a saved observability run report as a stage table.
+
+Observability
+-------------
+``simulate``, ``corrupt``, ``validate`` and ``analyze`` run with the
+:mod:`repro.obs` subsystem enabled and share three flags:
+
+``--metrics-out PATH``
+    write the JSON run report (metrics snapshot + span tree) there; a
+    ``.prom``/``.txt`` suffix switches to Prometheus text exposition.
+``--trace-out PATH``
+    write the span tree as Chrome trace-event JSON, loadable at
+    https://ui.perfetto.dev or ``chrome://tracing``.
+``--verbose-stats``
+    print the stage table (per-stage wall/CPU time, row counters,
+    histograms) to stderr after the command finishes.
+
+Every observed command also ends with the same normalized one-line
+summary on stderr — ``<command>: N rows in / M rows out, K issues,
+T.Ts`` — sourced from the metrics registry rather than ad-hoc counters.
 
 Operational failures — a missing or unreadable trace directory, a
 corrupted log in strict mode — exit with code 2 and a one-line
@@ -29,7 +50,16 @@ import sys
 import time
 from pathlib import Path
 
+from repro import obs
 from repro.core.dataset import StudyDataset
+from repro.obs.export import (
+    build_run_report,
+    format_stage_table,
+    validate_run_report_file,
+    write_chrome_trace,
+    write_prometheus,
+    write_run_report,
+)
 from repro.core.export import write_report_json
 from repro.core.figures import FIGURE_RENDERERS, render_all
 from repro.core.pipeline import WearableStudy
@@ -75,32 +105,45 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         f"{workers} worker{'s' if workers != 1 else ''})",
         file=sys.stderr,
     )
-    started = time.time()
+    # Elapsed time comes from a span rather than ad-hoc time.time();
+    # the perf_counter fallback only triggers when obs is disabled
+    # (e.g. cmd_simulate called directly rather than through main()).
+    started = time.perf_counter()
     engine = ShardedSimulationEngine(config, shards=shards, workers=workers)
-    run = engine.run_streaming()
-    try:
-        anonymizer = None
-        if args.anonymize:
-            anonymizer = Anonymizer()
-            print("trace pseudonymised (fresh key, discarded)", file=sys.stderr)
-        paths = run.write(args.out, compress=args.compress, anonymizer=anonymizer)
-        elapsed = time.time() - started
-        for stats in run.shard_stats:
-            print(
-                f"  shard {stats.shard}: {stats.accounts} accounts, "
-                f"{stats.proxy_records:,} proxy / {stats.mme_records:,} MME "
-                f"records in {stats.elapsed_seconds:.2f}s",
-                file=sys.stderr,
+    with obs.tracer().span("simulate.trace") as sim_span:
+        run = engine.run_streaming()
+        try:
+            anonymizer = None
+            if args.anonymize:
+                anonymizer = Anonymizer()
+                print(
+                    "trace pseudonymised (fresh key, discarded)",
+                    file=sys.stderr,
+                )
+            paths = run.write(
+                args.out, compress=args.compress, anonymizer=anonymizer
             )
+        finally:
+            run.cleanup()
+    elapsed = (
+        sim_span.wall_s
+        if sim_span is not None
+        else time.perf_counter() - started
+    )
+    for stats in run.shard_stats:
         print(
-            f"wrote {run.proxy_count:,} proxy / "
-            f"{run.mme_count:,} MME records to {args.out} "
-            f"in {elapsed:.1f}s "
-            f"(peak resident: {run.peak_resident_records:,} records)",
+            f"  shard {stats.shard}: {stats.accounts} accounts, "
+            f"{stats.proxy_records:,} proxy / {stats.mme_records:,} MME "
+            f"records in {stats.elapsed_seconds:.2f}s",
             file=sys.stderr,
         )
-    finally:
-        run.cleanup()
+    print(
+        f"wrote {run.proxy_count:,} proxy / "
+        f"{run.mme_count:,} MME records to {args.out} "
+        f"in {elapsed:.1f}s "
+        f"(peak resident: {run.peak_resident_records:,} records)",
+        file=sys.stderr,
+    )
     for name in sorted(paths):
         print(paths[name])
     return 0
@@ -135,8 +178,16 @@ def _rate(override: float | None, default: float) -> float:
 
 
 def cmd_validate(args: argparse.Namespace) -> int:
-    dataset = StudyDataset.load(args.trace, lenient=args.lenient)
-    report = validate_trace(dataset)
+    with obs.span("validate.load"):
+        dataset = StudyDataset.load(args.trace, lenient=args.lenient)
+    with obs.span("validate.check"):
+        report = validate_trace(dataset)
+    if obs.enabled():
+        registry = obs.metrics()
+        for issue in report.issues:
+            registry.counter(
+                "repro_validate_issues_total", code=issue.code
+            ).add(issue.count)
     print(report.summary())
     return 0 if report.ok else 1
 
@@ -145,7 +196,8 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     if args.quarantine_report and not args.lenient:
         print("--quarantine-report requires --lenient", file=sys.stderr)
         return 2
-    dataset = StudyDataset.load(args.trace, lenient=args.lenient)
+    with obs.span("analyze.load"):
+        dataset = StudyDataset.load(args.trace, lenient=args.lenient)
     if dataset.quarantine is not None:
         if not dataset.quarantine.ok:
             print(dataset.quarantine.summary(), file=sys.stderr)
@@ -174,9 +226,13 @@ def cmd_analyze(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-        rendered = {name: FIGURE_RENDERERS[name](full_report) for name in wanted}
+        with obs.span("analyze.figures", count=len(wanted)):
+            rendered = {
+                name: FIGURE_RENDERERS[name](full_report) for name in wanted
+            }
     else:
-        rendered = render_all(full_report)
+        with obs.span("analyze.figures", count=len(FIGURE_RENDERERS)):
+            rendered = render_all(full_report)
 
     if args.out:
         out_dir = Path(args.out)
@@ -239,6 +295,95 @@ def cmd_scoreboard(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_obs_summarize(args: argparse.Namespace) -> int:
+    """Render a saved run report (from ``--metrics-out``) as a table."""
+    try:
+        report = validate_run_report_file(args.report)
+    except (ValueError, json.JSONDecodeError) as exc:
+        print(f"error: not a valid run report: {exc}", file=sys.stderr)
+        return 2
+    meta = report.get("meta", {})
+    if meta.get("command"):
+        created = time.strftime(
+            "%Y-%m-%d %H:%M:%S",
+            time.localtime(report.get("created_unix", 0)),
+        )
+        print(f"run report: {meta['command']} ({created})")
+        print()
+    print(format_stage_table(report))
+    return 0
+
+
+# ----------------------------------------------------------- observability
+def _summary_counts(registry) -> tuple[int, int, int]:
+    """(rows in, rows out, issues) for the normalized summary line.
+
+    Rows are the *log-level* I/O counters — ``category="log"`` for real
+    log reads/writes plus ``category="corrupt"`` for the fault injector's
+    line-level traffic — so spill-chunk shuffling inside the engine never
+    inflates the numbers.  Issues prefer the validation report's total
+    (which already folds ingestion quarantine in) and otherwise sum the
+    quarantine and fault-injection counters.
+    """
+    rows_in = registry.sum_counter(
+        "repro_io_rows_read_total", category="log"
+    ) + registry.sum_counter("repro_io_rows_read_total", category="corrupt")
+    rows_out = registry.sum_counter(
+        "repro_io_rows_written_total", category="log"
+    ) + registry.sum_counter(
+        "repro_io_rows_written_total", category="corrupt"
+    )
+    faults = registry.sum_counter("repro_faults_injected_total")
+    validate_total = registry.sum_counter("repro_validate_issues_total")
+    if validate_total:
+        issues = validate_total + faults
+    else:
+        issues = (
+            registry.sum_counter("repro_quarantine_issues_total") + faults
+        )
+    return int(rows_in), int(rows_out), int(issues)
+
+
+def _finalize_obs(
+    args: argparse.Namespace, ob: "obs.Observability", command: str
+) -> None:
+    """Emit the normalized summary line and any requested artifacts."""
+    tree = ob.tracer.tree()
+    snapshot = ob.metrics.snapshot()
+    rows_in, rows_out, issues = _summary_counts(ob.metrics)
+    elapsed = tree.wall_s if tree is not None else 0.0
+    print(
+        f"{command}: {rows_in:,} rows in / {rows_out:,} rows out, "
+        f"{issues:,} issues, {elapsed:.1f}s",
+        file=sys.stderr,
+    )
+    meta = {"command": command, "argv": list(sys.argv[1:])}
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        target = Path(metrics_out)
+        if target.suffix in (".prom", ".txt"):
+            write_prometheus(target, snapshot)
+        else:
+            write_run_report(
+                target, build_run_report(snapshot, tree, meta)
+            )
+        print(f"wrote metrics to {target}", file=sys.stderr)
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        write_chrome_trace(trace_out, tree)
+        print(
+            f"wrote chrome trace to {trace_out} "
+            "(load at https://ui.perfetto.dev)",
+            file=sys.stderr,
+        )
+    if getattr(args, "verbose_stats", False):
+        print(file=sys.stderr)
+        print(
+            format_stage_table(build_run_report(snapshot, tree, meta)),
+            file=sys.stderr,
+        )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -246,11 +391,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    # Shared observability flags; every observed subcommand inherits them.
+    obs_flags = argparse.ArgumentParser(add_help=False)
+    obs_flags.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the observability run report as JSON (or Prometheus "
+        "text exposition if PATH ends in .prom/.txt)",
+    )
+    obs_flags.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write the span tree as Chrome trace-event JSON "
+        "(viewable at https://ui.perfetto.dev)",
+    )
+    obs_flags.add_argument(
+        "--verbose-stats",
+        action="store_true",
+        help="print the per-stage timing and counter table to stderr",
+    )
+    obs_flags.set_defaults(observed=True)
+
     simulate = subparsers.add_parser(
-        "simulate", help="run the synthetic operator and export a trace"
+        "simulate",
+        help="run the synthetic operator and export a trace",
+        parents=[obs_flags],
     )
     simulate.add_argument("--scale", choices=("small", "medium", "paper"),
                           default="medium")
+    simulate.add_argument(
+        "--preset",
+        dest="scale",
+        choices=("small", "medium", "paper"),
+        default=argparse.SUPPRESS,
+        help="alias for --scale",
+    )
     simulate.add_argument("--seed", type=int, default=2018)
     simulate.add_argument("--out", required=True, help="trace output directory")
     simulate.add_argument("--wearable-users", type=int, default=None)
@@ -286,6 +463,7 @@ def build_parser() -> argparse.ArgumentParser:
         "corrupt",
         help="inject deterministic faults into an exported trace "
         "(chaos fixtures for resilience testing)",
+        parents=[obs_flags],
     )
     corrupt.add_argument("trace", help="pristine trace directory to corrupt")
     corrupt.add_argument("--out", required=True, help="corrupted trace output")
@@ -330,7 +508,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     corrupt.set_defaults(func=cmd_corrupt)
 
-    validate = subparsers.add_parser("validate", help="check trace integrity")
+    validate = subparsers.add_parser(
+        "validate", help="check trace integrity", parents=[obs_flags]
+    )
     validate.add_argument("trace", help="trace directory")
     validate.add_argument(
         "--lenient",
@@ -341,7 +521,9 @@ def build_parser() -> argparse.ArgumentParser:
     validate.set_defaults(func=cmd_validate)
 
     analyze = subparsers.add_parser(
-        "analyze", help="regenerate paper figures from a trace"
+        "analyze",
+        help="regenerate paper figures from a trace",
+        parents=[obs_flags],
     )
     analyze.add_argument("trace", help="trace directory")
     analyze.add_argument(
@@ -376,6 +558,18 @@ def build_parser() -> argparse.ArgumentParser:
     scoreboard.add_argument("trace", help="trace directory")
     scoreboard.set_defaults(func=cmd_scoreboard)
 
+    obs_cmd = subparsers.add_parser(
+        "obs", help="work with saved observability artifacts"
+    )
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+    summarize = obs_sub.add_parser(
+        "summarize",
+        help="render a saved run report (--metrics-out JSON) as a "
+        "stage/counter table",
+    )
+    summarize.add_argument("report", help="run-report JSON file")
+    summarize.set_defaults(func=cmd_obs_summarize)
+
     return parser
 
 
@@ -392,6 +586,12 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        if getattr(args, "observed", False):
+            with obs.observe() as ob:
+                with obs.span(f"cli.{args.command}"):
+                    code = args.func(args)
+                _finalize_obs(args, ob, args.command)
+            return code
         return args.func(args)
     except LogReadError as exc:
         stem = Path(exc.path).name.split(".", 1)[0]

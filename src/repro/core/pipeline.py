@@ -18,6 +18,8 @@ from dataclasses import dataclass
 from functools import cached_property
 from typing import Mapping
 
+from repro import obs
+
 from repro.core.activity import ActivityResult, analyze_activity
 from repro.core.adoption import AdoptionResult, analyze_adoption
 from repro.core.app_mapping import (
@@ -78,11 +80,13 @@ class WearableStudy:
     # ------------------------------------------------------------ shared
     @cached_property
     def identifier(self) -> WearableIdentifier:
-        return WearableIdentifier(self.dataset.device_db)
+        with obs.span("analyze.identifier"):
+            return WearableIdentifier(self.dataset.device_db)
 
     @cached_property
     def signatures(self) -> SignatureCatalog:
-        return SignatureCatalog.from_app_catalog(self._catalog)
+        with obs.span("analyze.signatures"):
+            return SignatureCatalog.from_app_catalog(self._catalog)
 
     @cached_property
     def app_categories(self) -> Mapping[str, str]:
@@ -91,61 +95,74 @@ class WearableStudy:
     @cached_property
     def attributed(self) -> list[AttributedRecord]:
         """Wearable transactions with resolved apps (whole study)."""
-        return attribute_records(self.dataset.wearable_proxy, self.signatures)
+        with obs.span("analyze.attributed"):
+            return attribute_records(self.dataset.wearable_proxy, self.signatures)
 
     @cached_property
     def sessions(self) -> list[UsageSession]:
         """One-minute-gap usage sessions over the attributed traffic."""
-        return sessionize(self.attributed)
+        with obs.span("analyze.sessions"):
+            return sessionize(self.attributed)
 
     # ------------------------------------------------------------ analyses
     @cached_property
     def census(self) -> DeviceCensus:
-        return self.identifier.census(self.dataset.wearable_mme)
+        with obs.span("analyze.census"):
+            return self.identifier.census(self.dataset.wearable_mme)
 
     @cached_property
     def adoption(self) -> AdoptionResult:
-        return analyze_adoption(self.dataset)
+        with obs.span("analyze.adoption"):
+            return analyze_adoption(self.dataset)
 
     @cached_property
     def activity(self) -> ActivityResult:
-        return analyze_activity(self.dataset)
+        with obs.span("analyze.activity"):
+            return analyze_activity(self.dataset)
 
     @cached_property
     def comparison(self) -> ComparisonResult:
-        return analyze_comparison(self.dataset)
+        with obs.span("analyze.comparison"):
+            return analyze_comparison(self.dataset)
 
     @cached_property
     def mobility(self) -> MobilityResult:
-        return analyze_mobility(self.dataset)
+        with obs.span("analyze.mobility"):
+            return analyze_mobility(self.dataset)
 
     @cached_property
     def apps(self) -> AppsResult:
-        return analyze_apps(
-            self.dataset, self.attributed, self.sessions, self.app_categories
-        )
+        with obs.span("analyze.apps"):
+            return analyze_apps(
+                self.dataset, self.attributed, self.sessions, self.app_categories
+            )
 
     @cached_property
     def domains(self) -> DomainsResult:
-        return analyze_domains(self.dataset, self.attributed, self.sessions)
+        with obs.span("analyze.domains"):
+            return analyze_domains(self.dataset, self.attributed, self.sessions)
 
     @cached_property
     def through_device(self) -> ThroughDeviceResult:
-        return analyze_through_device(self.dataset)
+        with obs.span("analyze.through_device"):
+            return analyze_through_device(self.dataset)
 
     @cached_property
     def weekly(self) -> WeeklyResult:
-        return analyze_weekly(self.dataset)
+        with obs.span("analyze.weekly"):
+            return analyze_weekly(self.dataset)
 
     @cached_property
     def protocols(self) -> ProtocolResult:
-        return analyze_protocols(
-            self.dataset, self.attributed, self.app_categories
-        )
+        with obs.span("analyze.protocols"):
+            return analyze_protocols(
+                self.dataset, self.attributed, self.app_categories
+            )
 
     @cached_property
     def devices(self) -> DeviceResult:
-        return analyze_devices(self.dataset)
+        with obs.span("analyze.devices"):
+            return analyze_devices(self.dataset)
 
     @property
     def quarantine(self) -> QuarantineReport | None:
@@ -154,7 +171,30 @@ class WearableStudy:
         return self.dataset.quarantine
 
     def run_all(self) -> StudyReport:
-        """Run every analysis and bundle the results."""
+        """Run every analysis and bundle the results.
+
+        Wrapped in an ``analyze.run_all`` span, so with tracing enabled
+        the run report shows one child span per §4/§5 analysis; the
+        device-database lookup-cache tallies and headline row gauges are
+        published to the active registry on completion.
+        """
+        with obs.span("analyze.run_all"):
+            report = self._run_all()
+        registry = obs.metrics()
+        self.dataset.device_db.publish_metrics(registry)
+        registry.gauge("repro_pipeline_proxy_records").set(
+            len(self.dataset.proxy_records)
+        )
+        registry.gauge("repro_pipeline_mme_records").set(
+            len(self.dataset.mme_records)
+        )
+        registry.gauge("repro_pipeline_attributed_records").set(
+            len(self.attributed)
+        )
+        registry.gauge("repro_pipeline_sessions").set(len(self.sessions))
+        return report
+
+    def _run_all(self) -> StudyReport:
         return StudyReport(
             census=self.census,
             adoption=self.adoption,

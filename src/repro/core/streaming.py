@@ -27,6 +27,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Iterable
 
+from repro import obs
 from repro.core.dataset import StudyWindow
 from repro.core.weekly import EVENING_HOURS, WeeklyResult
 from repro.logs.records import MmeRecord, ProxyRecord
@@ -84,10 +85,26 @@ class StreamingAdoption:
         mme_records: Iterable[MmeRecord],
         proxy_records: Iterable[ProxyRecord],
     ) -> "StreamingAdoption":
-        for record in mme_records:
-            self.add_mme(record)
-        for record in proxy_records:
-            self.add_proxy(record)
+        mme_rows = proxy_rows = 0
+        with obs.span("streaming.adoption"):
+            for record in mme_records:
+                self.add_mme(record)
+                mme_rows += 1
+            for record in proxy_records:
+                self.add_proxy(record)
+                proxy_rows += 1
+        if obs.enabled():
+            registry = obs.metrics()
+            registry.counter(
+                "repro_streaming_rows_total",
+                aggregator="adoption",
+                stream="mme",
+            ).add(mme_rows)
+            registry.counter(
+                "repro_streaming_rows_total",
+                aggregator="adoption",
+                stream="proxy",
+            ).add(proxy_rows)
         return self
 
     def result(self) -> StreamingAdoptionResult:
@@ -192,8 +209,17 @@ class StreamingActivity:
         self._user_day_hours[subscriber].add((day, hour))
 
     def consume(self, records: Iterable[ProxyRecord]) -> "StreamingActivity":
-        for record in records:
-            self.add(record)
+        rows = 0
+        with obs.span("streaming.activity"):
+            for record in records:
+                self.add(record)
+                rows += 1
+        if obs.enabled():
+            obs.metrics().counter(
+                "repro_streaming_rows_total",
+                aggregator="activity",
+                stream="proxy",
+            ).add(rows)
         return self
 
     def quantile(self, q: float) -> float:
@@ -268,8 +294,17 @@ class StreamingWeekly:
             self._daytype_wearable[weekend] += 1
 
     def consume(self, records: Iterable[ProxyRecord]) -> "StreamingWeekly":
-        for record in records:
-            self.add(record)
+        rows = 0
+        with obs.span("streaming.weekly"):
+            for record in records:
+                self.add(record)
+                rows += 1
+        if obs.enabled():
+            obs.metrics().counter(
+                "repro_streaming_rows_total",
+                aggregator="weekly",
+                stream="proxy",
+            ).add(rows)
         return self
 
     def result(self) -> WeeklyResult:

@@ -74,11 +74,31 @@ class DeviceModel:
         return self.device_type == DEVICE_TYPE_SMARTPHONE
 
 
+#: Sentinel distinguishing "not cached" from a cached ``None`` miss.
+_UNCACHED = object()
+
+
 class DeviceDatabase:
-    """TAC-keyed directory of device models with CSV import/export."""
+    """TAC-keyed directory of device models with CSV import/export.
+
+    IMEI lookups are memoised: real traces repeat the same device
+    identities millions of times, so :meth:`lookup_imei` caches the
+    ``imei → model`` resolution (including negative results) and keeps
+    plain-int hit/miss tallies.  The tallies cost nothing per lookup and
+    are published to the active metrics registry on demand via
+    :meth:`publish_metrics` — the pipeline calls it once per run, giving
+    run reports the cache hit rate without per-lookup registry traffic.
+    """
+
+    #: Bound on the IMEI memo; cleared wholesale when full (the working
+    #: set of a trace is far smaller, so this is a safety valve only).
+    IMEI_CACHE_MAX = 1 << 16
 
     def __init__(self, models: Iterable[DeviceModel] = ()) -> None:
         self._by_tac: dict[str, DeviceModel] = {}
+        self._imei_cache: dict[str, DeviceModel | None] = {}
+        self.lookup_hits = 0
+        self.lookup_misses = 0
         for model in models:
             self.add(model)
 
@@ -96,18 +116,43 @@ class DeviceDatabase:
                 f"TAC {model.tac} already registered to {existing.model!r}"
             )
         self._by_tac[model.tac] = model
+        # New registrations can change cached (negative) resolutions.
+        self._imei_cache.clear()
 
     def lookup_tac(self, tac: str) -> DeviceModel | None:
         """The model allocated to ``tac``, or None for unknown TACs."""
         return self._by_tac.get(tac)
 
     def lookup_imei(self, imei: str) -> DeviceModel | None:
-        """The model for an IMEI; None for unknown TACs or malformed IMEIs."""
+        """The model for an IMEI; None for unknown TACs or malformed IMEIs.
+
+        Memoised per IMEI (hits/misses tallied for observability); the
+        slow path runs the IMEI structural check and the TAC lookup.
+        """
+        cached = self._imei_cache.get(imei, _UNCACHED)
+        if cached is not _UNCACHED:
+            self.lookup_hits += 1
+            return cached  # type: ignore[return-value]
+        self.lookup_misses += 1
         try:
             tac = tac_of(imei)
         except InvalidImeiError:
-            return None
-        return self.lookup_tac(tac)
+            model = None
+        else:
+            model = self.lookup_tac(tac)
+        if len(self._imei_cache) >= self.IMEI_CACHE_MAX:
+            self._imei_cache.clear()
+        self._imei_cache[imei] = model
+        return model
+
+    def publish_metrics(self, registry) -> None:
+        """Push the cache tallies to a metrics registry as gauges."""
+        total = self.lookup_hits + self.lookup_misses
+        registry.gauge("repro_devicedb_cache_hits").set(self.lookup_hits)
+        registry.gauge("repro_devicedb_cache_misses").set(self.lookup_misses)
+        registry.gauge("repro_devicedb_cache_hit_rate").set(
+            self.lookup_hits / total if total else 0.0
+        )
 
     def wearable_tacs(self) -> frozenset[str]:
         """The TAC set of every SIM-capable wearable model.

@@ -43,6 +43,8 @@ import shutil
 from dataclasses import dataclass, fields as dataclass_fields, replace
 from pathlib import Path
 
+from repro import obs
+
 __all__ = [
     "FAULT_CLASSES",
     "FAULT_ISSUE_CODES",
@@ -294,7 +296,12 @@ def _corrupt_log(
     rng: random.Random,
     counts: dict[str, int],
 ) -> bytes:
-    """Apply row-level faults to one log file; returns the new bytes."""
+    """Apply row-level faults to one log file; returns the new bytes.
+
+    Row accounting lands on the active observability registry under the
+    shared I/O counter names (``category="corrupt"``), so ``repro
+    corrupt`` runs report rows in/out like every other stage.
+    """
 
     def bump(fault: str, by: int = 1) -> None:
         key = f"{stem}.{fault}"
@@ -343,6 +350,21 @@ def _corrupt_log(
             entries.append(("row", list(fields)))
             bump("duplicated")
 
+    if obs.enabled():
+        registry = obs.metrics()
+        registry.counter(
+            "repro_io_rows_read_total",
+            stream=stem,
+            format="csv.gz" if src.suffix == ".gz" else "csv",
+            category="corrupt",
+        ).add(len(data))
+        registry.counter(
+            "repro_io_rows_written_total",
+            stream=stem,
+            format="csv.gz" if src.suffix == ".gz" else "csv",
+            category="corrupt",
+        ).add(sum(1 for kind, _ in entries if kind == "row") - 1)
+
     return _serialize_log(entries, is_gzip=src.suffix == ".gz")
 
 
@@ -365,29 +387,41 @@ def corrupt_trace(
     dst_base.mkdir(parents=True, exist_ok=True)
 
     counts: dict[str, int] = {}
-    for path in sorted(src_base.iterdir()):
-        if not path.is_file():
-            continue
-        stem = path.name.split(".", 1)[0]
-        target = dst_base / path.name
-        if stem in LOG_STEMS and stem in spec.drop_files:
-            counts[f"{stem}.dropped_file"] = 1
-            continue
-        if stem not in LOG_STEMS or not (
-            spec.touches_rows() or spec.truncates(stem)
-        ):
-            shutil.copyfile(path, target)
-            continue
-        rng = random.Random(f"{spec.seed}:{stem}")
-        if spec.touches_rows():
-            data = _corrupt_log(path, stem, spec, rng, counts)
-        else:
-            data = path.read_bytes()
-        if spec.truncates(stem):
-            keep = int(len(data) * (1.0 - spec.truncate_fraction))
-            data = data[:keep]
-            counts[f"{stem}.truncated"] = counts.get(f"{stem}.truncated", 0) + 1
-        target.write_bytes(data)
+    with obs.span("corrupt.trace", source=str(src_base)):
+        for path in sorted(src_base.iterdir()):
+            if not path.is_file():
+                continue
+            stem = path.name.split(".", 1)[0]
+            target = dst_base / path.name
+            if stem in LOG_STEMS and stem in spec.drop_files:
+                counts[f"{stem}.dropped_file"] = 1
+                continue
+            if stem not in LOG_STEMS or not (
+                spec.touches_rows() or spec.truncates(stem)
+            ):
+                shutil.copyfile(path, target)
+                continue
+            rng = random.Random(f"{spec.seed}:{stem}")
+            with obs.span("corrupt.log", stem=stem):
+                if spec.touches_rows():
+                    data = _corrupt_log(path, stem, spec, rng, counts)
+                else:
+                    data = path.read_bytes()
+                if spec.truncates(stem):
+                    keep = int(len(data) * (1.0 - spec.truncate_fraction))
+                    data = data[:keep]
+                    counts[f"{stem}.truncated"] = (
+                        counts.get(f"{stem}.truncated", 0) + 1
+                    )
+                target.write_bytes(data)
+
+    if obs.enabled():
+        registry = obs.metrics()
+        for key, count in sorted(counts.items()):
+            stem, fault = key.split(".", 1)
+            registry.counter(
+                "repro_faults_injected_total", stream=stem, fault=fault
+            ).add(count)
 
     return InjectionReport(
         seed=spec.seed,

@@ -25,11 +25,13 @@ from __future__ import annotations
 import csv
 import gzip
 import json
+import time
 from dataclasses import fields as dataclass_fields
 from functools import lru_cache
 from pathlib import Path
 from typing import IO, Iterable, Iterator, Type, TypeVar
 
+from repro import obs
 from repro.logs.quarantine import QuarantineCollector
 from repro.logs.records import MME_FIELDS, PROXY_FIELDS, MmeRecord, ProxyRecord
 
@@ -153,20 +155,54 @@ def _coerce_row(
         raise LogReadError(path, line_number, str(exc), code="value") from exc
 
 
+def _stream_of(field_names: tuple[str, ...]) -> str:
+    """Stream label for a header tuple (``proxy`` / ``mme`` / ``other``)."""
+    if field_names == PROXY_FIELDS:
+        return "proxy"
+    if field_names == MME_FIELDS:
+        return "mme"
+    return "other"
+
+
 def write_csv_records(
     path: str | Path,
     records: Iterable[RecordT],
     field_names: tuple[str, ...],
+    *,
+    category: str = "log",
 ) -> int:
-    """Write records as CSV with a header row; return the row count."""
+    """Write records as CSV with a header row; return the row count.
+
+    ``category`` labels the observability counters: final trace exports
+    use the default ``"log"``, engine spill chunks pass ``"chunk"`` so
+    the two never double-count in row-accounting summaries.
+    """
     target = Path(path)
     count = 0
+    on = obs.enabled()
+    started = time.perf_counter() if on else 0.0
     with _open_text(target, "w") as handle:
         writer = csv.writer(handle)
         writer.writerow(field_names)
         for record in records:
             writer.writerow([getattr(record, name) for name in field_names])
             count += 1
+    if on:
+        registry = obs.metrics()
+        stream = _stream_of(field_names)
+        fmt = "csv.gz" if target.suffix == ".gz" else "csv"
+        registry.counter(
+            "repro_io_rows_written_total",
+            stream=stream,
+            format=fmt,
+            category=category,
+        ).add(count)
+        registry.counter(
+            "repro_io_bytes_written_total", stream=stream, category=category
+        ).add(target.stat().st_size)
+        registry.histogram(
+            "repro_io_write_seconds", stream=stream, category=category
+        ).observe(time.perf_counter() - started)
     return count
 
 
@@ -174,6 +210,8 @@ def read_csv_records(
     path: str | Path,
     record_type: Type[RecordT],
     quarantine: QuarantineCollector | None = None,
+    *,
+    category: str = "log",
 ) -> Iterator[RecordT]:
     """Stream records from a CSV file written by :func:`write_csv_records`.
 
@@ -182,9 +220,16 @@ def read_csv_records(
     gzip member, decode error) ends the iteration gracefully after noting
     a ``<kind>-truncated`` issue — every row parsed before the failure is
     still yielded.
+
+    When observability is enabled the stream reports
+    ``repro_io_rows_read_total{stream,format,category}`` and a per-file
+    read-duration histogram once, at stream end — never per row.
     """
     source = Path(path)
     kind = log_kind(record_type)
+    on = obs.enabled()
+    rows_out = 0
+    started = time.perf_counter() if on else 0.0
     try:
         with _open_text(source, "r") as handle:
             reader = csv.DictReader(handle)
@@ -207,6 +252,7 @@ def read_csv_records(
                     return
                 if quarantine is None:
                     yield _coerce_row(record_type, row, source, line_number)
+                    rows_out += 1
                     continue
                 quarantine.saw_row(kind)
                 try:
@@ -220,6 +266,7 @@ def read_csv_records(
                     )
                     continue
                 yield record
+                rows_out += 1
     except FileNotFoundError:
         if quarantine is None:
             raise
@@ -237,20 +284,42 @@ def read_csv_records(
             "log stream unreadable or truncated mid-read; tail rows lost",
             f"{source.name}: {exc}",
         )
+    finally:
+        if on:
+            registry = obs.metrics()
+            fmt = "csv.gz" if source.suffix == ".gz" else "csv"
+            registry.counter(
+                "repro_io_rows_read_total",
+                stream=kind,
+                format=fmt,
+                category=category,
+            ).add(rows_out)
+            registry.histogram(
+                "repro_io_read_seconds", stream=kind, category=category
+            ).observe(time.perf_counter() - started)
 
 
 def write_jsonl_records(path: str | Path, records: Iterable[RecordT]) -> int:
     """Write records as JSON lines; return the row count."""
     target = Path(path)
     count = 0
+    kind = "other"
     with _open_text(target, "w") as handle:
         for record in records:
+            kind = log_kind(type(record))
             payload = {
                 spec.name: getattr(record, spec.name)
                 for spec in dataclass_fields(record)
             }
             handle.write(json.dumps(payload, separators=(",", ":")) + "\n")
             count += 1
+    if obs.enabled():
+        obs.metrics().counter(
+            "repro_io_rows_written_total",
+            stream=kind,
+            format="jsonl",
+            category="log",
+        ).add(count)
     return count
 
 
@@ -265,6 +334,8 @@ def read_jsonl_records(
     """
     source = Path(path)
     kind = log_kind(record_type)
+    on = obs.enabled()
+    rows_out = 0
     try:
         with _open_text(source, "r") as handle:
             lines = enumerate(handle, start=1)
@@ -301,6 +372,7 @@ def read_jsonl_records(
                     )
                     continue
                 yield record
+                rows_out += 1
     except FileNotFoundError:
         if quarantine is None:
             raise
@@ -318,6 +390,14 @@ def read_jsonl_records(
             "log stream unreadable or truncated mid-read; tail rows lost",
             f"{source.name}: {exc}",
         )
+    finally:
+        if on:
+            obs.metrics().counter(
+                "repro_io_rows_read_total",
+                stream=kind,
+                format="jsonl",
+                category="log",
+            ).add(rows_out)
 
 
 def write_proxy_log(path: str | Path, records: Iterable[ProxyRecord]) -> int:

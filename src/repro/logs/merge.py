@@ -24,7 +24,8 @@ import heapq
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence, Type
 
-from repro.logs.io import read_csv_records, write_csv_records
+from repro import obs
+from repro.logs.io import log_kind, read_csv_records, write_csv_records
 from repro.logs.records import (
     MmeRecord,
     ProxyRecord,
@@ -51,7 +52,24 @@ def write_sorted_chunk(
     peak memory is O(largest shard), never O(trace).
     """
     ordered = sorted(records, key=record_sort_key)
-    return write_csv_records(path, ordered, fields_for(record_type))
+    return write_csv_records(
+        path, ordered, fields_for(record_type), category="chunk"
+    )
+
+
+def _counted_merge(
+    merged: Iterator, kind: str, chunks: int
+) -> Iterator:
+    """Wrap a merged stream with end-of-stream row accounting."""
+    registry = obs.metrics()
+    registry.counter("repro_merge_chunks_total", stream=kind).add(chunks)
+    rows = 0
+    try:
+        for record in merged:
+            yield record
+            rows += 1
+    finally:
+        registry.counter("repro_merge_rows_total", stream=kind).add(rows)
 
 
 def merge_record_chunks(
@@ -65,8 +83,14 @@ def merge_record_chunks(
     regardless of trace size.  Chunks must have been written by
     :func:`write_sorted_chunk` (or be otherwise canonically sorted).
     """
-    streams = [read_csv_records(path, record_type) for path in paths]
-    return heapq.merge(*streams, key=record_sort_key)
+    streams = [
+        read_csv_records(path, record_type, category="chunk")
+        for path in paths
+    ]
+    merged = heapq.merge(*streams, key=record_sort_key)
+    if not obs.enabled():
+        return merged
+    return _counted_merge(merged, log_kind(record_type), len(paths))
 
 
 def merge_proxy_chunks(paths: Sequence[str | Path]) -> Iterator[ProxyRecord]:

@@ -44,6 +44,8 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro import obs
+
 #: How many offending examples each issue keeps.
 MAX_EXAMPLES = 5
 
@@ -182,13 +184,26 @@ class QuarantineCollector:
     def quarantine_row(
         self, kind: str, code: str, message: str, example: str
     ) -> None:
-        """Record one dropped row under ``code``."""
+        """Record one dropped row under ``code``.
+
+        Quarantine activity is also first-class observability: every
+        dropped row increments ``repro_quarantine_rows_total{stream}``
+        and ``repro_quarantine_issues_total{code}`` on the active
+        registry (no-ops when observability is disabled), so corrupted
+        ingests show up in the Prometheus export and run reports.
+        """
         self._rows_quarantined[kind] = self._rows_quarantined.get(kind, 0) + 1
         self._issues.record(code, message, example)
+        registry = obs.metrics()
+        registry.counter("repro_quarantine_rows_total", stream=kind).inc()
+        registry.counter("repro_quarantine_issues_total", code=code).inc()
 
     def note(self, code: str, message: str, example: str) -> None:
         """Record a defect that did not drop a row."""
         self._issues.record(code, message, example)
+        obs.metrics().counter(
+            "repro_quarantine_issues_total", code=code
+        ).inc()
 
     # ------------------------------------------------------------ inspection
     def count(self, code: str) -> int:

@@ -1,0 +1,365 @@
+"""Exporters and validators for observability artifacts.
+
+Three surfaces, all stdlib-only:
+
+* **JSON run report** (:func:`build_run_report` / :func:`write_run_report`)
+  — the canonical machine-readable artifact: metadata, the full metrics
+  snapshot and the span tree under the stable schema id
+  ``repro.obs/run-report/v1``.  ``repro obs summarize`` renders it; the
+  benchmark session writes one as ``BENCH_obs.json`` so the repo carries
+  a perf trajectory across PRs.
+* **Prometheus text exposition** (:func:`repro.obs.metrics.
+  render_prometheus`) — scrape-compatible counters/gauges/histograms,
+  re-renderable from a saved snapshot.
+* **Chrome trace-event JSON** (:func:`build_chrome_trace` /
+  :func:`write_chrome_trace`) — ``"X"`` (complete) events on the span
+  tree, loadable in Perfetto (https://ui.perfetto.dev) or
+  ``chrome://tracing``; shard subtrees get their own track (``tid``) so
+  parallel runs read as parallel.
+
+The ``validate_*`` functions are the schema gates ``make obs-smoke``
+runs against freshly produced artifacts: they raise :class:`ValueError`
+with a path-qualified message on the first structural violation.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.obs.metrics import render_prometheus
+from repro.obs.spans import SpanNode
+
+__all__ = [
+    "RUN_REPORT_SCHEMA",
+    "build_chrome_trace",
+    "build_run_report",
+    "format_stage_table",
+    "validate_chrome_trace",
+    "validate_chrome_trace_file",
+    "validate_run_report",
+    "validate_run_report_file",
+    "write_chrome_trace",
+    "write_prometheus",
+    "write_run_report",
+]
+
+RUN_REPORT_SCHEMA = "repro.obs/run-report/v1"
+
+
+# ------------------------------------------------------------- run report
+def build_run_report(
+    metrics_snapshot: Mapping,
+    span_tree: SpanNode | Mapping | None,
+    meta: Mapping[str, Any] | None = None,
+) -> dict:
+    """Assemble the canonical JSON run report."""
+    spans: dict | None
+    if span_tree is None:
+        spans = None
+    elif isinstance(span_tree, SpanNode):
+        spans = span_tree.to_dict()
+    else:
+        spans = dict(span_tree)
+    return {
+        "schema": RUN_REPORT_SCHEMA,
+        "created_unix": time.time(),
+        "meta": dict(meta or {}),
+        "metrics": dict(metrics_snapshot),
+        "spans": spans,
+    }
+
+
+def write_run_report(path: str | Path, report: Mapping) -> Path:
+    target = Path(path)
+    if target.parent != Path(""):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return target
+
+
+def write_prometheus(path: str | Path, metrics_snapshot: Mapping) -> Path:
+    """Write the Prometheus text exposition of a metrics snapshot."""
+    target = Path(path)
+    if target.parent != Path(""):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(render_prometheus(metrics_snapshot), encoding="utf-8")
+    return target
+
+
+# ----------------------------------------------------------- chrome trace
+def _span_events(
+    node: Mapping, events: list[dict], tid: int, path: str
+) -> None:
+    attrs = dict(node.get("attrs", {}))
+    # Shard subtrees get their own track so parallel work renders as
+    # parallel lanes in Perfetto.
+    own_tid = int(attrs["shard"]) + 1 if "shard" in attrs else tid
+    args: dict[str, Any] = dict(attrs)
+    if node.get("cpu_s") is not None:
+        args["cpu_s"] = round(float(node.get("cpu_s", 0.0)), 6)
+    if node.get("alloc_peak_kb") is not None:
+        args["alloc_peak_kb"] = round(float(node["alloc_peak_kb"]), 1)
+    if node.get("max_rss_kb") is not None:
+        args["max_rss_kb"] = float(node["max_rss_kb"])
+    events.append(
+        {
+            "name": str(node["name"]),
+            "cat": "repro",
+            "ph": "X",
+            "ts": round(float(node.get("start_s", 0.0)) * 1e6, 3),
+            "dur": round(float(node.get("wall_s", 0.0)) * 1e6, 3),
+            "pid": 1,
+            "tid": own_tid,
+            "args": args,
+        }
+    )
+    for child in node.get("children", ()):
+        _span_events(child, events, own_tid, path + "/" + str(node["name"]))
+
+
+def build_chrome_trace(span_tree: SpanNode | Mapping | None) -> dict:
+    """Chrome trace-event JSON object for a span tree.
+
+    Uses the *JSON object* flavour (``{"traceEvents": [...]}``) which
+    both Perfetto and ``chrome://tracing`` accept, with complete (``X``)
+    events in microseconds.
+    """
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "args": {"name": "repro"},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": "main"},
+        },
+    ]
+    if span_tree is not None:
+        payload = (
+            span_tree.to_dict()
+            if isinstance(span_tree, SpanNode)
+            else span_tree
+        )
+        _span_events(payload, events, tid=0, path="")
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: str | Path, span_tree: SpanNode | Mapping | None
+) -> Path:
+    target = Path(path)
+    if target.parent != Path(""):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8") as handle:
+        json.dump(build_chrome_trace(span_tree), handle, indent=None)
+        handle.write("\n")
+    return target
+
+
+# ------------------------------------------------------------- validation
+def _fail(path: str, reason: str) -> None:
+    raise ValueError(f"{path}: {reason}")
+
+
+def _check_instrument(entry: Any, where: str, value_required: bool) -> None:
+    if not isinstance(entry, dict):
+        _fail(where, "instrument entry is not an object")
+    if not isinstance(entry.get("name"), str) or not entry["name"]:
+        _fail(where, "missing metric name")
+    if not entry["name"].startswith("repro_"):
+        _fail(where, f"metric {entry['name']!r} violates repro_* naming")
+    labels = entry.get("labels", {})
+    if not isinstance(labels, dict) or not all(
+        isinstance(k, str) and isinstance(v, str) for k, v in labels.items()
+    ):
+        _fail(where, "labels must map strings to strings")
+    if value_required and not isinstance(entry.get("value"), (int, float)):
+        _fail(where, "missing numeric value")
+
+
+def _check_span(node: Any, where: str) -> None:
+    if not isinstance(node, dict):
+        _fail(where, "span is not an object")
+    if not isinstance(node.get("name"), str) or not node["name"]:
+        _fail(where, "span missing name")
+    for field in ("start_s", "wall_s", "cpu_s"):
+        if not isinstance(node.get(field), (int, float)):
+            _fail(where, f"span {node.get('name')!r} missing {field}")
+    if float(node["wall_s"]) < 0:
+        _fail(where, f"span {node['name']!r} has negative wall_s")
+    children = node.get("children", [])
+    if not isinstance(children, list):
+        _fail(where, f"span {node['name']!r} children is not a list")
+    for index, child in enumerate(children):
+        _check_span(child, f"{where}/{node['name']}[{index}]")
+
+
+def validate_run_report(report: Any) -> None:
+    """Raise :class:`ValueError` unless ``report`` matches the v1 schema."""
+    if not isinstance(report, dict):
+        _fail("$", "report is not an object")
+    if report.get("schema") != RUN_REPORT_SCHEMA:
+        _fail("$.schema", f"expected {RUN_REPORT_SCHEMA!r}, got {report.get('schema')!r}")
+    if not isinstance(report.get("created_unix"), (int, float)):
+        _fail("$.created_unix", "missing creation timestamp")
+    if not isinstance(report.get("meta"), dict):
+        _fail("$.meta", "missing meta object")
+    metrics = report.get("metrics")
+    if not isinstance(metrics, dict):
+        _fail("$.metrics", "missing metrics snapshot")
+    for family, value_required in (
+        ("counters", True),
+        ("gauges", True),
+        ("histograms", False),
+    ):
+        entries = metrics.get(family, [])
+        if not isinstance(entries, list):
+            _fail(f"$.metrics.{family}", "not a list")
+        for index, entry in enumerate(entries):
+            _check_instrument(
+                entry, f"$.metrics.{family}[{index}]", value_required
+            )
+            if family == "histograms":
+                if not isinstance(entry.get("count"), int):
+                    _fail(
+                        f"$.metrics.{family}[{index}]",
+                        "histogram missing integer count",
+                    )
+                if not isinstance(entry.get("buckets"), list):
+                    _fail(
+                        f"$.metrics.{family}[{index}]",
+                        "histogram missing buckets",
+                    )
+    spans = report.get("spans")
+    if spans is not None:
+        _check_span(spans, "$.spans")
+
+
+def validate_chrome_trace(trace: Any) -> None:
+    """Raise :class:`ValueError` unless ``trace`` is loadable trace JSON."""
+    if not isinstance(trace, dict):
+        _fail("$", "trace is not an object")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        _fail("$.traceEvents", "missing or empty traceEvents list")
+    for index, event in enumerate(events):
+        where = f"$.traceEvents[{index}]"
+        if not isinstance(event, dict):
+            _fail(where, "event is not an object")
+        if not isinstance(event.get("name"), str):
+            _fail(where, "event missing name")
+        phase = event.get("ph")
+        if phase not in ("X", "M", "B", "E", "i"):
+            _fail(where, f"unsupported phase {phase!r}")
+        if not isinstance(event.get("pid"), int):
+            _fail(where, "event missing pid")
+        if phase == "X":
+            for field in ("ts", "dur"):
+                if not isinstance(event.get(field), (int, float)):
+                    _fail(where, f"complete event missing {field}")
+            if float(event["dur"]) < 0:
+                _fail(where, "negative duration")
+            if not isinstance(event.get("tid"), int):
+                _fail(where, "complete event missing tid")
+
+
+def _load_json(path: str | Path) -> Any:
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def validate_run_report_file(path: str | Path) -> dict:
+    """Load and validate a run-report file; returns the parsed report."""
+    report = _load_json(path)
+    validate_run_report(report)
+    return report
+
+
+def validate_chrome_trace_file(path: str | Path) -> dict:
+    """Load and validate a Chrome trace file; returns the parsed trace."""
+    trace = _load_json(path)
+    validate_chrome_trace(trace)
+    return trace
+
+
+# ------------------------------------------------------------ stage table
+def _fmt_seconds(value: float) -> str:
+    return f"{value:10.3f}"
+
+
+def format_stage_table(report: Mapping) -> str:
+    """Human-readable rendering of a saved run report.
+
+    Three sections: the span tree as an indented stage table (wall/CPU
+    seconds and share of the root's wall time), the row counters grouped
+    by stream, and any quarantine issue counters.
+    """
+    lines: list[str] = []
+    spans = report.get("spans")
+    if spans:
+        root_wall = max(float(spans.get("wall_s", 0.0)), 1e-12)
+        lines.append(
+            f"{'stage':<44} {'wall s':>10} {'cpu s':>10} {'share':>7}"
+        )
+        lines.append("-" * 74)
+        root = SpanNode.from_dict(spans)
+        for depth, node in root.walk():
+            label = "  " * depth + node.name
+            attrs = ",".join(
+                f"{k}={v}" for k, v in sorted(node.attrs.items())
+            )
+            if attrs:
+                label += f" [{attrs}]"
+            share = 100.0 * node.wall_s / root_wall
+            lines.append(
+                f"{label:<44}{_fmt_seconds(node.wall_s)} "
+                f"{_fmt_seconds(node.cpu_s)} {share:6.1f}%"
+            )
+        lines.append("")
+
+    metrics = report.get("metrics", {})
+    counters = metrics.get("counters", [])
+    if counters:
+        lines.append(f"{'counter':<60} {'value':>12}")
+        lines.append("-" * 74)
+        for entry in counters:
+            labels = entry.get("labels", {})
+            label_text = ",".join(
+                f"{k}={v}" for k, v in sorted(labels.items())
+            )
+            name = entry["name"] + (f"{{{label_text}}}" if label_text else "")
+            lines.append(f"{name:<60} {entry['value']:>12,.0f}")
+        lines.append("")
+
+    histograms = metrics.get("histograms", [])
+    if histograms:
+        lines.append(
+            f"{'histogram':<44} {'count':>9} {'p50':>9} {'p99':>9}"
+        )
+        lines.append("-" * 74)
+        for entry in histograms:
+            labels = entry.get("labels", {})
+            label_text = ",".join(
+                f"{k}={v}" for k, v in sorted(labels.items())
+            )
+            name = entry["name"] + (f"{{{label_text}}}" if label_text else "")
+            quantiles = entry.get("quantiles", {})
+            lines.append(
+                f"{name:<44} {entry.get('count', 0):>9,} "
+                f"{quantiles.get('p50', 0.0):>9.4g} "
+                f"{quantiles.get('p99', 0.0):>9.4g}"
+            )
+        lines.append("")
+    if not lines:
+        return "empty run report (no spans, no metrics)"
+    return "\n".join(lines).rstrip()

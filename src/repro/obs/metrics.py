@@ -1,0 +1,531 @@
+"""Thread-safe, zero-dependency metrics: counters, gauges, histograms.
+
+The registry is the numeric half of :mod:`repro.obs`.  Instrumented code
+asks the active registry for an *instrument* — a counter, gauge or
+histogram bound to one label set — and updates it:
+
+    reg.counter("repro_io_rows_read_total", stream="proxy").add(n)
+
+Design constraints (see the module docstring of :mod:`repro.obs`):
+
+* **thread-safe and exact** — every mutation takes the instrument's lock,
+  so concurrent increments from N threads sum exactly (asserted by the
+  stress test);
+* **near-zero cost when disabled** — a disabled registry hands back
+  shared singleton no-op instruments whose methods do nothing, and hot
+  loops are written to touch the registry O(1) times per *file*, not per
+  row;
+* **mergeable** — :meth:`MetricsRegistry.snapshot` produces a plain-dict
+  snapshot that pickles across ``ProcessPoolExecutor`` boundaries, and
+  :meth:`MetricsRegistry.merge_snapshot` folds worker snapshots into the
+  parent registry deterministically (counters and histogram buckets sum;
+  gauges last-write-win in merge order);
+* **two export surfaces** — :meth:`to_prometheus` renders the text
+  exposition format, and the JSON run report embeds :meth:`snapshot`
+  verbatim (see :mod:`repro.obs.export`).
+
+Histograms use fixed log-scaled buckets (half-decade boundaries from 1e-6
+to 1e9) so byte sizes, row counts and sub-millisecond durations all land
+in meaningful cells, plus streaming P50/P90/P99 estimates from
+:class:`repro.stats.streaming.P2Quantile` — five markers per quantile,
+O(1) memory, no sample retention.  Merged histograms re-estimate
+quantiles from the summed buckets (log-midpoint interpolation), since P²
+marker state cannot be combined exactly across processes.
+
+Metric names follow the ``repro_<area>_<name>`` convention; counters end
+in ``_total`` as Prometheus expects.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Callable, Iterable, Mapping
+
+from repro.stats.streaming import P2Quantile
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HISTOGRAM_BUCKETS",
+    "MetricsRegistry",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "render_prometheus",
+]
+
+#: Fixed log-scaled bucket upper bounds: 10^(k/2) for k in [-12, 18], i.e.
+#: half-decade steps from 1 microsecond-ish (1e-6) to 1e9.  One shared
+#: geometry for every histogram keeps worker snapshots mergeable by plain
+#: element-wise addition.
+HISTOGRAM_BUCKETS: tuple[float, ...] = tuple(
+    10.0 ** (k / 2.0) for k in range(-12, 19)
+)
+
+#: Streaming quantiles every histogram tracks locally.
+_QUANTILES: tuple[float, ...] = (0.5, 0.9, 0.99)
+
+
+def _label_key(labels: Mapping[str, str]) -> tuple[tuple[str, str], ...]:
+    """Canonical (sorted) tuple form of a label set."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing counter bound to one label set."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: Mapping[str, str]) -> None:
+        self.name = name
+        self.labels = {str(k): str(v) for k, v in labels.items()}
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self) -> None:
+        self.add(1)
+
+    def add(self, amount: float) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """Last-write-wins instantaneous value bound to one label set."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: Mapping[str, str]) -> None:
+        self.name = name
+        self.labels = {str(k): str(v) for k, v in labels.items()}
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, amount: float) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Log-bucketed distribution with streaming P50/P90/P99 estimates.
+
+    ``observe`` updates the fixed bucket counts, the running count/sum/
+    min/max, and three P² estimators.  ``merged_*`` state accumulates
+    snapshots folded in from worker processes; when any merged data is
+    present the exported quantiles switch from the (local-only) P²
+    markers to a bucket-midpoint estimate over the combined distribution,
+    so a sharded run reports one coherent distribution.
+    """
+
+    __slots__ = (
+        "name",
+        "labels",
+        "_lock",
+        "_buckets",
+        "_count",
+        "_sum",
+        "_min",
+        "_max",
+        "_p2",
+        "_merged",
+    )
+
+    def __init__(self, name: str, labels: Mapping[str, str]) -> None:
+        self.name = name
+        self.labels = {str(k): str(v) for k, v in labels.items()}
+        self._lock = threading.Lock()
+        # One cell per bound plus the +Inf overflow cell.
+        self._buckets = [0] * (len(HISTOGRAM_BUCKETS) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._p2 = {q: P2Quantile(q) for q in _QUANTILES}
+        self._merged = False
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._buckets[self._bucket_index(value)] += 1
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+            for estimator in self._p2.values():
+                estimator.add(value)
+
+    @staticmethod
+    def _bucket_index(value: float) -> int:
+        lo, hi = 0, len(HISTOGRAM_BUCKETS)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if value <= HISTOGRAM_BUCKETS[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    # ------------------------------------------------------------- reading
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def _bucket_quantile(self, q: float) -> float:
+        """Quantile estimate from bucket counts (log-midpoint rule)."""
+        target = q * self._count
+        seen = 0
+        for index, cell in enumerate(self._buckets):
+            seen += cell
+            if seen >= target and cell:
+                if index == 0:
+                    return HISTOGRAM_BUCKETS[0]
+                if index >= len(HISTOGRAM_BUCKETS):
+                    return self._max
+                lower = HISTOGRAM_BUCKETS[index - 1]
+                upper = HISTOGRAM_BUCKETS[index]
+                return math.sqrt(lower * upper)  # log midpoint
+        return self._max if self._count else 0.0
+
+    def quantiles(self) -> dict[str, float]:
+        with self._lock:
+            if self._count == 0:
+                return {}
+            if self._merged:
+                return {
+                    f"p{int(q * 100)}": self._bucket_quantile(q)
+                    for q in _QUANTILES
+                }
+            return {
+                f"p{int(q * 100)}": self._p2[q].value for q in _QUANTILES
+            }
+
+    # ------------------------------------------------------------- merging
+    def merge_snapshot(self, snap: Mapping) -> None:
+        """Fold a picklable histogram snapshot from another process in."""
+        with self._lock:
+            buckets = snap.get("buckets", [])
+            for index, cell in enumerate(buckets):
+                if index < len(self._buckets):
+                    self._buckets[index] += int(cell)
+            self._count += int(snap.get("count", 0))
+            self._sum += float(snap.get("sum", 0.0))
+            if snap.get("count", 0):
+                self._min = min(self._min, float(snap.get("min", math.inf)))
+                self._max = max(self._max, float(snap.get("max", -math.inf)))
+            self._merged = True
+
+    def to_snapshot(self) -> dict:
+        with self._lock:
+            snap: dict = {
+                "count": self._count,
+                "sum": self._sum,
+                "buckets": list(self._buckets),
+            }
+            if self._count:
+                snap["min"] = self._min
+                snap["max"] = self._max
+        quantiles = self.quantiles()
+        if quantiles:
+            snap["quantiles"] = quantiles
+        return snap
+
+
+class _NullCounter:
+    """Shared no-op counter handed out by a disabled registry."""
+
+    __slots__ = ()
+
+    def inc(self) -> None:
+        pass
+
+    def add(self, amount: float) -> None:
+        pass
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+
+class _NullGauge:
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, amount: float) -> None:
+        pass
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+
+class _NullHistogram:
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+    @property
+    def count(self) -> int:
+        return 0
+
+    @property
+    def sum(self) -> float:
+        return 0.0
+
+    def quantiles(self) -> dict[str, float]:
+        return {}
+
+
+NULL_COUNTER = _NullCounter()
+NULL_GAUGE = _NullGauge()
+NULL_HISTOGRAM = _NullHistogram()
+
+
+class MetricsRegistry:
+    """Thread-safe instrument factory and export surface.
+
+    ``enabled=False`` turns every accessor into a constant-time return of
+    the shared null instrument — the no-op path instrumented code pays by
+    default.  Instruments are keyed by ``(name, sorted labels)``; asking
+    twice returns the same object, so hot paths may hoist the lookup out
+    of their loops and call the instrument directly.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._counters: dict[tuple, Counter] = {}
+        self._gauges: dict[tuple, Gauge] = {}
+        self._histograms: dict[tuple, Histogram] = {}
+        self._callbacks: list[Callable[[MetricsRegistry], None]] = []
+
+    # ------------------------------------------------------------ factories
+    def counter(self, name: str, **labels: str) -> Counter | _NullCounter:
+        if not self.enabled:
+            return NULL_COUNTER
+        key = (name, _label_key(labels))
+        with self._lock:
+            instrument = self._counters.get(key)
+            if instrument is None:
+                instrument = Counter(name, labels)
+                self._counters[key] = instrument
+        return instrument
+
+    def gauge(self, name: str, **labels: str) -> Gauge | _NullGauge:
+        if not self.enabled:
+            return NULL_GAUGE
+        key = (name, _label_key(labels))
+        with self._lock:
+            instrument = self._gauges.get(key)
+            if instrument is None:
+                instrument = Gauge(name, labels)
+                self._gauges[key] = instrument
+        return instrument
+
+    def histogram(self, name: str, **labels: str) -> Histogram | _NullHistogram:
+        if not self.enabled:
+            return NULL_HISTOGRAM
+        key = (name, _label_key(labels))
+        with self._lock:
+            instrument = self._histograms.get(key)
+            if instrument is None:
+                instrument = Histogram(name, labels)
+                self._histograms[key] = instrument
+        return instrument
+
+    def add_callback(self, fn: Callable[["MetricsRegistry"], None]) -> None:
+        """Register a collection hook run before every snapshot/export.
+
+        Used for pull-style sources (e.g. cache hit counts kept as plain
+        ints on hot objects) that publish into the registry lazily.
+        """
+        if self.enabled:
+            with self._lock:
+                self._callbacks.append(fn)
+
+    def _run_callbacks(self) -> None:
+        with self._lock:
+            callbacks = list(self._callbacks)
+        for fn in callbacks:
+            fn(self)
+
+    # ------------------------------------------------------------ queries
+    def counter_value(self, name: str, **labels: str) -> float:
+        """Current value of one counter child (0 when absent)."""
+        key = (name, _label_key(labels))
+        with self._lock:
+            instrument = self._counters.get(key)
+        return instrument.value if instrument is not None else 0.0
+
+    def sum_counter(self, name: str, **labels: str) -> float:
+        """Sum of one counter family across matching label sets.
+
+        Keyword arguments restrict the sum to children whose label set
+        *contains* every given pair — e.g.
+        ``sum_counter("repro_io_rows_read_total", category="log")`` sums
+        over streams and formats but excludes spill-chunk traffic.
+        """
+        wanted = {str(k): str(v) for k, v in labels.items()}
+        with self._lock:
+            instruments = [
+                c for (n, _), c in self._counters.items() if n == name
+            ]
+        total = 0.0
+        for instrument in instruments:
+            child = {str(k): str(v) for k, v in instrument.labels.items()}
+            if all(child.get(k) == v for k, v in wanted.items()):
+                total += instrument.value
+        return total
+
+    def counter_families(self) -> frozenset[str]:
+        with self._lock:
+            return frozenset(name for name, _ in self._counters)
+
+    # ------------------------------------------------------------ snapshot
+    def snapshot(self) -> dict:
+        """Plain-dict (JSON- and pickle-safe) view of every instrument."""
+        self._run_callbacks()
+        with self._lock:
+            counters = sorted(self._counters.items())
+            gauges = sorted(self._gauges.items())
+            histograms = sorted(self._histograms.items())
+        return {
+            "counters": [
+                {"name": c.name, "labels": dict(c.labels), "value": c.value}
+                for _, c in counters
+            ],
+            "gauges": [
+                {"name": g.name, "labels": dict(g.labels), "value": g.value}
+                for _, g in gauges
+            ],
+            "histograms": [
+                {
+                    "name": h.name,
+                    "labels": dict(h.labels),
+                    **h.to_snapshot(),
+                }
+                for _, h in histograms
+            ],
+        }
+
+    def merge_snapshot(self, snap: Mapping) -> None:
+        """Fold a worker snapshot into this registry.
+
+        Counters and histogram buckets sum (commutative, so any merge
+        order yields the same totals); gauges take the incoming value
+        (last write in merge order wins).  A disabled registry ignores
+        the snapshot entirely.
+        """
+        if not self.enabled:
+            return
+        for entry in snap.get("counters", ()):
+            self.counter(entry["name"], **entry.get("labels", {})).add(
+                entry["value"]
+            )
+        for entry in snap.get("gauges", ()):
+            self.gauge(entry["name"], **entry.get("labels", {})).set(
+                entry["value"]
+            )
+        for entry in snap.get("histograms", ()):
+            self.histogram(
+                entry["name"], **entry.get("labels", {})
+            ).merge_snapshot(entry)
+
+    # ------------------------------------------------------------- export
+    def to_prometheus(self) -> str:
+        """Render the registry in the Prometheus text exposition format."""
+        return render_prometheus(self.snapshot())
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _format_labels(labels: Mapping[str, str], extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def render_prometheus(snapshot: Mapping) -> str:
+    """Prometheus text exposition of a metrics snapshot.
+
+    Works on snapshots rather than live registries so saved run reports
+    can be re-exported without re-running anything.
+    """
+    lines: list[str] = []
+    seen_types: set[str] = set()
+
+    def type_line(name: str, kind: str) -> None:
+        if name not in seen_types:
+            lines.append(f"# TYPE {name} {kind}")
+            seen_types.add(name)
+
+    for entry in snapshot.get("counters", ()):
+        type_line(entry["name"], "counter")
+        lines.append(
+            f"{entry['name']}{_format_labels(entry.get('labels', {}))} "
+            f"{_format_value(entry['value'])}"
+        )
+    for entry in snapshot.get("gauges", ()):
+        type_line(entry["name"], "gauge")
+        lines.append(
+            f"{entry['name']}{_format_labels(entry.get('labels', {}))} "
+            f"{_format_value(entry['value'])}"
+        )
+    for entry in snapshot.get("histograms", ()):
+        name = entry["name"]
+        labels = entry.get("labels", {})
+        type_line(name, "histogram")
+        cumulative = 0
+        buckets: Iterable[int] = entry.get("buckets", ())
+        for bound, cell in zip(HISTOGRAM_BUCKETS, buckets):
+            cumulative += cell
+            extra = 'le="%g"' % bound
+            lines.append(
+                f"{name}_bucket{_format_labels(labels, extra)} {cumulative}"
+            )
+        inf_extra = 'le="+Inf"'
+        lines.append(
+            f"{name}_bucket{_format_labels(labels, inf_extra)} "
+            f"{entry.get('count', 0)}"
+        )
+        lines.append(
+            f"{name}_sum{_format_labels(labels)} "
+            f"{_format_value(entry.get('sum', 0.0))}"
+        )
+        lines.append(
+            f"{name}_count{_format_labels(labels)} {entry.get('count', 0)}"
+        )
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -50,6 +50,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Iterator, Sequence
 from zlib import crc32
 
+from repro import obs
 from repro.devicedb.catalog import builtin_database
 from repro.devicedb.database import DeviceDatabase
 from repro.logs.io import write_mme_log, write_proxy_log
@@ -144,13 +145,24 @@ class ShardTask:
 
 @dataclass(frozen=True)
 class ShardStats:
-    """What one shard generated, and how long it took."""
+    """What one shard generated, and how long it took.
+
+    When the run is observed, workers also ship back their shard-local
+    observability state as plain picklable dicts: ``metrics_snapshot``
+    (the worker registry's counters/histograms) and ``span_tree`` (the
+    shard's span subtree).  The parent merges both in shard order, so a
+    sharded run produces one coherent metrics view and span tree no
+    matter how many processes generated it.  ``elapsed_seconds`` is kept
+    for backward compatibility and now derives from the shard span.
+    """
 
     shard: int
     accounts: int
     proxy_records: int
     mme_records: int
     elapsed_seconds: float
+    metrics_snapshot: dict | None = None
+    span_tree: dict | None = None
 
     @property
     def resident_records(self) -> int:
@@ -167,6 +179,13 @@ class _ShardPayload:
     task: ShardTask
     proxy_path: str
     mme_path: str
+    #: Record observability in the worker and ship a snapshot back.
+    observe: bool = False
+    #: PID of the orchestrating process: a worker only installs its own
+    #: observability instance when it is *not* that process (fork start
+    #: methods inherit the parent's enabled instance, which must not be
+    #: double-counted).
+    parent_pid: int = 0
 
 
 # --------------------------------------------------------------- generation
@@ -256,20 +275,67 @@ def _generate_shard(
 
 
 def _run_shard_to_spool(payload: _ShardPayload) -> ShardStats:
-    """Worker entry point: generate one shard and spill sorted chunks."""
+    """Worker entry point: generate one shard and spill sorted chunks.
+
+    When the payload asks for observability and this is a *different*
+    process from the orchestrator (spawned or forked worker), a fresh
+    enabled :class:`~repro.obs.Observability` is installed for the
+    duration of the shard and its snapshot/span tree are shipped back in
+    the :class:`ShardStats`.  In the serial path (same PID) the ambient
+    instance records the shard directly and nothing is shipped.
+    """
+    installed: "obs.Observability | None" = None
+    previous: "obs.Observability | None" = None
+    if payload.observe and os.getpid() != payload.parent_pid:
+        installed = obs.Observability(enabled=True)
+        previous = obs.install(installed)
     started = time.perf_counter()
-    proxy_records, mme_records = _generate_shard(
-        payload.config, payload.catalog, payload.task
-    )
-    write_sorted_chunk(payload.proxy_path, proxy_records, ProxyRecord)
-    write_sorted_chunk(payload.mme_path, mme_records, MmeRecord)
-    return ShardStats(
-        shard=payload.task.shard,
-        accounts=payload.task.accounts,
-        proxy_records=len(proxy_records),
-        mme_records=len(mme_records),
-        elapsed_seconds=time.perf_counter() - started,
-    )
+    try:
+        with obs.tracer().span(
+            "simulate.shard", shard=payload.task.shard
+        ) as shard_span:
+            with obs.span("shard.generate"):
+                proxy_records, mme_records = _generate_shard(
+                    payload.config, payload.catalog, payload.task
+                )
+            with obs.span("shard.spill"):
+                write_sorted_chunk(
+                    payload.proxy_path, proxy_records, ProxyRecord
+                )
+                write_sorted_chunk(payload.mme_path, mme_records, MmeRecord)
+        if obs.enabled():
+            registry = obs.metrics()
+            registry.counter(
+                "repro_engine_proxy_records_total",
+                shard=payload.task.shard,
+            ).add(len(proxy_records))
+            registry.counter(
+                "repro_engine_mme_records_total",
+                shard=payload.task.shard,
+            ).add(len(mme_records))
+        elapsed = (
+            shard_span.wall_s
+            if shard_span is not None
+            else time.perf_counter() - started
+        )
+        metrics_snapshot = None
+        span_tree = None
+        if installed is not None:
+            metrics_snapshot = installed.metrics.snapshot()
+            span_tree = installed.tracer.tree().to_dict()
+        return ShardStats(
+            shard=payload.task.shard,
+            accounts=payload.task.accounts,
+            proxy_records=len(proxy_records),
+            mme_records=len(mme_records),
+            elapsed_seconds=elapsed,
+            metrics_snapshot=metrics_snapshot,
+            span_tree=span_tree,
+        )
+    finally:
+        if installed is not None:
+            obs.install(previous)
+            installed.close()
 
 
 # ---------------------------------------------------------------- run handle
@@ -354,15 +420,19 @@ class EngineRun:
             mme_iter = map(anonymizer.mme_record, mme_iter)
             directory_map = anonymizer.account_directory(directory_map)
 
-        write_proxy_log(proxy_path, proxy_iter)
-        write_mme_log(mme_path, mme_iter)
-        paths = write_side_artifacts(
-            base,
-            config=self.config,
-            device_db=self.device_db,
-            sector_map=self.sector_map,
-            account_directory=directory_map,
-        )
+        with obs.span("simulate.export"):
+            with obs.span("export.proxy"):
+                write_proxy_log(proxy_path, proxy_iter)
+            with obs.span("export.mme"):
+                write_mme_log(mme_path, mme_iter)
+            with obs.span("export.artifacts"):
+                paths = write_side_artifacts(
+                    base,
+                    config=self.config,
+                    device_db=self.device_db,
+                    sector_map=self.sector_map,
+                    account_directory=directory_map,
+                )
         paths["proxy"] = proxy_path
         paths["mme"] = mme_path
         return paths
@@ -432,6 +502,8 @@ class ShardedSimulationEngine:
     def _payloads(
         self, tasks: Sequence[ShardTask], spool_dir: Path
     ) -> list[_ShardPayload]:
+        observe = obs.enabled()
+        parent_pid = os.getpid()
         return [
             _ShardPayload(
                 config=self._config,
@@ -439,6 +511,8 @@ class ShardedSimulationEngine:
                 task=task,
                 proxy_path=str(spool_dir / f"proxy-{task.shard:04d}.csv"),
                 mme_path=str(spool_dir / f"mme-{task.shard:04d}.csv"),
+                observe=observe,
+                parent_pid=parent_pid,
             )
             for task in tasks
         ]
@@ -458,18 +532,51 @@ class ShardedSimulationEngine:
         )
         spool.mkdir(parents=True, exist_ok=True)
 
-        population = self._population_or_build()
-        tasks = partition_accounts(population, self._shards)
-        payloads = self._payloads(tasks, spool)
+        # NOTE: ``workers`` deliberately is NOT a span attribute.  The
+        # engine's contract is that worker count never changes the output;
+        # keeping it out of the span structure lets tests assert the span
+        # *tree* is byte-identical too.  It is still visible as a gauge.
+        with obs.span("simulate.run", shards=self._shards):
+            with obs.span("simulate.population"):
+                population = self._population_or_build()
+                tasks = partition_accounts(population, self._shards)
+                payloads = self._payloads(tasks, spool)
 
-        if self._workers <= 1:
-            stats = [_run_shard_to_spool(payload) for payload in payloads]
-        else:
-            with ProcessPoolExecutor(max_workers=self._workers) as pool:
-                stats = list(pool.map(_run_shard_to_spool, payloads))
-        stats.sort(key=lambda item: item.shard)
+            with obs.span("simulate.shards"):
+                if self._workers <= 1:
+                    stats = [
+                        _run_shard_to_spool(payload) for payload in payloads
+                    ]
+                else:
+                    with ProcessPoolExecutor(
+                        max_workers=self._workers
+                    ) as pool:
+                        stats = list(pool.map(_run_shard_to_spool, payloads))
+                stats.sort(key=lambda item: item.shard)
+                if obs.enabled():
+                    # Merge worker-local observability deterministically in
+                    # shard order: counter sums are commutative, and span
+                    # subtrees attach as children of ``simulate.shards``.
+                    registry = obs.metrics()
+                    tracer = obs.tracer()
+                    for stat in stats:
+                        if stat.metrics_snapshot is not None:
+                            registry.merge_snapshot(stat.metrics_snapshot)
+                        if stat.span_tree is not None:
+                            tracer.attach_subtree(stat.span_tree)
 
-        topology = _build_topology(self._config)
+            with obs.span("simulate.topology"):
+                topology = _build_topology(self._config)
+
+        if obs.enabled():
+            registry = obs.metrics()
+            registry.gauge("repro_engine_shards").set(self._shards)
+            registry.gauge("repro_engine_workers").set(self._workers)
+            registry.gauge("repro_engine_peak_resident_records").set(
+                max(
+                    (stat.resident_records for stat in stats), default=0
+                )
+            )
         return EngineRun(
             config=self._config,
             device_db=self._device_db,
@@ -501,32 +608,44 @@ class ShardedSimulationEngine:
             finally:
                 run.cleanup()
 
-        population = self._population_or_build()
-        tasks = partition_accounts(population, self._shards)
-        proxy_chunks: list[list[ProxyRecord]] = []
-        mme_chunks: list[list[MmeRecord]] = []
-        stats: list[ShardStats] = []
-        for task in tasks:
-            started = time.perf_counter()
-            proxy_records, mme_records = _generate_shard(
-                self._config, self._catalog, task
-            )
-            proxy_records.sort(key=record_sort_key)
-            mme_records.sort(key=record_sort_key)
-            proxy_chunks.append(proxy_records)
-            mme_chunks.append(mme_records)
-            stats.append(
-                ShardStats(
-                    shard=task.shard,
-                    accounts=task.accounts,
-                    proxy_records=len(proxy_records),
-                    mme_records=len(mme_records),
-                    elapsed_seconds=time.perf_counter() - started,
-                )
-            )
-        self.last_shard_stats = stats
+        with obs.span("simulate.run", shards=self._shards):
+            with obs.span("simulate.population"):
+                population = self._population_or_build()
+                tasks = partition_accounts(population, self._shards)
+            proxy_chunks: list[list[ProxyRecord]] = []
+            mme_chunks: list[list[MmeRecord]] = []
+            stats: list[ShardStats] = []
+            with obs.span("simulate.shards"):
+                for task in tasks:
+                    started = time.perf_counter()
+                    with obs.tracer().span(
+                        "simulate.shard", shard=task.shard
+                    ) as shard_span:
+                        with obs.span("shard.generate"):
+                            proxy_records, mme_records = _generate_shard(
+                                self._config, self._catalog, task
+                            )
+                        proxy_records.sort(key=record_sort_key)
+                        mme_records.sort(key=record_sort_key)
+                    proxy_chunks.append(proxy_records)
+                    mme_chunks.append(mme_records)
+                    stats.append(
+                        ShardStats(
+                            shard=task.shard,
+                            accounts=task.accounts,
+                            proxy_records=len(proxy_records),
+                            mme_records=len(mme_records),
+                            elapsed_seconds=(
+                                shard_span.wall_s
+                                if shard_span is not None
+                                else time.perf_counter() - started
+                            ),
+                        )
+                    )
+            self.last_shard_stats = stats
 
-        topology = _build_topology(self._config)
+            with obs.span("simulate.topology"):
+                topology = _build_topology(self._config)
         return SimulationOutput(
             config=self._config,
             proxy_records=list(heap_merge(*proxy_chunks, key=record_sort_key)),

@@ -1,0 +1,125 @@
+"""Exporter and validator tests: run report, Chrome trace, stage table."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    RUN_REPORT_SCHEMA,
+    build_chrome_trace,
+    build_run_report,
+    format_stage_table,
+    validate_chrome_trace,
+    validate_chrome_trace_file,
+    validate_run_report,
+    validate_run_report_file,
+    write_chrome_trace,
+    write_run_report,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import Tracer
+
+
+def _sample_report():
+    reg = MetricsRegistry()
+    reg.counter("repro_io_rows_read_total", stream="proxy").add(100)
+    reg.gauge("repro_engine_workers").set(2)
+    reg.histogram("repro_io_read_seconds").observe(0.25)
+    tracer = Tracer()
+    with tracer.span("simulate.run", shards=2):
+        with tracer.span("simulate.shard", shard=0):
+            pass
+    return build_run_report(
+        reg.snapshot(), tracer.tree(), meta={"command": "test"}
+    )
+
+
+# ------------------------------------------------------------- run report
+def test_run_report_schema_and_validation():
+    report = _sample_report()
+    assert report["schema"] == RUN_REPORT_SCHEMA
+    validate_run_report(report)  # must not raise
+
+
+def test_run_report_file_roundtrip(tmp_path):
+    report = _sample_report()
+    path = write_run_report(tmp_path / "report.json", report)
+    loaded = validate_run_report_file(path)
+    assert loaded["meta"]["command"] == "test"
+    assert loaded["spans"]["name"] == "simulate.run"
+
+
+def test_run_report_is_json_serialisable():
+    json.dumps(_sample_report())
+
+
+@pytest.mark.parametrize(
+    "mutate, fragment",
+    [
+        (lambda r: r.update(schema="bogus"), "schema"),
+        (lambda r: r.pop("metrics"), "metrics"),
+        (
+            lambda r: r["metrics"]["counters"].append(
+                {"name": "bad_name_total", "labels": {}, "value": 1}
+            ),
+            "repro_",
+        ),
+        (
+            lambda r: r["spans"].pop("wall_s"),
+            "wall_s",
+        ),
+    ],
+)
+def test_run_report_validator_rejects(mutate, fragment):
+    report = _sample_report()
+    mutate(report)
+    with pytest.raises(ValueError, match=fragment):
+        validate_run_report(report)
+
+
+# ------------------------------------------------------------ chrome trace
+def test_chrome_trace_events():
+    report = _sample_report()
+    trace = build_chrome_trace(report["spans"])
+    validate_chrome_trace(trace)
+    events = trace["traceEvents"]
+    complete = [e for e in events if e["ph"] == "X"]
+    assert {e["name"] for e in complete} == {"simulate.run", "simulate.shard"}
+    # Shard spans get their own lane (tid = shard + 1).
+    shard_event = next(e for e in complete if e["name"] == "simulate.shard")
+    assert shard_event["tid"] == 1
+    # Metadata events name the process for Perfetto.
+    assert any(e["ph"] == "M" and e["name"] == "process_name" for e in events)
+
+
+def test_chrome_trace_file_roundtrip(tmp_path):
+    report = _sample_report()
+    path = write_chrome_trace(tmp_path / "trace.json", report["spans"])
+    loaded = validate_chrome_trace_file(path)
+    assert loaded["displayTimeUnit"] == "ms"
+
+
+def test_chrome_trace_validator_rejects_garbage():
+    with pytest.raises(ValueError):
+        validate_chrome_trace({"traceEvents": []})
+    with pytest.raises(ValueError):
+        validate_chrome_trace({"traceEvents": [{"name": "x", "ph": "?"}]})
+
+
+# ------------------------------------------------------------- stage table
+def test_stage_table_renders_spans_and_counters():
+    text = format_stage_table(_sample_report())
+    assert "simulate.run [shards=2]" in text
+    assert "simulate.shard [shard=0]" in text
+    assert "repro_io_rows_read_total{stream=proxy}" in text
+    assert "repro_io_read_seconds" in text
+    assert "share" in text
+
+
+def test_stage_table_empty_report():
+    text = format_stage_table(
+        {"metrics": {"counters": [], "gauges": [], "histograms": []}}
+    )
+    assert "empty run report" in text

@@ -1,0 +1,196 @@
+"""Unit tests for the metrics half of :mod:`repro.obs`."""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    HISTOGRAM_BUCKETS,
+    MetricsRegistry,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    render_prometheus,
+)
+
+
+# ----------------------------------------------------------------- counters
+def test_counter_add_and_inc():
+    reg = MetricsRegistry()
+    counter = reg.counter("repro_test_total", stream="proxy")
+    counter.inc()
+    counter.add(41)
+    assert counter.value == 42
+
+
+def test_counter_rejects_negative():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError):
+        reg.counter("repro_test_total").add(-1)
+
+
+def test_same_labels_same_instrument():
+    reg = MetricsRegistry()
+    a = reg.counter("repro_test_total", stream="proxy", format="csv")
+    b = reg.counter("repro_test_total", format="csv", stream="proxy")
+    assert a is b
+    c = reg.counter("repro_test_total", stream="mme", format="csv")
+    assert c is not a
+
+
+def test_label_values_coerced_to_strings():
+    reg = MetricsRegistry()
+    counter = reg.counter("repro_test_total", shard=3)
+    assert counter.labels == {"shard": "3"}
+    # Integer and string forms address the same child.
+    assert reg.counter("repro_test_total", shard="3") is counter
+
+
+def test_thread_safety_exact_sum():
+    """N threads of concurrent increments sum exactly (tentpole claim)."""
+    reg = MetricsRegistry()
+    counter = reg.counter("repro_stress_total")
+    histogram = reg.histogram("repro_stress_seconds")
+    threads_n, per_thread = 8, 10_000
+
+    def work() -> None:
+        for index in range(per_thread):
+            counter.inc()
+            histogram.observe(index % 17 + 0.5)
+
+    threads = [threading.Thread(target=work) for _ in range(threads_n)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert counter.value == threads_n * per_thread
+    assert histogram.count == threads_n * per_thread
+
+
+# ---------------------------------------------------------------- histogram
+def test_histogram_buckets_and_quantiles():
+    reg = MetricsRegistry()
+    hist = reg.histogram("repro_test_seconds")
+    for value in range(1, 101):
+        hist.observe(float(value))
+    assert hist.count == 100
+    assert hist.sum == pytest.approx(5050.0)
+    quantiles = hist.quantiles()
+    # P² estimates are approximate; generous tolerances.
+    assert quantiles["p50"] == pytest.approx(50, rel=0.2)
+    assert quantiles["p99"] == pytest.approx(99, rel=0.2)
+
+
+def test_histogram_bucket_geometry_is_shared():
+    assert HISTOGRAM_BUCKETS[0] == pytest.approx(1e-6)
+    assert HISTOGRAM_BUCKETS[-1] == pytest.approx(1e9)
+    assert all(
+        b2 > b1 for b1, b2 in zip(HISTOGRAM_BUCKETS, HISTOGRAM_BUCKETS[1:])
+    )
+
+
+def test_histogram_snapshot_roundtrip_merge():
+    """Worker snapshots merge by bucket addition; totals are exact."""
+    worker = MetricsRegistry()
+    for value in (0.001, 0.01, 0.1, 1.0, 10.0):
+        worker.histogram("repro_test_seconds", stream="proxy").observe(value)
+    parent = MetricsRegistry()
+    parent.histogram("repro_test_seconds", stream="proxy").observe(100.0)
+
+    snap = worker.snapshot()
+    # Snapshots must survive pickling (ProcessPoolExecutor transport).
+    snap = pickle.loads(pickle.dumps(snap))
+    parent.merge_snapshot(snap)
+
+    merged = parent.histogram("repro_test_seconds", stream="proxy")
+    assert merged.count == 6
+    assert merged.sum == pytest.approx(111.111)
+    # Merged quantiles come from buckets, hence log-midpoint estimates.
+    assert merged.quantiles()["p50"] > 0
+
+
+def test_merge_snapshot_counters_sum_and_gauges_overwrite():
+    parent = MetricsRegistry()
+    parent.counter("repro_x_total", k="a").add(10)
+    parent.gauge("repro_g").set(1)
+    worker = MetricsRegistry()
+    worker.counter("repro_x_total", k="a").add(5)
+    worker.counter("repro_x_total", k="b").add(7)
+    worker.gauge("repro_g").set(9)
+    parent.merge_snapshot(worker.snapshot())
+    assert parent.counter_value("repro_x_total", k="a") == 15
+    assert parent.counter_value("repro_x_total", k="b") == 7
+    assert parent.gauge("repro_g").value == 9
+
+
+def test_sum_counter_with_label_filter():
+    reg = MetricsRegistry()
+    reg.counter("repro_io_rows_read_total", stream="proxy", category="log").add(10)
+    reg.counter("repro_io_rows_read_total", stream="mme", category="log").add(5)
+    reg.counter("repro_io_rows_read_total", stream="proxy", category="chunk").add(99)
+    assert reg.sum_counter("repro_io_rows_read_total") == 114
+    assert reg.sum_counter("repro_io_rows_read_total", category="log") == 15
+    assert (
+        reg.sum_counter(
+            "repro_io_rows_read_total", category="log", stream="mme"
+        )
+        == 5
+    )
+
+
+# ------------------------------------------------------------- disabled path
+def test_disabled_registry_hands_out_shared_nulls():
+    reg = MetricsRegistry(enabled=False)
+    assert reg.counter("repro_x_total", a="b") is NULL_COUNTER
+    assert reg.gauge("repro_g") is NULL_GAUGE
+    assert reg.histogram("repro_h") is NULL_HISTOGRAM
+    # No-ops really are no-ops.
+    NULL_COUNTER.add(5)
+    NULL_GAUGE.set(5)
+    NULL_HISTOGRAM.observe(5)
+    assert reg.snapshot() == {"counters": [], "gauges": [], "histograms": []}
+
+
+def test_disabled_registry_ignores_merge():
+    reg = MetricsRegistry(enabled=False)
+    live = MetricsRegistry()
+    live.counter("repro_x_total").add(3)
+    reg.merge_snapshot(live.snapshot())
+    assert reg.snapshot()["counters"] == []
+
+
+# ----------------------------------------------------------------- callbacks
+def test_snapshot_runs_pull_callbacks():
+    reg = MetricsRegistry()
+    reg.add_callback(lambda r: r.gauge("repro_pull_gauge").set(123))
+    snap = reg.snapshot()
+    assert any(
+        g["name"] == "repro_pull_gauge" and g["value"] == 123
+        for g in snap["gauges"]
+    )
+
+
+# ---------------------------------------------------------------- prometheus
+def test_prometheus_rendering():
+    reg = MetricsRegistry()
+    reg.counter("repro_io_rows_read_total", stream="proxy").add(7)
+    reg.gauge("repro_engine_workers").set(4)
+    reg.histogram("repro_io_read_seconds").observe(0.5)
+    text = reg.to_prometheus()
+    assert '# TYPE repro_io_rows_read_total counter' in text
+    assert 'repro_io_rows_read_total{stream="proxy"} 7' in text
+    assert "repro_engine_workers 4" in text
+    assert '# TYPE repro_io_read_seconds histogram' in text
+    assert 'repro_io_read_seconds_bucket{le="+Inf"} 1' in text
+    assert "repro_io_read_seconds_count 1" in text
+    assert text.endswith("\n")
+
+
+def test_prometheus_renders_from_saved_snapshot():
+    reg = MetricsRegistry()
+    reg.counter("repro_x_total").add(2)
+    snap = reg.snapshot()
+    assert render_prometheus(snap) == reg.to_prometheus()

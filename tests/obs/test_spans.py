@@ -1,0 +1,144 @@
+"""Unit tests for the span tracer."""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+from repro import obs
+from repro.obs.spans import SpanNode, Tracer
+
+
+def test_spans_nest_on_one_thread():
+    tracer = Tracer()
+    with tracer.span("outer", kind="test"):
+        with tracer.span("inner-a"):
+            pass
+        with tracer.span("inner-b"):
+            pass
+    tree = tracer.tree()
+    assert tree is not None
+    assert tree.name == "outer"
+    assert [child.name for child in tree.children] == ["inner-a", "inner-b"]
+    assert tree.attrs == {"kind": "test"}
+    assert tree.wall_s >= 0
+    assert tree.cpu_s >= 0
+
+
+def test_span_yields_live_node():
+    tracer = Tracer()
+    with tracer.span("stage") as node:
+        assert node is not None
+        assert node.name == "stage"
+    assert node.wall_s >= 0
+
+
+def test_disabled_tracer_yields_none_and_records_nothing():
+    tracer = Tracer(enabled=False)
+    with tracer.span("stage") as node:
+        assert node is None
+    assert tracer.tree() is None
+    # The no-op context is a shared singleton: same object every call.
+    assert tracer.span("a") is tracer.span("b")
+
+
+def test_multiple_roots_get_synthetic_run_root():
+    tracer = Tracer()
+    with tracer.span("first"):
+        pass
+    with tracer.span("second"):
+        pass
+    tree = tracer.tree()
+    assert tree.name == "run"
+    assert [child.name for child in tree.children] == ["first", "second"]
+
+
+def test_threads_have_independent_stacks():
+    tracer = Tracer()
+    seen: list[str] = []
+
+    def work(tag: str) -> None:
+        with tracer.span(f"thread-{tag}"):
+            seen.append(tag)
+
+    threads = [
+        threading.Thread(target=work, args=(str(i),)) for i in range(4)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    tree = tracer.tree()
+    assert tree.name == "run"
+    assert len(tree.children) == 4
+    # Thread spans are roots (no accidental cross-thread nesting).
+    assert all(not child.children for child in tree.children)
+
+
+def test_to_dict_from_dict_roundtrip_and_pickle():
+    tracer = Tracer()
+    with tracer.span("outer", shard=2):
+        with tracer.span("inner"):
+            pass
+    payload = tracer.tree().to_dict()
+    payload = pickle.loads(pickle.dumps(payload))
+    rebuilt = SpanNode.from_dict(payload)
+    assert rebuilt.structure() == tracer.tree().structure()
+    assert rebuilt.total_spans() == 2
+
+
+def test_attach_subtree_under_current_span():
+    worker = Tracer()
+    with worker.span("simulate.shard", shard=1):
+        pass
+    subtree = worker.tree().to_dict()
+
+    parent = Tracer()
+    with parent.span("simulate.shards"):
+        parent.attach_subtree(subtree)
+    tree = parent.tree()
+    assert tree.name == "simulate.shards"
+    assert tree.children[0].name == "simulate.shard"
+    assert tree.children[0].attrs == {"shard": 1}
+
+
+def test_structure_ignores_timings():
+    a, b = Tracer(), Tracer()
+    for tracer in (a, b):
+        with tracer.span("stage", k="v"):
+            with tracer.span("child"):
+                sum(range(1000 if tracer is a else 100_000))
+    assert a.tree().structure() == b.tree().structure()
+
+
+def test_memory_tracking_records_alloc_peak():
+    tracer = Tracer(memory=True)
+    try:
+        with tracer.span("alloc") as node:
+            # Runtime-computed size so CPython cannot constant-fold the
+            # allocation away: ~1 MiB of distinct bytes objects.
+            blob = [b"x" * (1024 + i % 2) for i in range(1024)]
+            del blob
+        assert node.alloc_peak_kb is not None
+        assert node.alloc_peak_kb > 512
+    finally:
+        tracer.close()
+
+
+def test_ambient_span_helper_uses_active_instance():
+    with obs.observe() as ob:
+        with obs.span("ambient.stage"):
+            pass
+        assert ob.tracer.tree().name == "ambient.stage"
+    # Restored to disabled: the helper is a no-op again.
+    with obs.span("ignored") as node:
+        assert node is None
+
+
+def test_observe_restores_previous_instance():
+    before = obs.get_obs()
+    with obs.observe():
+        assert obs.enabled()
+        assert obs.get_obs() is not before
+    assert obs.get_obs() is before
+    assert not obs.enabled()

@@ -4,8 +4,11 @@
 PY ?= python
 PYTEST = PYTHONPATH=src $(PY) -m pytest
 
-.PHONY: test coverage chaos bench bench-perf bench-perf-check trace \
-    obs-smoke clean
+.PHONY: test coverage chaos bench bench-perf bench-perf-check bench-gate \
+    trace obs-smoke clean
+
+PERF_MODULES = benchmarks/test_perf_engine.py benchmarks/test_perf_io.py \
+    benchmarks/test_perf_primitives.py
 
 ## Tier-1 suite: unit / integration / property tests (the CI gate).
 test:
@@ -28,30 +31,67 @@ bench:
 	$(PYTEST) benchmarks/ --benchmark-only
 
 ## Performance benchmarks only: engine throughput, CSV I/O, kernels.
+## A perf session also refreshes the canonical BENCH_repro.json at the
+## repo root and appends one record to benchmarks/reports/history.jsonl.
 bench-perf:
-	$(PYTEST) benchmarks/test_perf_engine.py benchmarks/test_perf_io.py \
-	    benchmarks/test_perf_primitives.py
+	$(PYTEST) $(PERF_MODULES)
 
 ## Same perf modules with timing disabled — fast correctness pass for CI.
 bench-perf-check:
 	$(PYTEST) benchmarks/test_perf_engine.py benchmarks/test_perf_io.py \
 	    -q --benchmark-disable
 
-## Observability smoke: simulate the small preset sharded with metrics +
-## chrome-trace artifacts, validate both against their schemas, and render
-## the stage table.  Artifacts land in obs-smoke/ (uploaded by CI).
+## Perf-regression gate: stash the committed BENCH_repro.json baseline,
+## re-run the perf benchmarks (rewriting BENCH_repro.json), then diff the
+## fresh run against the baseline with the compare engine.  Exits 3 (and
+## fails the target) when any aligned span got >15% slower.  The gate
+## only weighs spans >=0.25s (stricter than the CLI's 50ms default) so
+## scheduler noise on sub-100ms spill spans cannot flake CI.  First-ever
+## run (no committed baseline) records the fresh report and passes.
+bench-gate:
+	@mkdir -p benchmarks/reports
+	@if [ -f BENCH_repro.json ]; then \
+	    cp BENCH_repro.json benchmarks/reports/BENCH_baseline.json; \
+	    echo "bench-gate: baseline = committed BENCH_repro.json"; \
+	else \
+	    rm -f benchmarks/reports/BENCH_baseline.json; \
+	    echo "bench-gate: no committed baseline; will seed one"; \
+	fi
+	$(PYTEST) $(PERF_MODULES) -q
+	@if [ -f benchmarks/reports/BENCH_baseline.json ]; then \
+	    PYTHONPATH=src $(PY) -m repro obs compare \
+	        benchmarks/reports/BENCH_baseline.json BENCH_repro.json \
+	        --threshold 0.15 --min-wall 0.25 --fail-on-regression; \
+	else \
+	    echo "bench-gate: fresh BENCH_repro.json recorded; commit it as the baseline"; \
+	fi
+
+## Observability smoke: simulate the small preset sharded with metrics,
+## chrome-trace and timeline-event artifacts, validate all three against
+## their schemas, self-compare the run report (must exit 0), and render
+## the stage table.  Artifacts land in obs-smoke/ (gitignored; CI uploads
+## them).
 obs-smoke:
 	rm -rf obs-smoke && mkdir -p obs-smoke
 	PYTHONPATH=src $(PY) -m repro simulate --preset small --seed 7 \
 	    --shards 4 --workers 2 --out obs-smoke/trace \
 	    --metrics-out obs-smoke/run-report.json \
-	    --trace-out obs-smoke/perfetto-trace.json
+	    --trace-out obs-smoke/perfetto-trace.json \
+	    --events-out obs-smoke/events.jsonl
 	PYTHONPATH=src $(PY) -c "\
 	from repro.obs.export import validate_run_report_file, \
 	    validate_chrome_trace_file; \
+	from repro.obs.timeline import validate_events_file; \
 	validate_run_report_file('obs-smoke/run-report.json'); \
 	validate_chrome_trace_file('obs-smoke/perfetto-trace.json'); \
-	print('obs-smoke: both artifacts schema-valid')"
+	events = validate_events_file('obs-smoke/events.jsonl'); \
+	shards = sorted({e.get('shard') for e in events \
+	    if e['type'] == 'progress' and 'shard' in e}); \
+	assert shards == [0, 1, 2, 3], shards; \
+	print('obs-smoke: all three artifacts schema-valid, '\
+	    f'{len(events)} events, per-shard progress monotonic')"
+	PYTHONPATH=src $(PY) -m repro obs compare obs-smoke/run-report.json \
+	    obs-smoke/run-report.json >/dev/null
 	PYTHONPATH=src $(PY) -m repro obs summarize obs-smoke/run-report.json
 
 ## Example end-to-end trace (sharded run, per-shard timings on stderr).

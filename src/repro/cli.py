@@ -32,6 +32,19 @@ Observability
 ``--verbose-stats``
     print the stage table (per-stage wall/CPU time, row counters,
     histograms) to stderr after the command finishes.
+``--events-out PATH``
+    record the live timeline event log (``repro.obs/events/v1`` JSON
+    lines: heartbeats with RSS/CPU%/open FDs, per-shard row progress,
+    phase transitions) there while the command runs.
+``--progress``
+    render a live one-line progress display on stderr, fed by tailing
+    the event log (a temporary one if ``--events-out`` is not given) —
+    it sees inside worker processes because they append to the same log.
+
+``repro obs compare BASE.json CAND.json`` diffs two saved run reports by
+span path and metric key and exits ``3`` when the candidate regressed
+past ``--threshold`` (default 15%) — this is the perf gate ``make
+bench-gate`` runs against the committed ``BENCH_repro.json`` baseline.
 
 Every observed command also ends with the same normalized one-line
 summary on stderr — ``<command>: N rows in / M rows out, K issues,
@@ -46,12 +59,15 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import tempfile
 import time
 from pathlib import Path
 
 from repro import obs
 from repro.core.dataset import StudyDataset
+from repro.obs.compare import CompareConfig, compare_run_reports
 from repro.obs.export import (
     build_run_report,
     format_stage_table,
@@ -60,6 +76,7 @@ from repro.obs.export import (
     write_prometheus,
     write_run_report,
 )
+from repro.obs.timeline import HeartbeatSampler, ProgressPrinter
 from repro.core.export import write_report_json
 from repro.core.figures import FIGURE_RENDERERS, render_all
 from repro.core.pipeline import WearableStudy
@@ -299,6 +316,9 @@ def cmd_obs_summarize(args: argparse.Namespace) -> int:
     """Render a saved run report (from ``--metrics-out``) as a table."""
     try:
         report = validate_run_report_file(args.report)
+    except OSError as exc:
+        print(f"error: cannot read {args.report}: {exc}", file=sys.stderr)
+        return 2
     except (ValueError, json.JSONDecodeError) as exc:
         print(f"error: not a valid run report: {exc}", file=sys.stderr)
         return 2
@@ -311,6 +331,45 @@ def cmd_obs_summarize(args: argparse.Namespace) -> int:
         print(f"run report: {meta['command']} ({created})")
         print()
     print(format_stage_table(report))
+    return 0
+
+
+def cmd_obs_compare(args: argparse.Namespace) -> int:
+    """Diff two saved run reports; exit 3 on a gated regression.
+
+    Exit codes: 0 — no regression (or ``--report-only``); 2 — an input
+    file is missing or not a valid run report; 3 — at least one aligned
+    span regressed past the threshold (offending span paths printed).
+    """
+    reports = []
+    for path in (args.baseline, args.candidate):
+        try:
+            reports.append(validate_run_report_file(path))
+        except OSError as exc:
+            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+        except (ValueError, json.JSONDecodeError) as exc:
+            print(
+                f"error: {path}: not a valid run report: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        config = CompareConfig(
+            threshold=args.threshold,
+            min_wall_s=args.min_wall,
+            fail_on_rows=args.fail_on_rows,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    comparison = compare_run_reports(reports[0], reports[1], config)
+    print(comparison.format_table())
+    if args.json:
+        path = comparison.write_json(args.json)
+        print(f"wrote comparison to {path}", file=sys.stderr)
+    if not comparison.ok and not args.report_only:
+        return 3
     return 0
 
 
@@ -352,6 +411,13 @@ def _finalize_obs(
     snapshot = ob.metrics.snapshot()
     rows_in, rows_out, issues = _summary_counts(ob.metrics)
     elapsed = tree.wall_s if tree is not None else 0.0
+    ob.events.emit(
+        "summary",
+        rows_in=rows_in,
+        rows_out=rows_out,
+        issues=issues,
+        elapsed_s=round(elapsed, 3),
+    )
     print(
         f"{command}: {rows_in:,} rows in / {rows_out:,} rows out, "
         f"{issues:,} issues, {elapsed:.1f}s",
@@ -384,6 +450,59 @@ def _finalize_obs(
         )
 
 
+def _run_observed(args: argparse.Namespace) -> int:
+    """Run an observed subcommand under a fresh obs instance.
+
+    Opens the timeline event log when ``--events-out``/``--progress``
+    asks for one (a throwaway temp file backs ``--progress`` on its
+    own), runs the orchestrator heartbeat sampler for the duration, and
+    tails the log into a live stderr progress line.
+    """
+    events_path = getattr(args, "events_out", None)
+    progress = getattr(args, "progress", False)
+    tmp_events: str | None = None
+    if progress and not events_path:
+        handle, tmp_events = tempfile.mkstemp(
+            prefix="repro-events-", suffix=".jsonl"
+        )
+        os.close(handle)
+        events_path = tmp_events
+    meta = {"command": args.command, "argv": list(sys.argv[1:])}
+    try:
+        with obs.observe(events_path=events_path, events_meta=meta) as ob:
+            sampler = (
+                HeartbeatSampler(ob.events).start()
+                if ob.events.enabled
+                else None
+            )
+            printer = (
+                ProgressPrinter(events_path, stream=sys.stderr).start()
+                if progress and events_path
+                else None
+            )
+            try:
+                with obs.span(f"cli.{args.command}"):
+                    code = args.func(args)
+            finally:
+                if sampler is not None:
+                    sampler.stop()
+                if printer is not None:
+                    printer.stop()
+            _finalize_obs(args, ob, args.command)
+            if getattr(args, "events_out", None):
+                print(
+                    f"wrote timeline events to {args.events_out}",
+                    file=sys.stderr,
+                )
+        return code
+    finally:
+        if tmp_events is not None:
+            try:
+                os.unlink(tmp_events)
+            except OSError:
+                pass
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -411,6 +530,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose-stats",
         action="store_true",
         help="print the per-stage timing and counter table to stderr",
+    )
+    obs_flags.add_argument(
+        "--events-out",
+        default=None,
+        metavar="PATH",
+        help="record the live timeline event log (repro.obs/events/v1 "
+        "JSON lines: heartbeats, per-shard progress, phases) here",
+    )
+    obs_flags.add_argument(
+        "--progress",
+        action="store_true",
+        help="render a live progress line on stderr while the command "
+        "runs (tails the timeline event log)",
     )
     obs_flags.set_defaults(observed=True)
 
@@ -570,6 +702,50 @@ def build_parser() -> argparse.ArgumentParser:
     summarize.add_argument("report", help="run-report JSON file")
     summarize.set_defaults(func=cmd_obs_summarize)
 
+    compare = obs_sub.add_parser(
+        "compare",
+        help="diff two run reports by span path and metric key; "
+        "exit 3 when the candidate regressed past the threshold",
+    )
+    compare.add_argument("baseline", help="trusted baseline run report")
+    compare.add_argument("candidate", help="candidate run report to gate")
+    compare.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="relative wall-time increase that counts as a regression "
+        "(default: 0.15 == 15%%)",
+    )
+    compare.add_argument(
+        "--min-wall",
+        type=float,
+        default=0.05,
+        help="ignore spans faster than this in both runs (default: 0.05s)",
+    )
+    compare.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        default=True,
+        help="exit 3 when a regression is found (the default)",
+    )
+    compare.add_argument(
+        "--report-only",
+        action="store_true",
+        help="always exit 0; print the diff but never gate",
+    )
+    compare.add_argument(
+        "--fail-on-rows",
+        action="store_true",
+        help="also gate on row-count drift (suspicious at a fixed seed)",
+    )
+    compare.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="additionally write the structured comparison as JSON here",
+    )
+    compare.set_defaults(func=cmd_obs_compare)
+
     return parser
 
 
@@ -587,11 +763,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         if getattr(args, "observed", False):
-            with obs.observe() as ob:
-                with obs.span(f"cli.{args.command}"):
-                    code = args.func(args)
-                _finalize_obs(args, ob, args.command)
-            return code
+            return _run_observed(args)
         return args.func(args)
     except LogReadError as exc:
         stem = Path(exc.path).name.split(".", 1)[0]

@@ -194,18 +194,29 @@ class WearableStudy:
         registry.gauge("repro_pipeline_sessions").set(len(self.sessions))
         return report
 
+    #: Analysis execution order; also the ``phase`` timeline sequence.
+    _ANALYSES = (
+        "census",
+        "adoption",
+        "activity",
+        "comparison",
+        "mobility",
+        "apps",
+        "domains",
+        "through_device",
+        "weekly",
+        "protocols",
+        "devices",
+    )
+
     def _run_all(self) -> StudyReport:
-        return StudyReport(
-            census=self.census,
-            adoption=self.adoption,
-            activity=self.activity,
-            comparison=self.comparison,
-            mobility=self.mobility,
-            apps=self.apps,
-            domains=self.domains,
-            through_device=self.through_device,
-            weekly=self.weekly,
-            protocols=self.protocols,
-            devices=self.devices,
-            quarantine=self.quarantine,
-        )
+        # Each analysis announces itself on the timeline before running,
+        # so a live ``--progress`` renderer can say which §4/§5 stage a
+        # long analyze is currently in (events are no-ops when timeline
+        # capture is off).
+        events = obs.events()
+        results = {}
+        for name in self._ANALYSES:
+            events.emit("phase", stage=f"analyze.{name}")
+            results[name] = getattr(self, name)
+        return StudyReport(quarantine=self.quarantine, **results)

@@ -41,10 +41,12 @@ Metric naming: ``repro_<area>_<name>``, counters suffixed ``_total``.
 from __future__ import annotations
 
 import contextlib
-from typing import Iterator
+from pathlib import Path
+from typing import Any, Iterator, Mapping
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import SpanNode, Tracer
+from repro.obs.timeline import NULL_EVENTS, EventWriter
 
 __all__ = [
     "MetricsRegistry",
@@ -54,6 +56,7 @@ __all__ = [
     "disable",
     "enable",
     "enabled",
+    "events",
     "get_obs",
     "install",
     "metrics",
@@ -64,17 +67,37 @@ __all__ = [
 
 
 class Observability:
-    """One registry + one tracer, enabled or disabled together."""
+    """One registry + one tracer (+ optional event log), as one unit.
 
-    __slots__ = ("metrics", "tracer", "enabled")
+    ``events_path`` additionally opens a :class:`~repro.obs.timeline.
+    EventWriter` on that path — the JSON-lines live-telemetry log.  The
+    first opener writes the versioned header; worker processes pointed
+    at the same path append to it.  Without a path, :attr:`events` is
+    the shared no-op writer and ``obs.events().emit(...)`` costs one
+    method call.
+    """
 
-    def __init__(self, enabled: bool = True, memory: bool = False) -> None:
+    __slots__ = ("metrics", "tracer", "events", "enabled")
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        memory: bool = False,
+        events_path: str | Path | None = None,
+        events_meta: Mapping[str, Any] | None = None,
+    ) -> None:
         self.enabled = enabled
         self.metrics = MetricsRegistry(enabled=enabled)
         self.tracer = Tracer(enabled=enabled, memory=memory)
+        self.events = (
+            EventWriter(events_path, meta=events_meta)
+            if enabled and events_path is not None
+            else NULL_EVENTS
+        )
 
     def close(self) -> None:
         self.tracer.close()
+        self.events.close()
 
 
 #: The ambient disabled instance; never mutated, always safe to share.
@@ -100,6 +123,16 @@ def metrics() -> MetricsRegistry:
 def tracer() -> Tracer:
     """The active span tracer (a no-op tracer when disabled)."""
     return _ACTIVE.tracer
+
+
+def events():
+    """The active timeline event writer (a no-op writer by default).
+
+    Returns an object with ``emit(type, **fields)``, ``enabled`` and
+    ``path`` — either a live :class:`~repro.obs.timeline.EventWriter`
+    or the shared null writer.
+    """
+    return _ACTIVE.events
 
 
 def span(name: str, **attrs):
@@ -131,7 +164,11 @@ def disable() -> None:
 
 
 @contextlib.contextmanager
-def observe(memory: bool = False) -> Iterator[Observability]:
+def observe(
+    memory: bool = False,
+    events_path: str | Path | None = None,
+    events_meta: Mapping[str, Any] | None = None,
+) -> Iterator[Observability]:
     """Context manager: enabled instance for the block, then restore.
 
     The pattern tests and the benchmark session use::
@@ -139,8 +176,16 @@ def observe(memory: bool = False) -> Iterator[Observability]:
         with obs.observe() as ob:
             run_things()
         report = build_run_report(ob.metrics.snapshot(), ob.tracer.tree())
+
+    ``events_path`` additionally records the live timeline event log
+    there for the duration of the block.
     """
-    instance = Observability(enabled=True, memory=memory)
+    instance = Observability(
+        enabled=True,
+        memory=memory,
+        events_path=events_path,
+        events_meta=events_meta,
+    )
     previous = install(instance)
     try:
         yield instance

@@ -1,0 +1,505 @@
+"""Run-report diffing: the longitudinal half of :mod:`repro.obs`.
+
+A single ``repro.obs/run-report/v1`` file says where one run spent its
+time; *two* of them say whether a change made the pipeline slower.  This
+module aligns two run reports — by **span path** for the tree and by
+``name{labels}`` key for metrics — and computes wall/CPU/row-count
+deltas under configurable relative thresholds.  It powers:
+
+* ``repro obs compare A.json B.json`` — exit ``3`` when the candidate
+  regresses past the threshold, with the offending span paths printed;
+* ``make bench-gate`` — the perf-regression gate comparing a fresh
+  benchmark run against the committed ``BENCH_repro.json`` baseline.
+
+Span paths
+----------
+A span's path is the ``/``-joined chain of segments from the root, where
+a segment is ``name`` plus its sorted attrs (``simulate.shard[shard=3]``).
+Sibling segments that still collide get a ``#n`` disambiguator in
+encounter order — benchmark sessions legitimately run the same stage
+several times, and encounter order is deterministic for a fixed
+workload.  Because the engine's span *structure* is invariant to worker
+count (PR 3's contract), two reports from the same seed and shard count
+align perfectly regardless of parallelism.
+
+Noise handling
+--------------
+Relative thresholds alone would flag every 2ms span that doubled, so a
+span only gates when it is slower than ``min_wall_s`` in at least one
+run.  Counters (row counts) never gate by default — a row-count drift at
+a fixed seed is a *correctness* smell, reported loudly as ``rows-drift``
+— but ``fail_on_rows=True`` promotes it to a gating regression.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+__all__ = [
+    "COMPARE_SCHEMA",
+    "CompareConfig",
+    "MetricDelta",
+    "RunComparison",
+    "SpanDelta",
+    "compare_run_reports",
+    "compare_run_report_files",
+    "metric_index",
+    "span_index",
+]
+
+COMPARE_SCHEMA = "repro.obs/run-compare/v1"
+
+#: Delta statuses, from worst to best.
+REGRESSION = "regression"
+ROWS_DRIFT = "rows-drift"
+ADDED = "added"
+REMOVED = "removed"
+IMPROVEMENT = "improvement"
+UNCHANGED = "unchanged"
+
+
+@dataclass(frozen=True)
+class CompareConfig:
+    """Thresholds for :func:`compare_run_reports`.
+
+    ``threshold`` is the relative wall/CPU-time increase that counts as
+    a regression (0.15 == 15% slower); ``min_wall_s`` ignores spans
+    faster than that in *both* runs (relative noise on micro-spans);
+    ``rows_threshold`` is the relative counter drift worth reporting
+    (0 == report any drift); ``fail_on_rows`` promotes row drift to a
+    gating regression.
+    """
+
+    threshold: float = 0.15
+    min_wall_s: float = 0.05
+    rows_threshold: float = 0.0
+    fail_on_rows: bool = False
+
+    def __post_init__(self) -> None:
+        if self.threshold <= 0:
+            raise ValueError("threshold must be > 0")
+        if self.min_wall_s < 0:
+            raise ValueError("min_wall_s must be >= 0")
+        if self.rows_threshold < 0:
+            raise ValueError("rows_threshold must be >= 0")
+
+
+# ------------------------------------------------------------ span indexing
+def _segment(node: Mapping) -> str:
+    attrs = node.get("attrs", {}) or {}
+    if attrs:
+        rendered = ",".join(
+            f"{k}={v}" for k, v in sorted(
+                (str(k), str(v)) for k, v in attrs.items()
+            )
+        )
+        return f"{node.get('name', '?')}[{rendered}]"
+    return str(node.get("name", "?"))
+
+
+def _walk(node: Mapping, prefix: str) -> Iterator[tuple[str, Mapping]]:
+    yield prefix, node
+    seen: dict[str, int] = {}
+    for child in node.get("children", ()) or ():
+        segment = _segment(child)
+        count = seen.get(segment, 0)
+        seen[segment] = count + 1
+        if count:
+            segment = f"{segment}#{count + 1}"
+        yield from _walk(child, f"{prefix}/{segment}")
+
+
+def span_index(report: Mapping) -> dict[str, Mapping]:
+    """Flatten a run report's span tree into ``{path: span-dict}``."""
+    spans = report.get("spans")
+    if not spans:
+        return {}
+    return dict(_walk(spans, _segment(spans)))
+
+
+# ---------------------------------------------------------- metric indexing
+def _metric_key(entry: Mapping) -> str:
+    labels = entry.get("labels", {}) or {}
+    if labels:
+        rendered = ",".join(
+            f"{k}={v}" for k, v in sorted(
+                (str(k), str(v)) for k, v in labels.items()
+            )
+        )
+        return f"{entry.get('name', '?')}{{{rendered}}}"
+    return str(entry.get("name", "?"))
+
+
+def metric_index(report: Mapping) -> dict[str, tuple[str, float]]:
+    """``{key: (kind, value)}`` for counters, gauges and histogram counts."""
+    metrics = report.get("metrics", {}) or {}
+    index: dict[str, tuple[str, float]] = {}
+    for entry in metrics.get("counters", ()) or ():
+        index[_metric_key(entry)] = ("counter", float(entry.get("value", 0)))
+    for entry in metrics.get("gauges", ()) or ():
+        index[_metric_key(entry)] = ("gauge", float(entry.get("value", 0)))
+    for entry in metrics.get("histograms", ()) or ():
+        index[_metric_key(entry) + ".count"] = (
+            "histogram",
+            float(entry.get("count", 0)),
+        )
+    return index
+
+
+# ------------------------------------------------------------------ deltas
+def _relative(base: float, other: float) -> float | None:
+    if base == 0:
+        return None if other == 0 else float("inf")
+    return (other - base) / base
+
+
+@dataclass(frozen=True)
+class SpanDelta:
+    """One aligned span's wall/CPU comparison."""
+
+    path: str
+    status: str
+    base_wall_s: float | None = None
+    other_wall_s: float | None = None
+    base_cpu_s: float | None = None
+    other_cpu_s: float | None = None
+    wall_rel: float | None = None
+    cpu_rel: float | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "status": self.status,
+            "base_wall_s": self.base_wall_s,
+            "other_wall_s": self.other_wall_s,
+            "base_cpu_s": self.base_cpu_s,
+            "other_cpu_s": self.other_cpu_s,
+            "wall_rel": self.wall_rel,
+            "cpu_rel": self.cpu_rel,
+        }
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One aligned metric's value comparison."""
+
+    key: str
+    kind: str
+    status: str
+    base: float | None = None
+    other: float | None = None
+    rel: float | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "key": self.key,
+            "kind": self.kind,
+            "status": self.status,
+            "base": self.base,
+            "other": self.other,
+            "rel": self.rel,
+        }
+
+
+@dataclass
+class RunComparison:
+    """The full diff of two run reports plus the gate verdict."""
+
+    config: CompareConfig
+    spans: list[SpanDelta] = field(default_factory=list)
+    metrics: list[MetricDelta] = field(default_factory=list)
+    base_meta: dict = field(default_factory=dict)
+    other_meta: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------ verdicts
+    @property
+    def span_regressions(self) -> list[SpanDelta]:
+        return [d for d in self.spans if d.status == REGRESSION]
+
+    @property
+    def rows_drifts(self) -> list[MetricDelta]:
+        return [d for d in self.metrics if d.status == ROWS_DRIFT]
+
+    @property
+    def regressions(self) -> list[SpanDelta | MetricDelta]:
+        """Everything that should fail the gate under this config."""
+        gating: list[SpanDelta | MetricDelta] = list(self.span_regressions)
+        if self.config.fail_on_rows:
+            gating.extend(self.rows_drifts)
+        return gating
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    # -------------------------------------------------------------- export
+    def to_dict(self) -> dict:
+        return {
+            "schema": COMPARE_SCHEMA,
+            "created_unix": time.time(),
+            "config": {
+                "threshold": self.config.threshold,
+                "min_wall_s": self.config.min_wall_s,
+                "rows_threshold": self.config.rows_threshold,
+                "fail_on_rows": self.config.fail_on_rows,
+            },
+            "ok": self.ok,
+            "spans": [d.to_dict() for d in self.spans],
+            "metrics": [d.to_dict() for d in self.metrics],
+            "base_meta": dict(self.base_meta),
+            "other_meta": dict(self.other_meta),
+        }
+
+    def write_json(self, path: str | Path) -> Path:
+        target = Path(path)
+        if target.parent != Path(""):
+            target.parent.mkdir(parents=True, exist_ok=True)
+        with target.open("w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+            handle.write("\n")
+        return target
+
+    # ------------------------------------------------------------ rendering
+    def format_table(self, max_rows: int = 40) -> str:
+        """Human-readable diff: changed spans first, then drifted rows.
+
+        ``max_rows`` caps the *unchanged* noise, never the regressions —
+        every offending span path is always printed.
+        """
+        lines: list[str] = []
+        ordering = {
+            REGRESSION: 0,
+            ROWS_DRIFT: 1,
+            IMPROVEMENT: 2,
+            ADDED: 3,
+            REMOVED: 4,
+            UNCHANGED: 5,
+        }
+        interesting = [d for d in self.spans if d.status != UNCHANGED]
+        interesting.sort(
+            key=lambda d: (ordering[d.status], -(d.wall_rel or 0.0), d.path)
+        )
+        shown = interesting[:max_rows] + [
+            d for d in interesting[max_rows:] if d.status == REGRESSION
+        ]
+        if shown:
+            lines.append(
+                f"{'status':<12} {'span':<52} {'base s':>9} "
+                f"{'cand s':>9} {'Δ%':>8}"
+            )
+            lines.append("-" * 94)
+            for delta in shown:
+                base = (
+                    f"{delta.base_wall_s:9.3f}"
+                    if delta.base_wall_s is not None
+                    else f"{'-':>9}"
+                )
+                other = (
+                    f"{delta.other_wall_s:9.3f}"
+                    if delta.other_wall_s is not None
+                    else f"{'-':>9}"
+                )
+                rel = (
+                    f"{100 * delta.wall_rel:+7.1f}%"
+                    if delta.wall_rel not in (None, float("inf"))
+                    else f"{'-':>8}"
+                )
+                path = delta.path
+                if len(path) > 52:
+                    path = "…" + path[-51:]
+                lines.append(
+                    f"{delta.status:<12} {path:<52} {base} {other} {rel}"
+                )
+            hidden = len(interesting) - len(shown)
+            if hidden > 0:
+                lines.append(f"… {hidden} more non-regression span deltas")
+            lines.append("")
+        drifted = [d for d in self.metrics if d.status != UNCHANGED]
+        if drifted:
+            lines.append(
+                f"{'status':<12} {'metric':<52} {'base':>9} "
+                f"{'cand':>9} {'Δ%':>8}"
+            )
+            lines.append("-" * 94)
+            for delta in sorted(
+                drifted, key=lambda d: (ordering[d.status], d.key)
+            ):
+                rel = (
+                    f"{100 * delta.rel:+7.1f}%"
+                    if delta.rel not in (None, float("inf"))
+                    else f"{'-':>8}"
+                )
+                key = delta.key
+                if len(key) > 52:
+                    key = "…" + key[-51:]
+                lines.append(
+                    f"{delta.status:<12} {key:<52} "
+                    f"{delta.base if delta.base is not None else '-':>9} "
+                    f"{delta.other if delta.other is not None else '-':>9} "
+                    f"{rel}"
+                )
+            lines.append("")
+        regressions = self.span_regressions
+        if regressions:
+            lines.append(
+                f"REGRESSION: {len(regressions)} span(s) slower than "
+                f"{100 * self.config.threshold:.0f}% over baseline:"
+            )
+            for delta in regressions:
+                lines.append(
+                    f"  {delta.path}  "
+                    f"({delta.base_wall_s:.3f}s -> {delta.other_wall_s:.3f}s, "
+                    f"{100 * (delta.wall_rel or 0):+.1f}%)"
+                )
+        elif self.config.fail_on_rows and self.rows_drifts:
+            lines.append(
+                f"ROWS DRIFT: {len(self.rows_drifts)} counter(s) moved "
+                "at fixed workload:"
+            )
+            for delta in self.rows_drifts:
+                lines.append(f"  {delta.key}  ({delta.base} -> {delta.other})")
+        else:
+            lines.append(
+                "no regressions "
+                f"(threshold {100 * self.config.threshold:.0f}%, "
+                f"min span {self.config.min_wall_s:.3f}s; "
+                f"{len(self.spans)} spans, {len(self.metrics)} metrics "
+                "aligned)"
+            )
+        return "\n".join(lines).rstrip()
+
+
+# ---------------------------------------------------------------- comparing
+def _is_rowish(key: str) -> bool:
+    """Counter families whose drift at a fixed seed means trouble."""
+    name = key.split("{", 1)[0]
+    return name.endswith(("_records_total", "_rows_read_total",
+                          "_rows_written_total", "_records"))
+
+
+def compare_run_reports(
+    base: Mapping,
+    other: Mapping,
+    config: CompareConfig | None = None,
+) -> RunComparison:
+    """Diff two ``repro.obs/run-report/v1`` payloads.
+
+    ``base`` is the trusted reference (the committed baseline), ``other``
+    the candidate run.  Spans align by path, metrics by
+    ``name{labels}``; anything present on only one side is reported as
+    ``added``/``removed`` and never gates.
+    """
+    config = config or CompareConfig()
+    comparison = RunComparison(
+        config=config,
+        base_meta=dict(base.get("meta", {}) or {}),
+        other_meta=dict(other.get("meta", {}) or {}),
+    )
+
+    base_spans = span_index(base)
+    other_spans = span_index(other)
+    for path in sorted(base_spans.keys() | other_spans.keys()):
+        left = base_spans.get(path)
+        right = other_spans.get(path)
+        if left is None:
+            node = right or {}
+            comparison.spans.append(
+                SpanDelta(
+                    path=path,
+                    status=ADDED,
+                    other_wall_s=float(node.get("wall_s", 0.0)),
+                    other_cpu_s=float(node.get("cpu_s", 0.0)),
+                )
+            )
+            continue
+        if right is None:
+            comparison.spans.append(
+                SpanDelta(
+                    path=path,
+                    status=REMOVED,
+                    base_wall_s=float(left.get("wall_s", 0.0)),
+                    base_cpu_s=float(left.get("cpu_s", 0.0)),
+                )
+            )
+            continue
+        base_wall = float(left.get("wall_s", 0.0))
+        other_wall = float(right.get("wall_s", 0.0))
+        base_cpu = float(left.get("cpu_s", 0.0))
+        other_cpu = float(right.get("cpu_s", 0.0))
+        wall_rel = _relative(base_wall, other_wall)
+        cpu_rel = _relative(base_cpu, other_cpu)
+        status = UNCHANGED
+        if max(base_wall, other_wall) >= config.min_wall_s:
+            if wall_rel is not None and wall_rel > config.threshold:
+                status = REGRESSION
+            elif wall_rel is not None and wall_rel < -config.threshold:
+                status = IMPROVEMENT
+        comparison.spans.append(
+            SpanDelta(
+                path=path,
+                status=status,
+                base_wall_s=base_wall,
+                other_wall_s=other_wall,
+                base_cpu_s=base_cpu,
+                other_cpu_s=other_cpu,
+                wall_rel=wall_rel,
+                cpu_rel=cpu_rel,
+            )
+        )
+
+    base_metrics = metric_index(base)
+    other_metrics = metric_index(other)
+    for key in sorted(base_metrics.keys() | other_metrics.keys()):
+        left_entry = base_metrics.get(key)
+        right_entry = other_metrics.get(key)
+        if left_entry is None:
+            kind, value = other_metrics[key]
+            comparison.metrics.append(
+                MetricDelta(key=key, kind=kind, status=ADDED, other=value)
+            )
+            continue
+        if right_entry is None:
+            kind, value = left_entry
+            comparison.metrics.append(
+                MetricDelta(key=key, kind=kind, status=REMOVED, base=value)
+            )
+            continue
+        kind, base_value = left_entry
+        _, other_value = right_entry
+        rel = _relative(base_value, other_value)
+        drifted = (
+            rel is not None
+            and abs(rel if rel != float("inf") else 1.0)
+            > config.rows_threshold
+        ) or (rel == float("inf"))
+        status = UNCHANGED
+        if base_value != other_value and drifted and _is_rowish(key):
+            status = ROWS_DRIFT
+        comparison.metrics.append(
+            MetricDelta(
+                key=key,
+                kind=kind,
+                status=status,
+                base=base_value,
+                other=other_value,
+                rel=rel,
+            )
+        )
+    return comparison
+
+
+def compare_run_report_files(
+    base_path: str | Path,
+    other_path: str | Path,
+    config: CompareConfig | None = None,
+) -> RunComparison:
+    """Load, validate and diff two run-report files."""
+    from repro.obs.export import validate_run_report_file
+
+    base = validate_run_report_file(base_path)
+    other = validate_run_report_file(other_path)
+    return compare_run_reports(base, other, config)

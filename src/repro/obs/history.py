@@ -1,0 +1,131 @@
+"""Benchmark history: the append-only perf trajectory across commits.
+
+Every perf-benchmark session appends **one** compact record to
+``benchmarks/reports/history.jsonl`` and rewrites the canonical
+``BENCH_repro.json`` run report at the repo root.  The JSONL file is the
+longitudinal record — one line per run, greppable, mergeable, plottable
+— while ``BENCH_repro.json`` is the full-fidelity snapshot the compare
+engine (:mod:`repro.obs.compare`) gates against:
+
+* commit the refreshed ``BENCH_repro.json`` with a PR and it becomes the
+  next baseline;
+* ``make bench-gate`` copies the committed baseline aside, re-runs the
+  perf benchmarks, and fails (exit 3) when any aligned span got more
+  than 15% slower.
+
+A history record deliberately keeps only the *stable* cross-run surface:
+top-of-tree span wall/CPU times (depth ≤ ``max_depth``), total row
+counters, and enough provenance (commit, python, platform) to explain a
+step change years later.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.obs.compare import span_index
+
+__all__ = [
+    "HISTORY_SCHEMA",
+    "append_history",
+    "build_history_record",
+    "git_commit",
+    "read_history",
+]
+
+HISTORY_SCHEMA = "repro.obs/bench-history/v1"
+
+
+def git_commit(cwd: str | Path | None = None) -> str | None:
+    """Current git commit hash, or None outside a repo / without git."""
+    try:
+        result = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            cwd=str(cwd) if cwd is not None else None,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if result.returncode != 0:
+        return None
+    return result.stdout.strip() or None
+
+
+def build_history_record(
+    report: Mapping,
+    label: str = "bench",
+    commit: str | None = None,
+    max_depth: int = 2,
+    extra: Mapping[str, Any] | None = None,
+) -> dict:
+    """One history line summarising a run report.
+
+    ``max_depth`` bounds how deep into the span tree the summary reaches
+    (0 == root only); the full tree stays in ``BENCH_repro.json``.
+    """
+    spans: dict[str, dict[str, float]] = {}
+    for path, node in span_index(report).items():
+        if path.count("/") > max_depth:
+            continue
+        spans[path] = {
+            "wall_s": round(float(node.get("wall_s", 0.0)), 6),
+            "cpu_s": round(float(node.get("cpu_s", 0.0)), 6),
+        }
+    counters: dict[str, float] = {}
+    for entry in (report.get("metrics", {}) or {}).get("counters", ()) or ():
+        name = str(entry.get("name", "?"))
+        counters[name] = counters.get(name, 0.0) + float(
+            entry.get("value", 0)
+        )
+    record: dict[str, Any] = {
+        "schema": HISTORY_SCHEMA,
+        "created_unix": time.time(),
+        "label": label,
+        "commit": commit,
+        "python": platform.python_version(),
+        "platform": sys.platform,
+        "meta": dict(report.get("meta", {}) or {}),
+        "spans": spans,
+        "counters": counters,
+    }
+    if extra:
+        record.update(dict(extra))
+    return record
+
+
+def append_history(path: str | Path, record: Mapping) -> Path:
+    """Append one record to the JSONL history file (created on demand)."""
+    target = Path(path)
+    if target.parent != Path(""):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(dict(record), separators=(",", ":")) + "\n")
+    return target
+
+
+def read_history(path: str | Path) -> list[dict]:
+    """All history records, oldest first; missing file → empty list."""
+    target = Path(path)
+    if not target.exists():
+        return []
+    records: list[dict] = []
+    with target.open("r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{target}:{number}: broken history line ({exc})"
+                ) from exc
+    return records

@@ -53,6 +53,7 @@ __all__ = [
     "NULL_COUNTER",
     "NULL_GAUGE",
     "NULL_HISTOGRAM",
+    "escape_label_value",
     "render_prometheus",
 ]
 
@@ -471,8 +472,22 @@ def _format_value(value: float) -> str:
     return repr(value)
 
 
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    The format requires ``\\`` → ``\\\\``, ``"`` → ``\\"`` and raw line
+    feeds → ``\\n`` inside quoted label values; everything else passes
+    through verbatim.  Backslash must be escaped first.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _format_labels(labels: Mapping[str, str], extra: str = "") -> str:
-    parts = [f'{k}="{v}"' for k, v in sorted(labels.items())]
+    parts = [
+        f'{k}="{escape_label_value(v)}"' for k, v in sorted(labels.items())
+    ]
     if extra:
         parts.append(extra)
     return "{" + ",".join(parts) + "}" if parts else ""

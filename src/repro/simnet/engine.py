@@ -47,10 +47,11 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from heapq import merge as heap_merge
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterator, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
 from zlib import crc32
 
 from repro import obs
+from repro.obs.timeline import HeartbeatSampler
 from repro.devicedb.catalog import builtin_database
 from repro.devicedb.database import DeviceDatabase
 from repro.logs.io import write_mme_log, write_proxy_log
@@ -85,6 +86,12 @@ __all__ = [
     "stream_seed",
     "partition_accounts",
 ]
+
+#: Emit a ``progress`` timeline event roughly every this many rows while
+#: a shard generates records…
+GENERATE_PROGRESS_ROWS = 5_000
+#: …and every this many rows during the streaming export merge.
+EXPORT_PROGRESS_ROWS = 20_000
 
 
 # --------------------------------------------------------------------- seeds
@@ -186,6 +193,11 @@ class _ShardPayload:
     #: methods inherit the parent's enabled instance, which must not be
     #: double-counted).
     parent_pid: int = 0
+    #: Shared timeline event-log path.  Workers append ``heartbeat`` and
+    #: per-shard ``progress`` events to the same JSONL file the parent
+    #: opened (appends are line-atomic), which is what makes the live
+    #: ``--progress`` renderer see inside worker processes.
+    events_path: str | None = None
 
 
 # --------------------------------------------------------------- generation
@@ -204,8 +216,14 @@ def _generate_shard(
     config: SimulationConfig,
     catalog: AppCatalog,
     task: ShardTask,
+    progress: Callable[[int], None] | None = None,
 ) -> tuple[list[ProxyRecord], list[MmeRecord]]:
-    """Generate one shard's records, account-major, per-subscriber RNG."""
+    """Generate one shard's records, account-major, per-subscriber RNG.
+
+    ``progress`` (when given) is called with the cumulative row count
+    after each account — a pure observer, so telemetry can never perturb
+    the RNG streams or the generated trace.
+    """
     topology = _build_topology(config)
     mobility_rng = random.Random()
     traffic_rng = random.Random()
@@ -254,6 +272,8 @@ def _generate_shard(
                 proxy_records.extend(
                     traffic.phone_day_records(account, day, is_weekday)
                 )
+        if progress is not None:
+            progress(len(proxy_records) + len(mme_records))
 
     for account in task.general_accounts:
         key = account.account_id
@@ -270,6 +290,8 @@ def _generate_shard(
             proxy_records.extend(
                 traffic.phone_day_records(account, day, is_weekday)
             )
+        if progress is not None:
+            progress(len(proxy_records) + len(mme_records))
 
     return proxy_records, mme_records
 
@@ -286,23 +308,52 @@ def _run_shard_to_spool(payload: _ShardPayload) -> ShardStats:
     """
     installed: "obs.Observability | None" = None
     previous: "obs.Observability | None" = None
-    if payload.observe and os.getpid() != payload.parent_pid:
-        installed = obs.Observability(enabled=True)
+    in_worker = os.getpid() != payload.parent_pid
+    if payload.observe and in_worker:
+        installed = obs.Observability(
+            enabled=True, events_path=payload.events_path
+        )
         previous = obs.install(installed)
     started = time.perf_counter()
+    events = obs.events()
+    shard = payload.task.shard
+    # Shard workers run their own heartbeat so a stalled shard is visible
+    # in the event log even while the parent blocks in pool.map().  The
+    # serial path relies on the orchestrator's sampler instead.
+    sampler = (
+        HeartbeatSampler(events).start()
+        if events.enabled and in_worker
+        else None
+    )
+
+    def _progress(rows: int, _last: list[int] = [0]) -> None:
+        if rows - _last[0] >= GENERATE_PROGRESS_ROWS:
+            _last[0] = rows
+            events.emit("progress", shard=shard, stage="generate", rows=rows)
+
     try:
         with obs.tracer().span(
             "simulate.shard", shard=payload.task.shard
         ) as shard_span:
             with obs.span("shard.generate"):
                 proxy_records, mme_records = _generate_shard(
-                    payload.config, payload.catalog, payload.task
+                    payload.config,
+                    payload.catalog,
+                    payload.task,
+                    progress=_progress if events.enabled else None,
                 )
+            total_rows = len(proxy_records) + len(mme_records)
+            events.emit(
+                "progress", shard=shard, stage="generate", rows=total_rows
+            )
             with obs.span("shard.spill"):
                 write_sorted_chunk(
                     payload.proxy_path, proxy_records, ProxyRecord
                 )
                 write_sorted_chunk(payload.mme_path, mme_records, MmeRecord)
+            events.emit(
+                "progress", shard=shard, stage="spill", rows=total_rows
+            )
         if obs.enabled():
             registry = obs.metrics()
             registry.counter(
@@ -333,9 +384,27 @@ def _run_shard_to_spool(payload: _ShardPayload) -> ShardStats:
             span_tree=span_tree,
         )
     finally:
+        if sampler is not None:
+            sampler.stop()
         if installed is not None:
             obs.install(previous)
             installed.close()
+
+
+def _emit_export_progress(records: Iterable, events, stream: str) -> Iterator:
+    """Pass records through, emitting cumulative ``progress`` events.
+
+    One event every :data:`EXPORT_PROGRESS_ROWS` rows plus a final one
+    with the exact total, so the live renderer converges on the true
+    count.  Pure pass-through: the record stream is untouched.
+    """
+    rows = 0
+    for record in records:
+        rows += 1
+        if rows % EXPORT_PROGRESS_ROWS == 0:
+            events.emit("progress", stage="export", stream=stream, rows=rows)
+        yield record
+    events.emit("progress", stage="export", stream=stream, rows=rows)
 
 
 # ---------------------------------------------------------------- run handle
@@ -419,6 +488,10 @@ class EngineRun:
             proxy_iter = map(anonymizer.proxy_record, proxy_iter)
             mme_iter = map(anonymizer.mme_record, mme_iter)
             directory_map = anonymizer.account_directory(directory_map)
+        events = obs.events()
+        if events.enabled:
+            proxy_iter = _emit_export_progress(proxy_iter, events, "proxy")
+            mme_iter = _emit_export_progress(mme_iter, events, "mme")
 
         with obs.span("simulate.export"):
             with obs.span("export.proxy"):
@@ -504,6 +577,10 @@ class ShardedSimulationEngine:
     ) -> list[_ShardPayload]:
         observe = obs.enabled()
         parent_pid = os.getpid()
+        active_events = obs.events()
+        events_path = (
+            str(active_events.path) if active_events.enabled else None
+        )
         return [
             _ShardPayload(
                 config=self._config,
@@ -513,6 +590,7 @@ class ShardedSimulationEngine:
                 mme_path=str(spool_dir / f"mme-{task.shard:04d}.csv"),
                 observe=observe,
                 parent_pid=parent_pid,
+                events_path=events_path,
             )
             for task in tasks
         ]

@@ -1,0 +1,241 @@
+"""CLI tests for the longitudinal observability surface.
+
+Covers ``repro obs compare`` exit codes (0 aligned, 3 regression, 2 bad
+input), ``repro obs summarize`` edge cases (empty span tree, metrics-only
+report, malformed file → one-line error), and the ``--events-out`` /
+``--progress`` flags on ``simulate``.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.export import RUN_REPORT_SCHEMA, write_run_report
+from repro.obs.timeline import validate_events_file
+
+
+def _span(name, wall=1.0, attrs=None, children=()):
+    return {
+        "name": name,
+        "attrs": dict(attrs or {}),
+        "start_s": 0.0,
+        "wall_s": wall,
+        "cpu_s": wall,
+        "children": list(children),
+    }
+
+
+def _report(spans=None, counters=(), meta=None):
+    return {
+        "schema": RUN_REPORT_SCHEMA,
+        "created_unix": 1700000000.0,
+        "meta": dict(meta or {}),
+        "metrics": {
+            "counters": list(counters),
+            "gauges": [],
+            "histograms": [],
+        },
+        "spans": spans,
+    }
+
+
+@pytest.fixture()
+def baseline_path(tmp_path):
+    report = _report(
+        spans=_span("simulate", wall=2.0, children=[
+            _span("generate", wall=1.2),
+            _span("export", wall=0.8),
+        ]),
+        counters=[{"name": "repro_sim_records_total",
+                   "labels": {"stream": "proxy"}, "value": 1000}],
+        meta={"command": "simulate", "seed": 7},
+    )
+    path = tmp_path / "baseline.json"
+    write_run_report(path, report)
+    return path
+
+
+def _slowed_copy(baseline_path, tmp_path, factor=2.0):
+    report = json.loads(baseline_path.read_text(encoding="utf-8"))
+    slowed = copy.deepcopy(report)
+    slowed["spans"]["children"][1]["wall_s"] *= factor
+    path = tmp_path / "slowed.json"
+    write_run_report(path, slowed)
+    return path
+
+
+class TestObsCompareCli:
+    def test_same_report_exits_zero(self, baseline_path, capsys):
+        code = main(
+            ["obs", "compare", str(baseline_path), str(baseline_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "no regressions" in out
+
+    def test_slowed_report_exits_three_with_paths(
+        self, baseline_path, tmp_path, capsys
+    ):
+        slowed = _slowed_copy(baseline_path, tmp_path)
+        code = main(["obs", "compare", str(baseline_path), str(slowed)])
+        assert code == 3
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "simulate/export" in out
+
+    def test_report_only_downgrades_exit(
+        self, baseline_path, tmp_path, capsys
+    ):
+        slowed = _slowed_copy(baseline_path, tmp_path)
+        code = main(
+            ["obs", "compare", str(baseline_path), str(slowed),
+             "--report-only"]
+        )
+        assert code == 0
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_threshold_flag_respected(
+        self, baseline_path, tmp_path, capsys
+    ):
+        barely = _slowed_copy(baseline_path, tmp_path, factor=1.10)
+        assert main(
+            ["obs", "compare", str(baseline_path), str(barely)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["obs", "compare", str(baseline_path), str(barely),
+             "--threshold", "0.05"]
+        ) == 3
+
+    def test_invalid_input_exits_two(self, baseline_path, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text("this is not json{", encoding="utf-8")
+        code = main(["obs", "compare", str(bogus), str(baseline_path)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_missing_file_exits_two(self, baseline_path, tmp_path, capsys):
+        code = main(
+            ["obs", "compare", str(tmp_path / "absent.json"),
+             str(baseline_path)]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_json_flag_writes_machine_diff(
+        self, baseline_path, tmp_path, capsys
+    ):
+        slowed = _slowed_copy(baseline_path, tmp_path)
+        target = tmp_path / "diff.json"
+        code = main(
+            ["obs", "compare", str(baseline_path), str(slowed),
+             "--json", str(target)]
+        )
+        assert code == 3
+        payload = json.loads(target.read_text(encoding="utf-8"))
+        assert payload["schema"] == "repro.obs/run-compare/v1"
+        assert payload["ok"] is False
+
+
+class TestObsSummarizeEdgeCases:
+    def test_metrics_only_report(self, tmp_path, capsys):
+        """A report with metrics but no span tree renders counters only."""
+        path = tmp_path / "metrics-only.json"
+        write_run_report(path, _report(
+            counters=[{"name": "repro_io_rows_read_total",
+                       "labels": {}, "value": 42}],
+            meta={"command": "validate"},
+        ))
+        code = main(["obs", "summarize", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repro_io_rows_read_total" in out
+        assert "stage" not in out  # no span table header
+
+    def test_empty_report(self, tmp_path, capsys):
+        """No spans, no metrics: explicit empty-report line, exit 0."""
+        path = tmp_path / "empty.json"
+        write_run_report(path, _report())
+        code = main(["obs", "summarize", str(path)])
+        assert code == 0
+        assert "empty run report" in capsys.readouterr().out
+
+    def test_spans_only_report(self, tmp_path, capsys):
+        path = tmp_path / "spans-only.json"
+        write_run_report(path, _report(spans=_span("cli.analyze", wall=1.5)))
+        code = main(["obs", "summarize", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cli.analyze" in out
+        assert "100.0%" in out
+
+    def test_malformed_file_one_line_error(self, tmp_path, capsys):
+        path = tmp_path / "garbage.json"
+        path.write_text("}{ not json at all", encoding="utf-8")
+        code = main(["obs", "summarize", str(path)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: not a valid run report:")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_missing_file_one_line_error(self, tmp_path, capsys):
+        code = main(["obs", "summarize", str(tmp_path / "nope.json")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1
+
+
+class TestSimulateEventsOut:
+    @pytest.fixture(scope="class")
+    def events_run(self, tmp_path_factory):
+        base = tmp_path_factory.mktemp("cli-events")
+        events_out = base / "events.jsonl"
+        code = main(
+            [
+                "simulate", "--preset", "small", "--seed", "11",
+                "--shards", "4", "--workers", "2",
+                "--out", str(base / "trace"),
+                "--events-out", str(events_out),
+            ]
+        )
+        assert code == 0
+        return events_out
+
+    def test_events_file_schema_valid(self, events_run):
+        events = validate_events_file(events_run)
+        assert events[0]["type"] == "header"
+        assert events[0]["schema"] == "repro.obs/events/v1"
+        assert events[0]["meta"]["command"] == "simulate"
+
+    def test_per_shard_progress_monotonic_and_complete(self, events_run):
+        events = validate_events_file(events_run)
+        shard_rows: dict[int, list[int]] = {}
+        for event in events:
+            if event["type"] == "progress" and "shard" in event:
+                shard_rows.setdefault(event["shard"], []).append(
+                    event["rows"]
+                )
+        assert sorted(shard_rows) == [0, 1, 2, 3]
+        for shard, rows in shard_rows.items():
+            assert rows == sorted(rows), f"shard {shard} went backwards"
+            assert rows[-1] > 0
+
+    def test_summary_event_written(self, events_run):
+        events = validate_events_file(events_run)
+        summaries = [e for e in events if e["type"] == "summary"]
+        assert len(summaries) == 1
+        assert summaries[0]["rows_out"] > 0
+        assert summaries[0]["elapsed_s"] > 0
+
+    def test_heartbeats_from_workers(self, events_run):
+        events = validate_events_file(events_run)
+        beats = [e for e in events if e["type"] == "heartbeat"]
+        assert beats, "no heartbeats recorded"
+        assert all(e["rss_kb"] is None or e["rss_kb"] > 0 for e in beats)

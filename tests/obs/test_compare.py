@@ -1,0 +1,338 @@
+"""Tests for :mod:`repro.obs.compare` — the run-report diff engine.
+
+The compare engine is what ``make bench-gate`` trusts to catch perf
+regressions, so these tests pin down the alignment rules (span paths
+with attrs and ``#n`` sibling disambiguation, ``name{labels}`` metric
+keys), the gating semantics (threshold + ``min_wall_s`` floor,
+rows-drift promotion), and the rendering/export surface.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.obs.compare import (
+    ADDED,
+    COMPARE_SCHEMA,
+    IMPROVEMENT,
+    REGRESSION,
+    REMOVED,
+    ROWS_DRIFT,
+    UNCHANGED,
+    CompareConfig,
+    compare_run_report_files,
+    compare_run_reports,
+    metric_index,
+    span_index,
+)
+from repro.obs.export import RUN_REPORT_SCHEMA, write_run_report
+
+
+# ------------------------------------------------------------ report builders
+def _span(name, wall=1.0, cpu=None, attrs=None, children=()):
+    return {
+        "name": name,
+        "attrs": dict(attrs or {}),
+        "start_s": 0.0,
+        "wall_s": wall,
+        "cpu_s": wall if cpu is None else cpu,
+        "children": list(children),
+    }
+
+
+def _report(spans=None, counters=(), gauges=(), histograms=(), meta=None):
+    return {
+        "schema": RUN_REPORT_SCHEMA,
+        "created_unix": 1700000000.0,
+        "meta": dict(meta or {}),
+        "metrics": {
+            "counters": list(counters),
+            "gauges": list(gauges),
+            "histograms": list(histograms),
+        },
+        "spans": spans,
+    }
+
+
+def _counter(name, value, labels=None):
+    return {"name": name, "labels": dict(labels or {}), "value": value}
+
+
+def _baseline():
+    """A realistic little tree: root -> generate(shards) + export."""
+    return _report(
+        spans=_span(
+            "simulate",
+            wall=2.0,
+            children=[
+                _span("generate", wall=1.2, children=[
+                    _span("shard", wall=0.6, attrs={"shard": 0}),
+                    _span("shard", wall=0.6, attrs={"shard": 1}),
+                ]),
+                _span("export", wall=0.8),
+            ],
+        ),
+        counters=[
+            _counter("repro_sim_records_total", 1000, {"stream": "proxy"}),
+            _counter("repro_sim_records_total", 400, {"stream": "mme"}),
+            _counter("repro_obs_spans_total", 23),
+        ],
+        meta={"command": "simulate", "seed": 7},
+    )
+
+
+# ---------------------------------------------------------------- span_index
+class TestSpanIndex:
+    def test_paths_include_attrs(self):
+        index = span_index(_baseline())
+        assert "simulate" in index
+        assert "simulate/generate/shard[shard=0]" in index
+        assert "simulate/generate/shard[shard=1]" in index
+        assert "simulate/export" in index
+        assert len(index) == 5
+
+    def test_colliding_siblings_get_ordinal_suffix(self):
+        report = _report(
+            spans=_span("root", children=[
+                _span("stage", wall=0.1),
+                _span("stage", wall=0.2),
+                _span("stage", wall=0.3),
+            ])
+        )
+        index = span_index(report)
+        assert set(index) == {
+            "root", "root/stage", "root/stage#2", "root/stage#3",
+        }
+        assert index["root/stage#3"]["wall_s"] == 0.3
+
+    def test_empty_tree(self):
+        assert span_index(_report(spans=None)) == {}
+
+    def test_attrs_sorted_deterministically(self):
+        a = _span("s", attrs={"b": 2, "a": 1})
+        b = _span("s", attrs={"a": 1, "b": 2})
+        one = span_index(_report(spans=_span("r", children=[a])))
+        two = span_index(_report(spans=_span("r", children=[b])))
+        assert set(one) == set(two) == {"r", "r/s[a=1,b=2]"}
+
+
+# -------------------------------------------------------------- metric_index
+class TestMetricIndex:
+    def test_labels_in_key(self):
+        index = metric_index(_baseline())
+        assert index["repro_sim_records_total{stream=proxy}"] == (
+            "counter", 1000.0,
+        )
+        assert index["repro_obs_spans_total"] == ("counter", 23.0)
+
+    def test_histograms_indexed_by_count(self):
+        report = _report(histograms=[
+            {"name": "repro_lat_seconds", "labels": {}, "count": 42,
+             "buckets": []},
+        ])
+        assert metric_index(report)["repro_lat_seconds.count"] == (
+            "histogram", 42.0,
+        )
+
+
+# ------------------------------------------------------------------- config
+class TestCompareConfig:
+    def test_defaults(self):
+        config = CompareConfig()
+        assert config.threshold == 0.15
+        assert config.min_wall_s == 0.05
+        assert not config.fail_on_rows
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"threshold": 0.0},
+            {"threshold": -0.1},
+            {"min_wall_s": -1.0},
+            {"rows_threshold": -0.5},
+        ],
+    )
+    def test_rejects_bad_thresholds(self, kwargs):
+        with pytest.raises(ValueError):
+            CompareConfig(**kwargs)
+
+
+# ---------------------------------------------------------------- comparing
+class TestCompare:
+    def test_identical_reports_are_ok(self):
+        base = _baseline()
+        comparison = compare_run_reports(base, copy.deepcopy(base))
+        assert comparison.ok
+        assert comparison.span_regressions == []
+        assert all(d.status == UNCHANGED for d in comparison.spans)
+        assert all(d.status == UNCHANGED for d in comparison.metrics)
+
+    def test_slowed_span_is_a_regression_with_path(self):
+        base = _baseline()
+        other = copy.deepcopy(base)
+        other["spans"]["children"][1]["wall_s"] = 0.8 * 1.5  # export +50%
+        comparison = compare_run_reports(base, other)
+        assert not comparison.ok
+        paths = [d.path for d in comparison.span_regressions]
+        assert paths == ["simulate/export"]
+        delta = comparison.span_regressions[0]
+        assert delta.wall_rel == pytest.approx(0.5)
+        assert delta.base_wall_s == pytest.approx(0.8)
+        assert delta.other_wall_s == pytest.approx(1.2)
+
+    def test_speedup_is_improvement_not_regression(self):
+        base = _baseline()
+        other = copy.deepcopy(base)
+        other["spans"]["children"][1]["wall_s"] = 0.4  # export -50%
+        comparison = compare_run_reports(base, other)
+        assert comparison.ok
+        statuses = {d.path: d.status for d in comparison.spans}
+        assert statuses["simulate/export"] == IMPROVEMENT
+
+    def test_min_wall_floor_ignores_micro_span_noise(self):
+        base = _report(spans=_span("root", wall=1.0, children=[
+            _span("tiny", wall=0.002),
+        ]))
+        other = copy.deepcopy(base)
+        other["spans"]["children"][0]["wall_s"] = 0.008  # 4x slower but tiny
+        comparison = compare_run_reports(base, other)
+        assert comparison.ok
+        statuses = {d.path: d.status for d in comparison.spans}
+        assert statuses["root/tiny"] == UNCHANGED
+
+    def test_span_crossing_min_wall_gates(self):
+        base = _report(spans=_span("root", wall=1.0, children=[
+            _span("stage", wall=0.04),
+        ]))
+        other = copy.deepcopy(base)
+        other["spans"]["children"][0]["wall_s"] = 0.09  # crosses 0.05 floor
+        comparison = compare_run_reports(base, other)
+        assert [d.path for d in comparison.span_regressions] == ["root/stage"]
+
+    def test_threshold_is_configurable(self):
+        base = _baseline()
+        other = copy.deepcopy(base)
+        other["spans"]["children"][1]["wall_s"] = 0.8 * 1.10  # +10%
+        assert compare_run_reports(base, other).ok  # default 15%
+        strict = compare_run_reports(
+            base, other, CompareConfig(threshold=0.05)
+        )
+        assert not strict.ok
+
+    def test_added_and_removed_spans_never_gate(self):
+        base = _baseline()
+        other = copy.deepcopy(base)
+        other["spans"]["children"].append(_span("analyze", wall=5.0))
+        del other["spans"]["children"][0]  # drop generate subtree
+        comparison = compare_run_reports(base, other)
+        assert comparison.ok
+        statuses = {d.path: d.status for d in comparison.spans}
+        assert statuses["simulate/analyze"] == ADDED
+        assert statuses["simulate/generate"] == REMOVED
+        assert statuses["simulate/generate/shard[shard=0]"] == REMOVED
+
+    def test_rows_drift_reported_but_not_gating_by_default(self):
+        base = _baseline()
+        other = copy.deepcopy(base)
+        other["metrics"]["counters"][0]["value"] = 999  # proxy rows moved
+        comparison = compare_run_reports(base, other)
+        assert comparison.ok
+        assert [d.key for d in comparison.rows_drifts] == [
+            "repro_sim_records_total{stream=proxy}"
+        ]
+
+    def test_fail_on_rows_promotes_drift_to_regression(self):
+        base = _baseline()
+        other = copy.deepcopy(base)
+        other["metrics"]["counters"][0]["value"] = 999
+        comparison = compare_run_reports(
+            base, other, CompareConfig(fail_on_rows=True)
+        )
+        assert not comparison.ok
+        assert comparison.span_regressions == []
+        assert len(comparison.regressions) == 1
+
+    def test_non_rowish_counter_drift_is_unchanged(self):
+        base = _baseline()
+        other = copy.deepcopy(base)
+        other["metrics"]["counters"][2]["value"] = 99  # spans_total
+        comparison = compare_run_reports(
+            base, other, CompareConfig(fail_on_rows=True)
+        )
+        assert comparison.ok
+        statuses = {d.key: d.status for d in comparison.metrics}
+        assert statuses["repro_obs_spans_total"] == UNCHANGED
+
+    def test_zero_baseline_wall_does_not_crash(self):
+        base = _report(spans=_span("root", wall=0.0))
+        other = _report(spans=_span("root", wall=1.0))
+        comparison = compare_run_reports(base, other)
+        assert [d.path for d in comparison.span_regressions] == ["root"]
+        assert comparison.span_regressions[0].wall_rel == float("inf")
+
+
+# -------------------------------------------------------- rendering / export
+class TestRendering:
+    def test_no_regressions_summary_line(self):
+        base = _baseline()
+        table = compare_run_reports(base, copy.deepcopy(base)).format_table()
+        assert "no regressions" in table
+        assert "threshold 15%" in table
+        assert "5 spans" in table
+
+    def test_regression_paths_always_listed(self):
+        base = _baseline()
+        other = copy.deepcopy(base)
+        other["spans"]["children"][1]["wall_s"] = 2.0
+        table = compare_run_reports(base, other).format_table(max_rows=0)
+        assert "REGRESSION: 1 span(s)" in table
+        assert "simulate/export" in table
+        assert "+150.0%" in table
+
+    def test_rows_drift_rendered_when_gating(self):
+        base = _baseline()
+        other = copy.deepcopy(base)
+        other["metrics"]["counters"][1]["value"] = 500
+        table = compare_run_reports(
+            base, other, CompareConfig(fail_on_rows=True)
+        ).format_table()
+        assert "ROWS DRIFT" in table
+        assert "repro_sim_records_total{stream=mme}" in table
+
+    def test_to_dict_schema_and_roundtrip(self, tmp_path):
+        base = _baseline()
+        other = copy.deepcopy(base)
+        other["spans"]["children"][1]["wall_s"] = 2.0
+        comparison = compare_run_reports(base, other)
+        payload = comparison.to_dict()
+        assert payload["schema"] == COMPARE_SCHEMA
+        assert payload["ok"] is False
+        assert payload["config"]["threshold"] == 0.15
+        target = comparison.write_json(tmp_path / "cmp.json")
+        loaded = json.loads(target.read_text(encoding="utf-8"))
+        assert loaded["spans"] == payload["spans"]
+        statuses = {d["path"]: d["status"] for d in loaded["spans"]}
+        assert statuses["simulate/export"] == REGRESSION
+
+
+# -------------------------------------------------------------- file loading
+class TestFiles:
+    def test_compare_files_validates_and_diffs(self, tmp_path):
+        base = _baseline()
+        other = copy.deepcopy(base)
+        other["spans"]["children"][1]["wall_s"] = 2.0
+        write_run_report(tmp_path / "a.json", base)
+        write_run_report(tmp_path / "b.json", other)
+        comparison = compare_run_report_files(
+            tmp_path / "a.json", tmp_path / "b.json"
+        )
+        assert not comparison.ok
+
+    def test_compare_files_rejects_invalid_report(self, tmp_path):
+        (tmp_path / "a.json").write_text("{}", encoding="utf-8")
+        write_run_report(tmp_path / "b.json", _baseline())
+        with pytest.raises(ValueError):
+            compare_run_report_files(tmp_path / "a.json", tmp_path / "b.json")

@@ -1,0 +1,129 @@
+"""Tests for :mod:`repro.obs.history` — the longitudinal benchmark store."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.export import RUN_REPORT_SCHEMA
+from repro.obs.history import (
+    HISTORY_SCHEMA,
+    append_history,
+    build_history_record,
+    git_commit,
+    read_history,
+)
+
+
+def _span(name, wall=1.0, attrs=None, children=()):
+    return {
+        "name": name,
+        "attrs": dict(attrs or {}),
+        "start_s": 0.0,
+        "wall_s": wall,
+        "cpu_s": wall,
+        "children": list(children),
+    }
+
+
+def _report():
+    return {
+        "schema": RUN_REPORT_SCHEMA,
+        "created_unix": 1700000000.0,
+        "meta": {"command": "benchmarks", "seed": 2018},
+        "metrics": {
+            "counters": [
+                {"name": "repro_sim_records_total",
+                 "labels": {"stream": "proxy"}, "value": 700},
+                {"name": "repro_sim_records_total",
+                 "labels": {"stream": "mme"}, "value": 300},
+            ],
+            "gauges": [],
+            "histograms": [],
+        },
+        "spans": _span("bench", wall=4.0, children=[
+            _span("simulate", wall=3.0, children=[
+                _span("generate", wall=2.0, children=[
+                    _span("shard", wall=1.0, attrs={"shard": 0}),
+                ]),
+            ]),
+        ]),
+    }
+
+
+class TestBuildRecord:
+    def test_record_shape_and_provenance(self):
+        record = build_history_record(
+            _report(), label="bench-perf", commit="abc123def456"
+        )
+        assert record["schema"] == HISTORY_SCHEMA
+        assert record["label"] == "bench-perf"
+        assert record["commit"] == "abc123def456"
+        assert record["meta"]["seed"] == 2018
+        assert isinstance(record["created_unix"], float)
+        assert record["python"].count(".") == 2
+
+    def test_spans_capped_at_max_depth(self):
+        record = build_history_record(_report(), max_depth=2)
+        assert set(record["spans"]) == {
+            "bench", "bench/simulate", "bench/simulate/generate",
+        }
+        assert record["spans"]["bench/simulate"]["wall_s"] == 3.0
+        shallow = build_history_record(_report(), max_depth=0)
+        assert set(shallow["spans"]) == {"bench"}
+
+    def test_counters_summed_across_labels(self):
+        record = build_history_record(_report())
+        assert record["counters"] == {"repro_sim_records_total": 1000.0}
+
+    def test_extra_fields_merged(self):
+        record = build_history_record(_report(), extra={"ci": True})
+        assert record["ci"] is True
+
+
+class TestStore:
+    def test_append_read_roundtrip(self, tmp_path):
+        path = tmp_path / "nested" / "history.jsonl"
+        for index in range(3):
+            append_history(
+                path, build_history_record(_report(), label=f"run-{index}")
+            )
+        records = read_history(path)
+        assert [r["label"] for r in records] == ["run-0", "run-1", "run-2"]
+        # One compact line per record: greppable, mergeable.
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 3
+        assert all(json.loads(line)["schema"] == HISTORY_SCHEMA
+                   for line in lines)
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert read_history(tmp_path / "absent.jsonl") == []
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        append_history(path, build_history_record(_report()))
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write("\n\n")
+        append_history(path, build_history_record(_report()))
+        assert len(read_history(path)) == 2
+
+    def test_broken_line_reports_line_number(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        append_history(path, build_history_record(_report()))
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write("{not json\n")
+        with pytest.raises(ValueError, match=r"history\.jsonl:2"):
+            read_history(path)
+
+
+class TestGitCommit:
+    def test_inside_repo_returns_short_hash(self):
+        # The test suite runs from the repo checkout, so this resolves.
+        commit = git_commit()
+        if commit is not None:  # tolerate exotic CI checkouts
+            assert len(commit) == 12
+            int(commit, 16)  # hex
+
+    def test_outside_repo_returns_none(self, tmp_path):
+        assert git_commit(tmp_path) is None

@@ -13,6 +13,7 @@ from repro.obs.metrics import (
     NULL_COUNTER,
     NULL_GAUGE,
     NULL_HISTOGRAM,
+    escape_label_value,
     render_prometheus,
 )
 
@@ -194,3 +195,54 @@ def test_prometheus_renders_from_saved_snapshot():
     reg.counter("repro_x_total").add(2)
     snap = reg.snapshot()
     assert render_prometheus(snap) == reg.to_prometheus()
+
+
+# ----------------------------------------------------- exposition escaping
+class TestLabelEscaping:
+    """Prometheus text-format escaping of ``\\``, ``"`` and newlines.
+
+    The exposition format quotes label values, so raw quotes, backslashes
+    and line feeds in a value (think file paths, error snippets) would
+    corrupt the whole scrape body unless escaped.
+    """
+
+    @pytest.mark.parametrize(
+        ("raw", "escaped"),
+        [
+            ("plain", "plain"),
+            ('say "hi"', 'say \\"hi\\"'),
+            ("C:\\temp\\x", "C:\\\\temp\\\\x"),
+            ("line1\nline2", "line1\\nline2"),
+            # Backslash escaped first: a literal \n sequence stays \\n,
+            # never collapses into an escaped newline.
+            ("literal\\n", "literal\\\\n"),
+            ('\\"\n', '\\\\\\"\\n'),
+        ],
+    )
+    def test_escape_label_value(self, raw, escaped):
+        assert escape_label_value(raw) == escaped
+
+    def test_rendered_exposition_stays_line_oriented(self):
+        reg = MetricsRegistry()
+        reg.counter(
+            "repro_quarantine_issues_total",
+            detail='bad "IMEI"\nwith C:\\path',
+        ).add(3)
+        text = reg.to_prometheus()
+        sample = next(
+            line for line in text.splitlines()
+            if line.startswith("repro_quarantine_issues_total{")
+        )
+        # The raw newline must not split the sample line.
+        assert sample == (
+            'repro_quarantine_issues_total'
+            '{detail="bad \\"IMEI\\"\\nwith C:\\\\path"} 3'
+        )
+
+    def test_escaped_values_keep_samples_distinct(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_x_total", code='a"b').add(1)
+        reg.counter("repro_x_total", code="a\\b").add(1)
+        text = reg.to_prometheus()
+        assert 'repro_x_total{code="a\\"b"} 1' in text
+        assert 'repro_x_total{code="a\\\\b"} 1' in text

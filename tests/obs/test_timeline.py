@@ -1,0 +1,430 @@
+"""Timeline event log: writer, heartbeat sampler, validator, renderer."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs.timeline import (
+    EVENTS_SCHEMA,
+    EventWriter,
+    HeartbeatSampler,
+    NULL_EVENTS,
+    ProgressState,
+    read_events,
+    sample_process,
+    validate_events,
+    validate_events_file,
+)
+
+
+# -------------------------------------------------------------- the writer
+class TestEventWriter:
+    def test_header_written_once(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventWriter(path, meta={"command": "test"}) as writer:
+            writer.emit("phase", stage="one")
+        # A second writer on the same (non-empty) file appends, no header.
+        with EventWriter(path) as writer:
+            writer.emit("phase", stage="two")
+        events = read_events(path)
+        assert [e["type"] for e in events] == ["header", "phase", "phase"]
+        assert events[0]["schema"] == EVENTS_SCHEMA
+        assert events[0]["meta"] == {"command": "test"}
+        validate_events(events)
+
+    def test_seq_monotonic_and_wid_stable(self, tmp_path):
+        with EventWriter(tmp_path / "e.jsonl") as writer:
+            for _ in range(5):
+                writer.emit("phase", stage="x")
+        events = read_events(tmp_path / "e.jsonl")
+        assert [e["seq"] for e in events] == list(range(6))
+        assert len({e["wid"] for e in events}) == 1
+
+    def test_two_writers_have_distinct_wids(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        with EventWriter(path) as first:
+            first.emit("phase", stage="a")
+        with EventWriter(path) as second:
+            second.emit("phase", stage="b")
+        events = read_events(path)
+        validate_events(events)  # seq restarts are fine across writers
+        assert len({e["wid"] for e in events}) == 2
+
+    def test_emit_after_close_is_a_noop(self, tmp_path):
+        writer = EventWriter(tmp_path / "e.jsonl")
+        writer.close()
+        assert writer.emit("phase", stage="late") is None
+
+    def test_thread_safety_exact_event_count(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        writer = EventWriter(path)
+        n_threads, per_thread = 8, 200
+
+        def hammer():
+            for index in range(per_thread):
+                writer.emit("progress", rows=index, stage="t")
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        writer.close()
+        events = read_events(path)
+        assert len(events) == 1 + n_threads * per_thread
+        # Every line parsed (read_events raises otherwise) and seq covers
+        # the full range exactly once.
+        assert sorted(e["seq"] for e in events) == list(
+            range(1 + n_threads * per_thread)
+        )
+
+    def test_null_writer_contract(self):
+        assert NULL_EVENTS.emit("progress", rows=1) is None
+        assert NULL_EVENTS.enabled is False
+        assert NULL_EVENTS.path is None
+        NULL_EVENTS.close()  # must not raise
+
+
+# ---------------------------------------------------------------- sampling
+class TestHeartbeat:
+    def test_sample_process_fields_numeric(self):
+        sample = sample_process()
+        for value in sample.values():
+            assert isinstance(value, (int, float))
+
+    def test_sampler_emits_and_validates(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        writer = EventWriter(path, meta={"command": "hb"})
+        with HeartbeatSampler(writer, interval_s=0.05):
+            time.sleep(0.2)
+        writer.close()
+        events = validate_events_file(path)
+        beats = [e for e in events if e["type"] == "heartbeat"]
+        assert len(beats) >= 2
+        for beat in beats:
+            assert beat["cpu_percent"] >= 0
+
+    def test_sampler_final_beat_on_fast_stop(self, tmp_path):
+        writer = EventWriter(tmp_path / "e.jsonl")
+        sampler = HeartbeatSampler(writer, interval_s=60.0).start()
+        sampler.stop()
+        writer.close()
+        events = read_events(tmp_path / "e.jsonl")
+        assert any(e["type"] == "heartbeat" for e in events)
+
+    def test_sampler_noop_on_null_writer(self):
+        sampler = HeartbeatSampler(NULL_EVENTS, interval_s=0.01).start()
+        assert sampler._thread is None
+        sampler.stop()
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError):
+            HeartbeatSampler(NULL_EVENTS, interval_s=0)
+
+
+# -------------------------------------------------------------- validation
+def _base(seq, **fields):
+    record = {
+        "type": "phase",
+        "t_unix": 1.0 + seq,
+        "pid": 1,
+        "wid": "w1",
+        "seq": seq,
+        "stage": "x",
+    }
+    record.update(fields)
+    return record
+
+
+def _header():
+    return {
+        "type": "header",
+        "t_unix": 1.0,
+        "pid": 1,
+        "wid": "w1",
+        "seq": 0,
+        "schema": EVENTS_SCHEMA,
+        "created_unix": 1.0,
+        "meta": {},
+    }
+
+
+class TestValidation:
+    def test_empty_log_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            validate_events([])
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(ValueError, match="header"):
+            validate_events([_base(0)])
+
+    def test_wrong_schema_rejected(self):
+        header = _header()
+        header["schema"] = "repro.obs/events/v999"
+        with pytest.raises(ValueError, match="v999"):
+            validate_events([header])
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown event type"):
+            validate_events([_header(), _base(1, type="mystery")])
+
+    def test_duplicate_header_rejected(self):
+        with pytest.raises(ValueError, match="only as the first"):
+            validate_events([_header(), dict(_header(), seq=1)])
+
+    def test_seq_regression_rejected(self):
+        with pytest.raises(ValueError, match="not increasing"):
+            validate_events([_header(), _base(2), _base(1)])
+
+    def test_missing_wid_rejected(self):
+        bad = _base(1)
+        del bad["wid"]
+        with pytest.raises(ValueError, match="wid"):
+            validate_events([_header(), bad])
+
+    def test_progress_needs_rows(self):
+        bad = _base(1, type="progress")
+        with pytest.raises(ValueError, match="rows"):
+            validate_events([_header(), bad])
+
+    def test_progress_rows_must_be_monotonic_per_shard(self):
+        good = [
+            _header(),
+            _base(1, type="progress", shard=0, stage="generate", rows=10),
+            _base(2, type="progress", shard=1, stage="generate", rows=5),
+            _base(3, type="progress", shard=0, stage="generate", rows=10),
+            _base(4, type="progress", shard=0, stage="generate", rows=20),
+        ]
+        validate_events(good)  # equal and increasing both fine
+        bad = good + [
+            _base(5, type="progress", shard=0, stage="generate", rows=19)
+        ]
+        with pytest.raises(ValueError, match="rows decreased"):
+            validate_events(bad)
+
+    def test_progress_rows_independent_across_stages(self):
+        validate_events(
+            [
+                _header(),
+                _base(1, type="progress", shard=0, stage="generate", rows=50),
+                _base(2, type="progress", shard=0, stage="spill", rows=50),
+                _base(3, type="progress", stage="export", stream="proxy", rows=10),
+                _base(4, type="progress", stage="export", stream="mme", rows=1),
+            ]
+        )
+
+    def test_negative_shard_rejected(self):
+        with pytest.raises(ValueError, match="shard"):
+            validate_events(
+                [_header(), _base(1, type="progress", shard=-1, rows=0)]
+            )
+
+    def test_heartbeat_fields_must_be_numeric(self):
+        with pytest.raises(ValueError, match="rss_kb"):
+            validate_events(
+                [_header(), _base(1, type="heartbeat", rss_kb="big")]
+            )
+
+    def test_broken_json_line_reported_with_line_number(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n', encoding="utf-8")
+        with pytest.raises(ValueError, match=":2"):
+            validate_events_file(path)
+
+
+# ------------------------------------------------------ engine integration
+class TestEngineEvents:
+    @pytest.fixture(scope="class")
+    def engine_events(self, tmp_path_factory):
+        """A sharded, multi-process small run with the event log on."""
+        from repro.simnet.config import SimulationConfig
+        from repro.simnet.engine import ShardedSimulationEngine
+
+        base = tmp_path_factory.mktemp("engine-events")
+        events_path = base / "events.jsonl"
+        with obs.observe(
+            events_path=events_path, events_meta={"command": "test"}
+        ):
+            engine = ShardedSimulationEngine(
+                SimulationConfig.small(seed=7), shards=4, workers=2
+            )
+            run = engine.run_streaming(spool_dir=base / "spool")
+            try:
+                run.write(base / "trace")
+            finally:
+                run.cleanup()
+        return validate_events_file(events_path)
+
+    def test_every_shard_reports_monotonic_progress(self, engine_events):
+        by_shard: dict[int, list[int]] = {}
+        for event in engine_events:
+            if event["type"] == "progress" and "shard" in event:
+                by_shard.setdefault(event["shard"], []).append(event["rows"])
+        assert sorted(by_shard) == [0, 1, 2, 3]
+        for shard, rows in by_shard.items():
+            assert rows == sorted(rows), f"shard {shard} regressed: {rows}"
+            assert rows[-1] > 0
+
+    def test_spill_progress_matches_generate_total(self, engine_events):
+        for shard in range(4):
+            generate = [
+                e["rows"]
+                for e in engine_events
+                if e["type"] == "progress"
+                and e.get("shard") == shard
+                and e.get("stage") == "generate"
+            ]
+            spill = [
+                e["rows"]
+                for e in engine_events
+                if e["type"] == "progress"
+                and e.get("shard") == shard
+                and e.get("stage") == "spill"
+            ]
+            assert spill == [generate[-1]]
+
+    def test_export_progress_present_for_both_streams(self, engine_events):
+        streams = {
+            e["stream"]
+            for e in engine_events
+            if e["type"] == "progress" and e.get("stage") == "export"
+        }
+        assert streams == {"proxy", "mme"}
+
+    def test_worker_processes_heartbeat(self, engine_events):
+        beat_pids = {
+            e["pid"] for e in engine_events if e["type"] == "heartbeat"
+        }
+        header_pid = engine_events[0]["pid"]
+        # At least one heartbeat came from a process other than the
+        # orchestrator (the pool workers run their own samplers).
+        assert beat_pids - {header_pid}
+
+    def test_disabled_run_emits_nothing(self, tmp_path):
+        from repro.simnet.config import SimulationConfig
+        from repro.simnet.engine import ShardedSimulationEngine
+
+        engine = ShardedSimulationEngine(
+            SimulationConfig.small(seed=7), shards=2
+        )
+        run = engine.run_streaming(spool_dir=tmp_path / "spool")
+        try:
+            assert run.proxy_count > 0
+        finally:
+            run.cleanup()
+        assert not (tmp_path / "events.jsonl").exists()
+
+
+# ---------------------------------------------------------- live rendering
+class TestProgressState:
+    def test_folds_progress_and_heartbeat(self):
+        state = ProgressState()
+        state.update(_header())
+        state.update(
+            _base(1, type="progress", shard=0, stage="generate", rows=1000)
+        )
+        state.update(
+            _base(2, type="progress", shard=1, stage="generate", rows=500)
+        )
+        state.update(
+            _base(3, type="progress", shard=0, stage="spill", rows=1000)
+        )
+        state.update(
+            _base(4, type="heartbeat", rss_kb=204800, cpu_percent=87.5)
+        )
+        line = state.line(now_unix=11.0)
+        assert "1,500 rows" in line
+        assert "1/2 shards spilled" in line
+        assert "rss 200MB" in line
+        assert "cpu 88%" in line or "cpu 87%" in line
+
+    def test_export_and_phase_rendering(self):
+        state = ProgressState()
+        state.update(_header())
+        state.update(_base(1, type="phase", stage="analyze.mobility"))
+        state.update(
+            _base(2, type="progress", stage="export", stream="proxy", rows=42)
+        )
+        line = state.line(now_unix=2.0)
+        assert "analyze.mobility" in line
+        assert "export proxy 42" in line
+
+    def test_rows_never_move_backwards_in_render(self):
+        state = ProgressState()
+        state.update(_header())
+        state.update(
+            _base(1, type="progress", shard=0, stage="generate", rows=100)
+        )
+        # A late-arriving smaller reading must not regress the display.
+        state.update(
+            _base(2, type="progress", shard=0, stage="generate", rows=40)
+        )
+        assert "100 rows" in state.line(now_unix=3.0)
+
+    def test_handles_stream_without_header(self):
+        state = ProgressState()
+        state.update(_base(1, type="progress", shard=0, rows=7, stage="generate"))
+        assert "7 rows" in state.line()
+
+
+class TestProgressPrinter:
+    def test_prints_changed_lines_to_non_tty(self, tmp_path):
+        import io
+
+        from repro.obs.timeline import ProgressPrinter
+
+        path = tmp_path / "e.jsonl"
+        sink = io.StringIO()
+        with EventWriter(path, meta={}) as writer:
+            printer = ProgressPrinter(path, stream=sink, interval_s=0.05)
+            printer.start()
+            writer.emit(
+                "progress", shard=0, stage="generate", rows=123_456
+            )
+            time.sleep(0.2)
+            printer.stop()
+        output = sink.getvalue()
+        assert "123,456 rows" in output
+        assert "\r" not in output  # non-tty → plain lines
+
+    def test_survives_partial_lines(self, tmp_path):
+        import io
+
+        from repro.obs.timeline import ProgressPrinter
+
+        path = tmp_path / "e.jsonl"
+        path.write_text("", encoding="utf-8")
+        printer = ProgressPrinter(path, stream=io.StringIO())
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"type":"progress","t_unix":1,"pid":1,')
+            handle.flush()
+            printer._drain()  # mid-write: nothing complete yet
+            handle.write('"wid":"w","seq":0,"shard":0,"rows":9}\n')
+            handle.flush()
+            printer._drain()
+        assert printer.state.shard_rows == {0: 9}
+
+
+# ------------------------------------------------------------- ambient API
+class TestAmbient:
+    def test_default_events_are_null(self):
+        assert obs.events() is NULL_EVENTS or not obs.events().enabled
+
+    def test_observe_opens_and_closes_event_log(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        with obs.observe(events_path=path, events_meta={"command": "t"}):
+            assert obs.events().enabled
+            obs.events().emit("phase", stage="inside")
+        assert not obs.events().enabled
+        events = validate_events_file(path)
+        assert [e["type"] for e in events] == ["header", "phase"]
+
+    def test_observe_without_events_path_is_null(self):
+        with obs.observe():
+            assert not obs.events().enabled
+            assert obs.events().emit("phase", stage="x") is None

@@ -5,10 +5,10 @@ PY ?= python
 PYTEST = PYTHONPATH=src $(PY) -m pytest
 
 .PHONY: test coverage chaos bench bench-perf bench-perf-check bench-gate \
-    trace obs-smoke clean
+    trace obs-smoke analyze-smoke clean
 
 PERF_MODULES = benchmarks/test_perf_engine.py benchmarks/test_perf_io.py \
-    benchmarks/test_perf_primitives.py
+    benchmarks/test_perf_primitives.py benchmarks/test_perf_analysis.py
 
 ## Tier-1 suite: unit / integration / property tests (the CI gate).
 test:
@@ -94,11 +94,44 @@ obs-smoke:
 	    obs-smoke/run-report.json >/dev/null
 	PYTHONPATH=src $(PY) -m repro obs summarize obs-smoke/run-report.json
 
+## Parallel-analysis smoke: export the small preset, map-reduce it over
+## 4 account shards with 2 workers (metrics + timeline artifacts), then
+## validate the artifacts: every shard must report load/aggregate
+## progress and the run report must carry the analyze.parallel ->
+## analyze.shard -> analyze.merge span chain.  Artifacts land in
+## analyze-smoke/ (gitignored; CI uploads them).
+analyze-smoke:
+	rm -rf analyze-smoke && mkdir -p analyze-smoke
+	PYTHONPATH=src $(PY) -m repro simulate --preset small --seed 7 \
+	    --out analyze-smoke/trace
+	PYTHONPATH=src $(PY) -m repro analyze analyze-smoke/trace \
+	    --shards 4 --workers 2 --figures fig2a,fig8 \
+	    --out analyze-smoke/figures \
+	    --metrics-out analyze-smoke/run-report.json \
+	    --events-out analyze-smoke/events.jsonl
+	PYTHONPATH=src $(PY) -c "\
+	from repro.obs.compare import span_index; \
+	from repro.obs.export import validate_run_report_file; \
+	from repro.obs.timeline import validate_events_file; \
+	report = validate_run_report_file('analyze-smoke/run-report.json'); \
+	paths = set(span_index(report)); \
+	needed = ('analyze.parallel', 'analyze.shard[', 'shard.load', \
+	    'analyze.merge', 'analyze.finalize'); \
+	missing = [n for n in needed if not any(n in p for p in paths)]; \
+	assert not missing, missing; \
+	events = validate_events_file('analyze-smoke/events.jsonl'); \
+	shards = sorted({e.get('shard') for e in events \
+	    if e['type'] == 'progress' and e.get('stage') == 'aggregate'}); \
+	assert shards == [0, 1, 2, 3], shards; \
+	print('analyze-smoke: run report + timeline schema-valid, ' \
+	    f'{len(events)} events, all 4 shards aggregated')"
+	PYTHONPATH=src $(PY) -m repro obs summarize analyze-smoke/run-report.json
+
 ## Example end-to-end trace (sharded run, per-shard timings on stderr).
 trace:
 	PYTHONPATH=src $(PY) -m repro simulate --scale medium --seed 7 \
 	    --out trace/ --shards 4
 
 clean:
-	rm -rf trace/ obs-smoke/ .pytest_cache
+	rm -rf trace/ obs-smoke/ analyze-smoke/ .pytest_cache
 	find . -name __pycache__ -type d -exec rm -rf {} +

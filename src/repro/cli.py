@@ -7,6 +7,7 @@ Six subcommands cover the full workflow::
     python -m repro validate  trace/ [--lenient]
     python -m repro analyze   trace/ [--figures fig2a,fig5a] [--out reports/]
                               [--lenient --quarantine-report q.json]
+                              [--shards N --workers W --seed S]
     python -m repro scoreboard trace/
     python -m repro obs summarize report.json
 
@@ -17,6 +18,11 @@ integrity; ``analyze`` regenerates paper figures from the trace (with
 ``--lenient`` it survives corrupted traces by quarantining bad rows);
 ``scoreboard`` prints the paper-vs-measured headline table; ``obs
 summarize`` renders a saved observability run report as a stage table.
+
+With ``--shards N`` (and optionally ``--workers W``) ``analyze`` runs
+the map-reduce path (:mod:`repro.core.parallel`): the report is computed
+as merged per-account-shard partial aggregates, peak memory bounded by
+the largest shard, and the output is invariant to the worker count.
 
 Observability
 -------------
@@ -79,6 +85,7 @@ from repro.obs.export import (
 from repro.obs.timeline import HeartbeatSampler, ProgressPrinter
 from repro.core.export import write_report_json
 from repro.core.figures import FIGURE_RENDERERS, render_all
+from repro.core.parallel import analyze_parallel
 from repro.core.pipeline import WearableStudy
 from repro.core.report import format_comparison
 from repro.logs.anonymize import Anonymizer
@@ -213,16 +220,44 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     if args.quarantine_report and not args.lenient:
         print("--quarantine-report requires --lenient", file=sys.stderr)
         return 2
-    with obs.span("analyze.load"):
-        dataset = StudyDataset.load(args.trace, lenient=args.lenient)
-    if dataset.quarantine is not None:
-        if not dataset.quarantine.ok:
-            print(dataset.quarantine.summary(), file=sys.stderr)
+    shards = getattr(args, "shards", 1)
+    workers = getattr(args, "workers", None)
+    if shards < 1:
+        print("--shards must be >= 1", file=sys.stderr)
+        return 2
+    if workers is not None and workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    if shards > 1 or (workers or 1) > 1:
+        run = analyze_parallel(
+            args.trace,
+            shards=shards,
+            workers=workers,
+            lenient=args.lenient,
+            seed=getattr(args, "analysis_seed", 0),
+        )
+        full_report = run.report
+        quarantine = full_report.quarantine
+        print(
+            f"analyzed {run.proxy_rows + run.mme_rows:,} rows across "
+            f"{shards} shard(s) ({run.workers} worker(s), peak shard "
+            f"residency {run.peak_resident_records:,} records)",
+            file=sys.stderr,
+        )
+    else:
+        with obs.span("analyze.load"):
+            dataset = StudyDataset.load(args.trace, lenient=args.lenient)
+        quarantine = dataset.quarantine
+        full_report = None
+    if quarantine is not None:
+        if not quarantine.ok:
+            print(quarantine.summary(), file=sys.stderr)
         if args.quarantine_report:
-            path = dataset.quarantine.write_json(args.quarantine_report)
+            path = quarantine.write_json(args.quarantine_report)
             print(f"wrote quarantine report to {path}", file=sys.stderr)
-    study = WearableStudy(dataset)
-    full_report = study.run_all()
+    if full_report is None:
+        study = WearableStudy(dataset)
+        full_report = study.run_all()
     if args.json:
         path = write_report_json(full_report, args.json)
         print(f"wrote JSON report to {path}", file=sys.stderr)
@@ -681,6 +716,33 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="with --lenient, write the quarantine report as JSON here",
+    )
+    analyze.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition accounts into this many shards and compute the "
+        "report as merged per-shard partial aggregates (default: 1 == "
+        "the classic single-pass batch path); peak memory is bounded by "
+        "the largest shard, not the trace",
+    )
+    analyze.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process shards with this many worker processes (default: "
+        "min(shards, cpu count); 1 == serial fallback over the same "
+        "partials — bit-identical report for any worker count)",
+    )
+    analyze.add_argument(
+        "--seed",
+        dest="analysis_seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed for the sharded activity reservoir streams "
+        "(seed:activity-reservoir:<shard>); only reservoir-derived "
+        "quantiles depend on it (default: 0)",
     )
     analyze.set_defaults(func=cmd_analyze)
 

@@ -20,11 +20,17 @@ from dataclasses import dataclass
 from functools import cached_property
 from pathlib import Path
 
-from typing import Iterable, Iterator
+from typing import Callable, Iterable, Iterator
 
 from repro.devicedb.database import DeviceDatabase
 from repro.devicedb.tac import IMEI_LENGTH
-from repro.logs.io import read_csv_records, read_mme_log, read_proxy_log
+from repro.logs.io import (
+    read_csv_records,
+    read_csv_records_shard,
+    read_mme_log,
+    read_proxy_log,
+    shard_keep_predicate,
+)
 from repro.logs.quarantine import QuarantineCollector, QuarantineReport
 from repro.logs.records import MmeRecord, ProxyRecord, record_sort_key
 from repro.logs.timeutil import SECONDS_PER_DAY
@@ -116,7 +122,12 @@ class StudyDataset:
 
     @classmethod
     def load(
-        cls, directory: str | Path, *, lenient: bool = False
+        cls,
+        directory: str | Path,
+        *,
+        lenient: bool = False,
+        shard: int | None = None,
+        shards: int = 1,
     ) -> "StudyDataset":
         """Load a trace directory written by ``SimulationOutput.write``.
 
@@ -132,6 +143,16 @@ class StudyDataset:
         are deduplicated, and out-of-order logs are re-sorted.  The full
         accounting lands in :attr:`quarantine` (a
         :class:`~repro.logs.quarantine.QuarantineReport`).
+
+        With ``shard``/``shards`` the dataset holds only one account
+        shard's records (the engine's ``crc32(account_id) % shards``
+        partition, resolved through the billing directory), streamed with
+        :func:`repro.logs.io.read_csv_records_shard` so peak memory is
+        O(largest shard).  In lenient mode the *whole* stream is still
+        parsed and scrubbed — duplicate/order defects are stream-global
+        properties — and only the kept rows are filtered, which makes the
+        quarantine report identical for every shard (and identical to a
+        serial lenient load).  Side artefacts stay whole in both cases.
 
         The window metadata (``metadata.json``), billing directory,
         device database and cell plan are structural: they stay strict in
@@ -159,6 +180,10 @@ class StudyDataset:
             detailed_days=int(meta["detailed_days"]),
         )
 
+        keep = None
+        if shard is not None:
+            keep = shard_keep_predicate(shard, shards, account_directory)
+
         quarantine: QuarantineReport | None = None
         if lenient:
             collector = QuarantineCollector()
@@ -166,14 +191,35 @@ class StudyDataset:
                 cls._lenient_log(base, "proxy", ProxyRecord, collector),
                 "proxy",
                 collector,
+                keep=keep,
             )
             mme_records = _scrub_records(
                 cls._lenient_log(base, "mme", MmeRecord, collector),
                 "mme",
                 collector,
                 sector_map=sector_map,
+                keep=keep,
             )
             quarantine = collector.report()
+        elif shard is not None:
+            proxy_records = list(
+                read_csv_records_shard(
+                    cls._log_path(base, "proxy"),
+                    ProxyRecord,
+                    shard,
+                    shards,
+                    account_directory,
+                )
+            )
+            mme_records = list(
+                read_csv_records_shard(
+                    cls._log_path(base, "mme"),
+                    MmeRecord,
+                    shard,
+                    shards,
+                    account_directory,
+                )
+            )
         else:
             proxy_records = list(read_proxy_log(cls._log_path(base, "proxy")))
             mme_records = list(read_mme_log(cls._log_path(base, "mme")))
@@ -273,6 +319,7 @@ def _scrub_records(
     kind: str,
     collector: QuarantineCollector,
     sector_map: SectorMap | None = None,
+    keep: Callable | None = None,
 ) -> list:
     """Semantic row filter for lenient ingestion.
 
@@ -283,6 +330,13 @@ def _scrub_records(
     preceding row (``<kind>-duplicate``), and notes out-of-order
     timestamps (``<kind>-order``), re-sorting the log into canonical
     order when any were seen so downstream sessionisation stays correct.
+
+    ``keep`` restricts the *returned* rows (shard-filtered loads) without
+    affecting any of the defect accounting: duplicate and order defects
+    are properties of the full stream, so every shard observing the same
+    file produces the identical quarantine report.  The kept restriction
+    of the globally re-sorted log equals re-sorting the restriction, so
+    shard loads stay canonical too.
     """
     kept: list = []
     last_seen = None
@@ -323,7 +377,8 @@ def _scrub_records(
                 where,
             )
         previous_ts = record.timestamp
-        kept.append(record)
+        if keep is None or keep(record):
+            kept.append(record)
     if disorder:
         kept.sort(key=record_sort_key)
     return kept

@@ -32,6 +32,7 @@ from repro.core.dataset import StudyWindow
 from repro.core.weekly import EVENING_HOURS, WeeklyResult
 from repro.logs.records import MmeRecord, ProxyRecord
 from repro.logs.timeutil import hour_of_day, is_weekend, weekday
+from repro.simnet.engine import stream_seed
 from repro.stats.streaming import OnlineStats, P2Quantile, ReservoirSampler
 
 
@@ -62,6 +63,23 @@ class StreamingAdoption:
         self._first_seen: dict[str, int] = {}
         self._last_seen: dict[str, int] = {}
         self._data_users: set[str] = set()
+
+    def merge(self, other: "StreamingAdoption") -> "StreamingAdoption":
+        """Fold another shard's adoption state into this one — *exact*:
+        all state is sets and min/max day indices, so the merge commutes
+        with splitting the stream any way at all."""
+        for day, users in enumerate(other._daily):
+            self._daily[day] |= users
+        for subscriber, day in other._first_seen.items():
+            mine = self._first_seen.get(subscriber)
+            if mine is None or day < mine:
+                self._first_seen[subscriber] = day
+        for subscriber, day in other._last_seen.items():
+            mine = self._last_seen.get(subscriber)
+            if mine is None or day > mine:
+                self._last_seen[subscriber] = day
+        self._data_users |= other._data_users
+        return self
 
     def add_mme(self, record: MmeRecord) -> None:
         if record.tac not in self._tacs:
@@ -177,15 +195,44 @@ class StreamingActivity:
         window: StudyWindow,
         wearable_tacs: frozenset[str],
         reservoir_size: int = 4096,
+        *,
+        seed: int = 0,
+        shard: int = 0,
     ) -> None:
         self._window = window
         self._tacs = wearable_tacs
         self._sizes = OnlineStats()
         self._median = P2Quantile(0.5)
-        self._reservoir = ReservoirSampler(reservoir_size, seed=0)
+        # Per-shard reservoir seed, derived with the engine's
+        # ``seed:concern:key`` stream convention.  A hardcoded seed would
+        # make every shard of a parallel run draw the *identical* sample
+        # pattern, biasing merged quantiles toward whichever shard's
+        # values happen to survive the union.
+        self._reservoir = ReservoirSampler(
+            reservoir_size, seed=stream_seed(seed, "activity-reservoir", str(shard))
+        )
         self._under_10kb = 0
         self._user_days: dict[str, set[int]] = defaultdict(set)
         self._user_day_hours: dict[str, set[tuple[int, int]]] = defaultdict(set)
+
+    def merge(self, other: "StreamingActivity") -> "StreamingActivity":
+        """Fold another shard's activity state into this one.
+
+        Exact for transaction counts, the byte total (exact-sum
+        :class:`OnlineStats`), the under-10kB counter and the per-user
+        day/hour sets (disjoint or union-safe across shards); the merged
+        P² median and reservoir quantiles carry their documented
+        approximation bands.
+        """
+        self._sizes.merge(other._sizes)
+        self._median.merge(other._median)
+        self._reservoir.merge(other._reservoir)
+        self._under_10kb += other._under_10kb
+        for user, days in other._user_days.items():
+            self._user_days[user] |= days
+        for user, hours in other._user_day_hours.items():
+            self._user_day_hours[user] |= hours
+        return self
 
     def add(self, record: ProxyRecord) -> None:
         if record.tac not in self._tacs:
@@ -274,6 +321,25 @@ class StreamingWeekly:
         self._daytype_wearable = {True: 0, False: 0}
         self._daytype_total = {True: 0, False: 0}
         self._seen_dates: dict[int, set[int]] = defaultdict(set)
+
+    def merge(self, other: "StreamingWeekly") -> "StreamingWeekly":
+        """Fold another shard's weekly state into this one — *exact*:
+        counters are integers (byte totals are integral-valued floats,
+        exact well below 2**53) and the user/date accumulators are
+        sets."""
+        for dow in range(7):
+            self._dow_tx[dow] += other._dow_tx[dow]
+            self._dow_bytes[dow] += other._dow_bytes[dow]
+            self._dow_users[dow] |= other._dow_users[dow]
+        for hour in range(24):
+            self._hour_wearable[hour] += other._hour_wearable[hour]
+            self._hour_total[hour] += other._hour_total[hour]
+        for key in (True, False):
+            self._daytype_wearable[key] += other._daytype_wearable[key]
+            self._daytype_total[key] += other._daytype_total[key]
+        for dow, dates in other._seen_dates.items():
+            self._seen_dates[dow] |= dates
+        return self
 
     def add(self, record: ProxyRecord) -> None:
         timestamp = record.timestamp

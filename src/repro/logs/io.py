@@ -29,7 +29,8 @@ import time
 from dataclasses import fields as dataclass_fields
 from functools import lru_cache
 from pathlib import Path
-from typing import IO, Iterable, Iterator, Type, TypeVar
+from typing import IO, Callable, Iterable, Iterator, Mapping, Type, TypeVar
+from zlib import crc32
 
 from repro import obs
 from repro.logs.quarantine import QuarantineCollector
@@ -297,6 +298,75 @@ def read_csv_records(
             registry.histogram(
                 "repro_io_read_seconds", stream=kind, category=category
             ).observe(time.perf_counter() - started)
+
+
+# ------------------------------------------------------- sharded reads
+def subscriber_shard(
+    subscriber_id: str,
+    shards: int,
+    account_directory: Mapping[str, str] | None = None,
+) -> int:
+    """Deterministic account shard of a subscriber's records.
+
+    Uses the engine's partition function — ``crc32(account_id) % shards``
+    — via the billing directory, so an analysis shard holds exactly the
+    subscribers whose *account* the simulation engine would place in the
+    same shard: per-account aggregations (ownership, shares) stay
+    shard-local.  Subscribers missing from the directory (possible in
+    lenient mode, where corrupt rows may carry garbage ids) hash their
+    own id, which is still a consistent, total assignment.
+    """
+    if account_directory is not None:
+        key = account_directory.get(subscriber_id, subscriber_id)
+    else:
+        key = subscriber_id
+    return crc32(key.encode("utf-8")) % shards
+
+
+def shard_keep_predicate(
+    shard: int,
+    shards: int,
+    account_directory: Mapping[str, str] | None = None,
+) -> Callable[[RecordT], bool]:
+    """Predicate keeping only the records belonging to ``shard``."""
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    if not 0 <= shard < shards:
+        raise ValueError(f"shard must be in [0, {shards}), got {shard}")
+
+    def keep(record: RecordT) -> bool:
+        return (
+            subscriber_shard(record.subscriber_id, shards, account_directory)
+            == shard
+        )
+
+    return keep
+
+
+def read_csv_records_shard(
+    path: str | Path,
+    record_type: Type[RecordT],
+    shard: int,
+    shards: int,
+    account_directory: Mapping[str, str] | None = None,
+    quarantine: QuarantineCollector | None = None,
+    *,
+    category: str = "log",
+) -> Iterator[RecordT]:
+    """Stream only one account shard's records from a CSV log.
+
+    The whole file is still *parsed* (CSV has no index), but rows outside
+    the shard are discarded immediately, so the caller's peak memory is
+    O(largest shard) — the unit the parallel analysis layer
+    (:mod:`repro.core.parallel`) fans out over.  The union of all
+    ``shard`` values in ``range(shards)`` is exactly the full stream.
+    """
+    keep = shard_keep_predicate(shard, shards, account_directory)
+    for record in read_csv_records(
+        path, record_type, quarantine, category=category
+    ):
+        if keep(record):
+            yield record
 
 
 def write_jsonl_records(path: str | Path, records: Iterable[RecordT]) -> int:

@@ -531,6 +531,22 @@ class EngineRun:
         if self._owns_spool and self.spool_dir.exists():
             shutil.rmtree(self.spool_dir, ignore_errors=True)
 
+    # ------------------------------------------------------- context manager
+    def __enter__(self) -> "EngineRun":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Always reclaim the spool on scope exit.
+
+        ``run_streaming()`` hands ownership of a ``repro-spool-*``
+        directory to the caller.  Without the ``with`` form, an exception
+        raised between obtaining the run and calling :meth:`write` — or an
+        early return that never consumes the iterators — leaks the spool:
+        only the engine-internal happy path (:meth:`ShardedSimulationEngine.run`)
+        used to clean up after itself.
+        """
+        self.cleanup()
+
 
 # -------------------------------------------------------------------- engine
 class ShardedSimulationEngine:
@@ -680,11 +696,8 @@ class ShardedSimulationEngine:
         from repro.simnet.simulator import SimulationOutput
 
         if self._workers > 1:
-            run = self.run_streaming()
-            try:
+            with self.run_streaming() as run:
                 return run.to_output()
-            finally:
-                run.cleanup()
 
         with obs.span("simulate.run", shards=self._shards):
             with obs.span("simulate.population"):

@@ -30,6 +30,22 @@ class ECDF:
     def __len__(self) -> int:
         return len(self._values)
 
+    def __eq__(self, other: object) -> bool:
+        """Value equality: two ECDFs are equal iff their sorted samples
+        are — what the parallel-vs-batch differential layer compares."""
+        if not isinstance(other, ECDF):
+            return NotImplemented
+        return self._values == other._values
+
+    def __hash__(self) -> int:  # pragma: no cover - kept usable in sets
+        return hash(tuple(self._values))
+
+    def __repr__(self) -> str:
+        return (
+            f"ECDF(n={len(self._values)}, "
+            f"min={self._values[0]!r}, max={self._values[-1]!r})"
+        )
+
     def __call__(self, x: float) -> float:
         """Fraction of the sample less than or equal to ``x``."""
         return bisect_right(self._values, x) / len(self._values)

@@ -5,15 +5,26 @@ These primitives let the streaming analyses in :mod:`repro.core.streaming`
 consume record iterators in one pass:
 
 * :class:`OnlineStats` — count/mean/variance/min/max via Welford's
-  algorithm (exact);
+  algorithm, plus an *exact* running sum (Shewchuk partials, the same
+  error-free accumulation :func:`math.fsum` uses);
 * :class:`ReservoirSampler` — uniform fixed-size sample (Vitter's
   algorithm R) for approximate CDFs with an unbiasedness guarantee;
 * :class:`P2Quantile` — the Jain & Chlamtac P² estimator: one quantile
   tracked with five markers and O(1) memory.
+
+All three are **mergeable**: each exposes ``merge(other)`` combining two
+independently-filled instances, which is what lets the parallel analysis
+layer (:mod:`repro.core.parallel`) compute per-shard partial aggregates
+and reduce them.  Merge exactness varies and is documented per class:
+counts / sums / min / max merge exactly, Welford mean/m2 merge via
+Chan's parallel combine (floating-point associativity caveats only),
+reservoirs merge by weighted re-sampling (still a uniform sample), and
+P² merges are a documented approximation (marker-state refeed).
 """
 
 from __future__ import annotations
 
+import math
 import random
 from math import sqrt
 from typing import Iterable
@@ -21,8 +32,38 @@ from typing import Iterable
 from repro.stats.cdf import ECDF
 
 
+def _accumulate_exact(partials: list[float], value: float) -> None:
+    """Add ``value`` to a list of non-overlapping partial sums in place.
+
+    This is Shewchuk's error-free summation cascade — the algorithm
+    behind :func:`math.fsum` — so ``math.fsum(partials)`` is always the
+    correctly-rounded sum of every value ever accumulated, independent
+    of insertion order.
+    """
+    x = value
+    i = 0
+    for y in partials:
+        if abs(x) < abs(y):
+            x, y = y, x
+        hi = x + y
+        lo = y - (hi - x)
+        if lo:
+            partials[i] = lo
+            i += 1
+        x = hi
+    partials[i:] = [x]
+
+
 class OnlineStats:
-    """Welford's online mean/variance with min/max tracking."""
+    """Welford's online mean/variance with min/max and an exact sum.
+
+    ``total`` is *exact*: values are additionally accumulated into
+    Shewchuk non-overlapping partials, so ``total`` equals
+    ``math.fsum(stream)`` bit-for-bit regardless of the order values
+    arrived in — including across :meth:`merge` boundaries.  (A naive
+    ``mean * count`` reconstruction is not exact and silently poisons
+    merged per-shard sums.)
+    """
 
     def __init__(self) -> None:
         self.count = 0
@@ -30,6 +71,7 @@ class OnlineStats:
         self._m2 = 0.0
         self._min = float("inf")
         self._max = float("-inf")
+        self._partials: list[float] = []
 
     def add(self, value: float) -> None:
         self.count += 1
@@ -40,6 +82,35 @@ class OnlineStats:
             self._min = value
         if value > self._max:
             self._max = value
+        _accumulate_exact(self._partials, value)
+
+    def merge(self, other: "OnlineStats") -> "OnlineStats":
+        """Fold ``other`` into ``self`` (Chan's parallel combine).
+
+        Exact for ``count``, ``total``, ``minimum`` and ``maximum``;
+        ``mean``/``variance`` combine with the usual floating-point
+        associativity caveats (still numerically stable).
+        """
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self._min = other._min
+            self._max = other._max
+            self._partials = list(other._partials)
+            return self
+        combined = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / combined
+        self._mean += delta * other.count / combined
+        self.count = combined
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+        for partial in other._partials:
+            _accumulate_exact(self._partials, partial)
+        return self
 
     def extend(self, values: Iterable[float]) -> None:
         for value in values:
@@ -76,19 +147,60 @@ class OnlineStats:
 
     @property
     def total(self) -> float:
-        return self._mean * self.count
+        """Exact sum of every value seen (equals ``math.fsum``)."""
+        return math.fsum(self._partials)
 
 
 class ReservoirSampler:
-    """Uniform sample of up to ``capacity`` values from a stream."""
+    """Uniform sample of up to ``capacity`` values from a stream.
 
-    def __init__(self, capacity: int, seed: int = 0) -> None:
+    ``seed`` may be an ``int`` or a ``str`` — the parallel analysis
+    layer seeds per-shard reservoirs with the engine's
+    ``"seed:concern:key"`` stream convention so independent shards draw
+    *different* (but reproducible) sample patterns.
+    """
+
+    def __init__(self, capacity: int, seed: int | str = 0) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
         self._rng = random.Random(seed)
         self._sample: list[float] = []
         self.seen = 0
+
+    def merge(self, other: "ReservoirSampler") -> "ReservoirSampler":
+        """Fold ``other``'s reservoir into ``self`` by weighted union.
+
+        Each element of the merged reservoir is drawn from the combined
+        stream with probability proportional to the sub-streams' ``seen``
+        counts, so the result is still a uniform sample of the union —
+        the standard distributed-reservoir merge.  Approximate by nature
+        (the merged *sample* depends on both sub-reservoirs' draws), but
+        unbiased; quantiles derived from it carry the documented
+        reservoir bands.
+        """
+        if other.seen == 0:
+            return self
+        if self.seen == 0:
+            self._sample = list(other._sample)
+            self.seen = other.seen
+            return self
+        mine, theirs = list(self._sample), list(other._sample)
+        total = self.seen + other.seen
+        merged: list[float] = []
+        for _ in range(min(self.capacity, len(mine) + len(theirs))):
+            take_mine = (
+                bool(mine)
+                and (
+                    not theirs
+                    or self._rng.random() < self.seen / total
+                )
+            )
+            source = mine if take_mine else theirs
+            merged.append(source.pop(self._rng.randrange(len(source))))
+        self._sample = merged
+        self.seen = total
+        return self
 
     def add(self, value: float) -> None:
         self.seen += 1
@@ -137,6 +249,69 @@ class P2Quantile:
         q = self.q
         self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0]
         self._increments = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+
+    def merge(self, other: "P2Quantile") -> "P2Quantile":
+        """Fold ``other`` into ``self`` — a *documented approximation*.
+
+        P² keeps five markers, not the data, so an exact merge is
+        impossible.  When either side is still in its exact warm-up
+        (≤ 5 observations) the raw values are replayed exactly.
+        Otherwise marker states combine: extreme heights take the
+        min/max, interior heights the count-weighted average of the two
+        shards' marker heights (each already a consistent estimate of
+        the same population quantile), and positions/desired positions
+        are rebuilt for the combined count.  Error stays within the P²
+        band for streams from one distribution; callers needing
+        guarantees should use the reservoir instead.
+        """
+        if other.q != self.q:
+            raise ValueError("cannot merge estimators for different quantiles")
+        if other.count == 0:
+            return self
+        if other.count <= 5:
+            for value in other._initial:
+                self.add(value)
+            return self
+        if self.count <= 5:
+            pending = list(self._initial)
+            self.count = other.count
+            self._initial = list(other._initial)
+            self._heights = list(other._heights)
+            self._positions = list(other._positions)
+            self._desired = list(other._desired)
+            self._increments = list(other._increments)
+            for value in pending:
+                self.add(value)
+            return self
+        total = self.count + other.count
+        weight = other.count / total
+        heights = self._heights
+        heights[0] = min(heights[0], other._heights[0])
+        heights[4] = max(heights[4], other._heights[4])
+        for index in (1, 2, 3):
+            heights[index] += (other._heights[index] - heights[index]) * weight
+        # Interior heights stay sorted between the new extremes.
+        for index in (1, 2, 3):
+            heights[index] = min(max(heights[index], heights[0]), heights[4])
+        self._positions = [
+            min(
+                float(total),
+                max(
+                    float(index + 1),
+                    self._positions[index] + other._positions[index] - 1.0,
+                ),
+            )
+            for index in range(5)
+        ]
+        self._positions[0] = 1.0
+        self._positions[4] = float(total)
+        extra = float(total - 5)
+        base = [1.0, 1.0 + 2.0 * self.q, 1.0 + 4.0 * self.q, 3.0 + 2.0 * self.q, 5.0]
+        self._desired = [
+            base[index] + self._increments[index] * extra for index in range(5)
+        ]
+        self.count = total
+        return self
 
     def add(self, value: float) -> None:
         self.count += 1

@@ -221,3 +221,50 @@ class TestSpoolOwnership:
     def test_invalid_shard_count_rejected(self):
         with pytest.raises(ValueError, match="shards"):
             ShardedSimulationEngine(tiny_config(), shards=0)
+
+
+class TestEngineRunContextManager:
+    """Satellite regression: ``run_streaming`` hands back an owned
+    temporary spool; if the caller raised mid-iteration the directory
+    leaked.  ``EngineRun`` is now a context manager so ``with`` cleans
+    up on any exit path."""
+
+    @staticmethod
+    def _owned_spools() -> set:
+        import tempfile
+        from pathlib import Path
+
+        return set(Path(tempfile.gettempdir()).glob("repro-spool-*"))
+
+    def test_with_block_cleans_up(self):
+        before = self._owned_spools()
+        with ShardedSimulationEngine(tiny_config(), shards=2).run_streaming() as run:
+            assert run.spool_dir.exists()
+            spool = run.spool_dir
+        assert not spool.exists()
+        assert self._owned_spools() == before
+
+    def test_exception_mid_iteration_leaves_no_spool(self):
+        before = self._owned_spools()
+        with pytest.raises(RuntimeError, match="boom"):
+            with ShardedSimulationEngine(
+                tiny_config(), shards=2
+            ).run_streaming() as run:
+                spool = run.spool_dir
+                for i, _record in enumerate(run.iter_proxy()):
+                    if i == 3:
+                        raise RuntimeError("boom")
+        assert not spool.exists()
+        assert self._owned_spools() == before
+
+    def test_enter_returns_the_run(self):
+        with ShardedSimulationEngine(tiny_config(), shards=2).run_streaming() as run:
+            assert run.proxy_count > 0
+
+    def test_caller_spool_survives_with_block(self, tmp_path):
+        spool = tmp_path / "spool"
+        with ShardedSimulationEngine(tiny_config(), shards=2).run_streaming(
+            spool_dir=spool
+        ):
+            pass
+        assert spool.exists()  # caller-owned: never removed

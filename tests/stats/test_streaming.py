@@ -137,3 +137,138 @@ class TestP2Quantile:
             down.add(value)
         assert up.value == pytest.approx(2500.0, rel=0.05)
         assert down.value == pytest.approx(2500.0, rel=0.05)
+
+
+class TestOnlineStatsExactTotal:
+    """Regression for the exact-sum satellite: ``total`` used to be
+    reconstructed as ``mean * count``, which loses low-order bits the
+    moment magnitudes are mixed.  ``total`` now folds a Shewchuk
+    partials list (the ``math.fsum`` algorithm), so it is *exactly*
+    the correctly-rounded sum — a requirement for shard-merged byte
+    totals to be order-independent."""
+
+    def test_mixed_magnitude_stream_is_fsum_exact(self):
+        values = [1.0e8] + [1e-3] * 10_000 + [0.7, -1.0e8, 3.3e-9] * 100
+        stats = OnlineStats()
+        stats.extend(values)
+        import math
+
+        assert stats.total == math.fsum(values)
+        # The old reconstruction demonstrably differs on this stream.
+        assert stats.mean * stats.count != math.fsum(values)
+
+    @given(values)
+    def test_total_always_matches_fsum(self, xs):
+        import math
+
+        stats = OnlineStats()
+        stats.extend(xs)
+        assert stats.total == math.fsum(xs)
+
+    @given(values, st.integers(min_value=1, max_value=5))
+    def test_merged_total_is_partition_independent(self, xs, pieces):
+        """Split the stream arbitrarily; merged total == fsum(all)."""
+        import math
+
+        chunks = [OnlineStats() for _ in range(pieces)]
+        for i, x in enumerate(xs):
+            chunks[i % pieces].add(x)
+        merged = chunks[0]
+        for other in chunks[1:]:
+            merged.merge(other)
+        assert merged.total == math.fsum(xs)
+        assert merged.count == len(xs)
+
+
+class TestOnlineStatsMerge:
+    def test_merge_matches_single_stream_moments(self):
+        rng = random.Random(11)
+        xs = [rng.gauss(5.0, 2.0) for _ in range(4000)]
+        whole = OnlineStats()
+        whole.extend(xs)
+        a, b = OnlineStats(), OnlineStats()
+        a.extend(xs[:1500])
+        b.extend(xs[1500:])
+        a.merge(b)
+        assert a.count == whole.count
+        assert a.mean == pytest.approx(whole.mean, rel=1e-12)
+        assert a.variance == pytest.approx(whole.variance, rel=1e-9)
+        assert a.minimum == whole.minimum
+        assert a.maximum == whole.maximum
+        assert a.total == whole.total  # exact, not approx
+
+    def test_merge_with_empty_is_identity(self):
+        stats = OnlineStats()
+        stats.extend([1.0, 2.0])
+        before = (stats.count, stats.mean, stats.total)
+        stats.merge(OnlineStats())
+        assert (stats.count, stats.mean, stats.total) == before
+        empty = OnlineStats()
+        empty.merge(stats)
+        assert (empty.count, empty.mean, empty.total) == before
+
+
+class TestReservoirMerge:
+    def test_under_capacity_union_is_lossless(self):
+        a = ReservoirSampler(100, seed="s:a")
+        b = ReservoirSampler(100, seed="s:b")
+        for i in range(30):
+            a.add(float(i))
+        for i in range(30, 55):
+            b.add(float(i))
+        a.merge(b)
+        assert a.seen == 55
+        assert sorted(a.sample) == [float(i) for i in range(55)]
+
+    def test_over_capacity_merge_is_plausible_and_deterministic(self):
+        def build():
+            a = ReservoirSampler(64, seed="m:0")
+            b = ReservoirSampler(64, seed="m:1")
+            for i in range(1000):
+                (a if i % 2 else b).add(float(i))
+            a.merge(b)
+            return a
+
+        one, two = build(), build()
+        assert one.sample == two.sample  # deterministic given seeds
+        assert len(one.sample) == 64
+        assert one.seen == 1000
+        assert set(one.sample) <= {float(i) for i in range(1000)}
+        # Both sources are represented (weighted union, not replacement).
+        assert any(x % 2 for x in one.sample)
+        assert any(not x % 2 for x in one.sample)
+
+
+class TestP2QuantileMerge:
+    def test_q_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.5).merge(P2Quantile(0.9))
+
+    def test_merge_with_tiny_other_replays_exactly(self):
+        a = P2Quantile(0.5)
+        for v in (1.0, 9.0, 5.0, 7.0, 3.0, 2.0, 8.0):
+            a.add(v)
+        b = P2Quantile(0.5)
+        b.add(4.0)
+        b.add(6.0)
+        direct = P2Quantile(0.5)
+        for v in (1.0, 9.0, 5.0, 7.0, 3.0, 2.0, 8.0, 4.0, 6.0):
+            direct.add(v)
+        a.merge(b)
+        assert a.count == direct.count
+        assert a.value == direct.value
+
+    def test_merged_estimate_in_band(self):
+        rng = random.Random(21)
+        xs = [rng.lognormvariate(8.0, 1.0) for _ in range(40_000)]
+        whole = P2Quantile(0.5)
+        parts = [P2Quantile(0.5) for _ in range(4)]
+        for i, x in enumerate(xs):
+            whole.add(x)
+            parts[i % 4].add(x)
+        merged = parts[0]
+        for other in parts[1:]:
+            merged.merge(other)
+        assert merged.count == len(xs)
+        assert merged.value == pytest.approx(whole.value, rel=0.15)
+        assert min(xs) <= merged.value <= max(xs)

@@ -337,3 +337,127 @@ class TestCorrupt:
         assert not (out / "mme.csv").exists()
         # …and a lenient validate still exits cleanly with issues reported.
         assert main(["validate", str(out), "--lenient"]) == 1
+
+
+class TestAnalyzeParallel:
+    def test_parallel_figures_match_serial(self, trace_dir, tmp_path):
+        serial = tmp_path / "serial"
+        par = tmp_path / "par"
+        assert (
+            main(
+                ["analyze", str(trace_dir), "--figures", "fig2a,fig8", "--out", str(serial)]
+            )
+            == 0
+        )
+        assert (
+            main(
+                [
+                    "analyze",
+                    str(trace_dir),
+                    "--figures",
+                    "fig2a,fig8",
+                    "--out",
+                    str(par),
+                    "--shards",
+                    "4",
+                    "--workers",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        for name in ("fig2a", "fig8"):
+            assert (par / f"{name}.txt").read_text() == (
+                serial / f"{name}.txt"
+            ).read_text(), name
+
+    def test_shard_accounting_reported(self, trace_dir, tmp_path, capsys):
+        code = main(
+            [
+                "analyze",
+                str(trace_dir),
+                "--figures",
+                "fig8",
+                "--out",
+                str(tmp_path / "figs"),
+                "--shards",
+                "3",
+                "--workers",
+                "1",
+            ]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "3 shard(s)" in err
+        assert "peak shard residency" in err
+
+    def test_invalid_shards_rejected(self, trace_dir, capsys):
+        assert main(["analyze", str(trace_dir), "--shards", "0"]) == 2
+        assert "--shards" in capsys.readouterr().err
+
+    def test_invalid_workers_rejected(self, trace_dir, capsys):
+        assert main(["analyze", str(trace_dir), "--workers", "0"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_parallel_lenient_quarantine_report(self, trace_dir, tmp_path):
+        broken = tmp_path / "broken"
+        assert (
+            main(
+                [
+                    "corrupt",
+                    str(trace_dir),
+                    "--out",
+                    str(broken),
+                    "--seed",
+                    "5",
+                    "--rate",
+                    "0.03",
+                ]
+            )
+            == 0
+        )
+        qpath = tmp_path / "quarantine.json"
+        code = main(
+            [
+                "analyze",
+                str(broken),
+                "--figures",
+                "fig8",
+                "--out",
+                str(tmp_path / "figs"),
+                "--shards",
+                "4",
+                "--workers",
+                "2",
+                "--lenient",
+                "--quarantine-report",
+                str(qpath),
+            ]
+        )
+        assert code == 0
+        report = json.loads(qpath.read_text())
+        assert report["total_quarantined"] > 0
+
+    def test_parallel_run_report_has_shard_spans(self, trace_dir, tmp_path):
+        out = tmp_path / "report.json"
+        code = main(
+            [
+                "analyze",
+                str(trace_dir),
+                "--figures",
+                "fig8",
+                "--out",
+                str(tmp_path / "figs"),
+                "--shards",
+                "2",
+                "--workers",
+                "2",
+                "--metrics-out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        text = out.read_text()
+        assert "analyze.parallel" in text
+        assert "analyze.shard" in text
+        assert "analyze.merge" in text

@@ -5,7 +5,7 @@ PY ?= python
 PYTEST = PYTHONPATH=src $(PY) -m pytest
 
 .PHONY: test coverage chaos bench bench-perf bench-perf-check bench-gate \
-    trace obs-smoke analyze-smoke clean
+    trace obs-smoke analyze-smoke convert-smoke clean
 
 PERF_MODULES = benchmarks/test_perf_engine.py benchmarks/test_perf_io.py \
     benchmarks/test_perf_primitives.py benchmarks/test_perf_analysis.py
@@ -127,11 +127,33 @@ analyze-smoke:
 	    f'{len(events)} events, all 4 shards aggregated')"
 	PYTHONPATH=src $(PY) -m repro obs summarize analyze-smoke/run-report.json
 
+## Format-conversion smoke: export the small preset as CSV, convert it to
+## the binary columnar format and back, and require the round trip to be
+## byte-identical (SHA-256 over both log files).  Proves the shipped
+## trace encoding is lossless end to end through the real CLI.  Artifacts
+## land in convert-smoke/ (gitignored).
+convert-smoke:
+	rm -rf convert-smoke && mkdir -p convert-smoke
+	PYTHONPATH=src $(PY) -m repro simulate --preset small --seed 7 \
+	    --out convert-smoke/trace
+	PYTHONPATH=src $(PY) -m repro convert convert-smoke/trace \
+	    --out convert-smoke/bin --to bin
+	PYTHONPATH=src $(PY) -m repro convert convert-smoke/bin \
+	    --out convert-smoke/back --to csv
+	PYTHONPATH=src $(PY) -c "\
+	import hashlib, pathlib, sys; \
+	sha = lambda p: hashlib.sha256(p.read_bytes()).hexdigest(); \
+	base = pathlib.Path('convert-smoke'); \
+	bad = [n for n in ('proxy.csv', 'mme.csv') \
+	    if sha(base / 'trace' / n) != sha(base / 'back' / n)]; \
+	sys.exit(f'convert-smoke: round trip NOT lossless: {bad}') if bad \
+	    else print('convert-smoke: csv -> bin -> csv byte-identical')"
+
 ## Example end-to-end trace (sharded run, per-shard timings on stderr).
 trace:
 	PYTHONPATH=src $(PY) -m repro simulate --scale medium --seed 7 \
 	    --out trace/ --shards 4
 
 clean:
-	rm -rf trace/ obs-smoke/ analyze-smoke/ .pytest_cache
+	rm -rf trace/ obs-smoke/ analyze-smoke/ convert-smoke/ .pytest_cache
 	find . -name __pycache__ -type d -exec rm -rf {} +

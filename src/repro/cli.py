@@ -1,23 +1,31 @@
 """Command-line interface.
 
-Six subcommands cover the full workflow::
+Seven subcommands cover the full workflow::
 
     python -m repro simulate  --scale medium --seed 7 --out trace/
+                              [--format csv|csv.gz|bin]
+    python -m repro convert   trace/ --out trace-bin/ --to bin
     python -m repro corrupt   trace/ --out chaos/ [--rate 0.02]
     python -m repro validate  trace/ [--lenient]
     python -m repro analyze   trace/ [--figures fig2a,fig5a] [--out reports/]
                               [--lenient --quarantine-report q.json]
                               [--shards N --workers W --seed S]
+                              [--format auto|csv|bin]
     python -m repro scoreboard trace/
     python -m repro obs summarize report.json
 
 ``simulate`` runs the synthetic operator and exports the trace directory
-(optionally pseudonymised); ``corrupt`` injects deterministic faults into
-an exported trace to build chaos fixtures; ``validate`` checks trace
-integrity; ``analyze`` regenerates paper figures from the trace (with
-``--lenient`` it survives corrupted traces by quarantining bad rows);
-``scoreboard`` prints the paper-vs-measured headline table; ``obs
-summarize`` renders a saved observability run report as a stage table.
+(optionally pseudonymised; ``--format`` pins the log wire format —
+plain CSV, gzip CSV, or the binary columnar format of
+:mod:`repro.logs.binfmt`); ``convert`` re-encodes an existing trace's
+proxy/MME logs between those formats, copying the side artifacts
+byte-verbatim so the directory stays a complete trace; ``corrupt``
+injects deterministic faults into an exported trace to build chaos
+fixtures; ``validate`` checks trace integrity; ``analyze`` regenerates
+paper figures from the trace (with ``--lenient`` it survives corrupted
+traces by quarantining bad rows); ``scoreboard`` prints the
+paper-vs-measured headline table; ``obs summarize`` renders a saved
+observability run report as a stage table.
 
 With ``--shards N`` (and optionally ``--workers W``) ``analyze`` runs
 the map-reduce path (:mod:`repro.core.parallel`): the report is computed
@@ -66,6 +74,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import shutil
 import sys
 import tempfile
 import time
@@ -145,7 +154,10 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                     file=sys.stderr,
                 )
             paths = run.write(
-                args.out, compress=args.compress, anonymizer=anonymizer
+                args.out,
+                compress=args.compress,
+                anonymizer=anonymizer,
+                format=getattr(args, "format", None),
             )
         finally:
             run.cleanup()
@@ -201,6 +213,72 @@ def _rate(override: float | None, default: float) -> float:
     return default if override is None else override
 
 
+#: Suffix probe order for locating a trace's logs (matches
+#: :meth:`StudyDataset._log_path` in ``auto`` mode).
+_LOG_SUFFIXES = (".csv", ".csv.gz", ".bin")
+
+#: Non-log trace artifacts ``convert`` copies byte-verbatim.
+_SIDE_ARTIFACTS = ("devices.csv", "sectors.csv", "accounts.csv", "metadata.json")
+
+
+def _find_log(base: Path, stem: str) -> Path | None:
+    for suffix in _LOG_SUFFIXES:
+        candidate = base / f"{stem}{suffix}"
+        if candidate.exists():
+            return candidate
+    return None
+
+
+def cmd_convert(args: argparse.Namespace) -> int:
+    """Re-encode the proxy/MME logs; copy everything else verbatim.
+
+    Records stream straight from the strict reader into the writer, so
+    peak memory is O(1) rows and a corrupted source fails loudly (exit
+    2 with the offending issue code) rather than producing a partial
+    target trace.  Conversion is lossless: CSV -> bin -> CSV reproduces
+    the original log files byte for byte.
+    """
+    from repro.logs.io import (
+        format_suffix,
+        read_records,
+        trace_format,
+        write_records,
+    )
+    from repro.logs.records import MmeRecord, ProxyRecord
+
+    base = Path(args.trace)
+    if not base.is_dir():
+        raise FileNotFoundError(f"trace directory not found: {base}")
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    suffix = format_suffix(args.to)
+    for stem, record_type in (("proxy", ProxyRecord), ("mme", MmeRecord)):
+        source = _find_log(base, stem)
+        if source is None:
+            raise FileNotFoundError(
+                f"no {stem} log ({stem}.csv[.gz|.bin]) in {base}"
+            )
+        target = out_dir / f"{stem}{suffix}"
+        with obs.span(f"convert.{stem}"):
+            count = write_records(
+                target, read_records(source, record_type), record_type
+            )
+        print(
+            f"  {stem}: {count:,} rows ({source.name} -> {target.name}, "
+            f"{trace_format(source)} -> {args.to})",
+            file=sys.stderr,
+        )
+    copied = 0
+    for name in _SIDE_ARTIFACTS:
+        source = base / name
+        if source.exists():
+            shutil.copyfile(source, out_dir / name)
+            copied += 1
+    print(f"  copied {copied} side artifacts verbatim", file=sys.stderr)
+    print(out_dir)
+    return 0
+
+
 def cmd_validate(args: argparse.Namespace) -> int:
     with obs.span("validate.load"):
         dataset = StudyDataset.load(args.trace, lenient=args.lenient)
@@ -235,6 +313,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             workers=workers,
             lenient=args.lenient,
             seed=getattr(args, "analysis_seed", 0),
+            format=getattr(args, "format", "auto"),
         )
         full_report = run.report
         quarantine = full_report.quarantine
@@ -246,7 +325,11 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         )
     else:
         with obs.span("analyze.load"):
-            dataset = StudyDataset.load(args.trace, lenient=args.lenient)
+            dataset = StudyDataset.load(
+                args.trace,
+                lenient=args.lenient,
+                format=getattr(args, "format", "auto"),
+            )
         quarantine = dataset.quarantine
         full_report = None
     if quarantine is not None:
@@ -612,6 +695,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the proxy and MME logs gzip-compressed",
     )
     simulate.add_argument(
+        "--format",
+        choices=("csv", "csv.gz", "bin"),
+        default=None,
+        help="log wire format: plain CSV, gzip CSV, or the binary "
+        "columnar format (default: csv, or csv.gz with --compress; "
+        "this flag overrides --compress)",
+    )
+    simulate.add_argument(
         "--workers",
         type=int,
         default=1,
@@ -625,6 +716,25 @@ def build_parser() -> argparse.ArgumentParser:
         "byte-identical for any shard/worker count at a fixed seed",
     )
     simulate.set_defaults(func=cmd_simulate)
+
+    convert = subparsers.add_parser(
+        "convert",
+        help="re-encode a trace's proxy/MME logs between the CSV and "
+        "binary columnar wire formats (lossless; side artifacts are "
+        "copied byte-verbatim)",
+        parents=[obs_flags],
+    )
+    convert.add_argument("trace", help="source trace directory")
+    convert.add_argument(
+        "--out", required=True, help="converted trace output directory"
+    )
+    convert.add_argument(
+        "--to",
+        required=True,
+        choices=("bin", "csv", "csv.gz"),
+        help="target wire format for the proxy and MME logs",
+    )
+    convert.set_defaults(func=cmd_convert)
 
     corrupt = subparsers.add_parser(
         "corrupt",
@@ -735,6 +845,13 @@ def build_parser() -> argparse.ArgumentParser:
         "partials — bit-identical report for any worker count)",
     )
     analyze.add_argument(
+        "--format",
+        choices=("auto", "csv", "bin"),
+        default="auto",
+        help="which log encoding to load when a trace directory holds "
+        "several (default: auto — csv, then csv.gz, then bin)",
+    )
+    analyze.add_argument(
         "--seed",
         dest="analysis_seed",
         type=int,
@@ -830,10 +947,14 @@ def main(argv: list[str] | None = None) -> int:
     except LogReadError as exc:
         stem = Path(exc.path).name.split(".", 1)[0]
         print(f"error [{stem}-{exc.code}]: {exc}", file=sys.stderr)
-        print(
-            "hint: use --lenient to quarantine bad rows and continue",
-            file=sys.stderr,
-        )
+        # Structural binary-format errors (wrong magic, unknown version)
+        # are not row-level defects: lenient mode rejects them too, so
+        # the hint would mislead.
+        if exc.code not in ("magic", "version"):
+            print(
+                "hint: use --lenient to quarantine bad rows and continue",
+                file=sys.stderr,
+            )
         return 2
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)

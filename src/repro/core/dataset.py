@@ -25,10 +25,8 @@ from typing import Callable, Iterable, Iterator
 from repro.devicedb.database import DeviceDatabase
 from repro.devicedb.tac import IMEI_LENGTH
 from repro.logs.io import (
-    read_csv_records,
-    read_csv_records_shard,
-    read_mme_log,
-    read_proxy_log,
+    read_records,
+    read_records_shard,
     shard_keep_predicate,
 )
 from repro.logs.quarantine import QuarantineCollector, QuarantineReport
@@ -109,16 +107,34 @@ class StudyDataset:
             ),
         )
 
+    #: Log suffixes probed per requested trace format, in priority order.
+    _FORMAT_SUFFIXES = {
+        "auto": (".csv", ".csv.gz", ".bin"),
+        "csv": (".csv", ".csv.gz"),
+        "bin": (".bin",),
+    }
+
     @staticmethod
-    def _log_path(base: Path, stem: str) -> Path:
-        """The plain or gzip-compressed variant of a log, whichever exists."""
-        plain = base / f"{stem}.csv"
-        if plain.exists():
-            return plain
-        compressed = base / f"{stem}.csv.gz"
-        if compressed.exists():
-            return compressed
-        raise FileNotFoundError(f"neither {plain} nor {compressed} exists")
+    def _log_path(base: Path, stem: str, format: str = "auto") -> Path:
+        """The existing on-disk variant of a log for a trace format.
+
+        ``auto`` accepts plain CSV, gzip-compressed CSV, or the binary
+        columnar format (:mod:`repro.logs.binfmt`), whichever exists;
+        ``csv``/``bin`` restrict the probe when the caller wants to pin
+        the wire format.
+        """
+        suffixes = StudyDataset._FORMAT_SUFFIXES.get(format)
+        if suffixes is None:
+            raise ValueError(
+                f"unknown trace format {format!r} (expected auto/csv/bin)"
+            )
+        candidates = [base / f"{stem}{suffix}" for suffix in suffixes]
+        for candidate in candidates:
+            if candidate.exists():
+                return candidate
+        raise FileNotFoundError(
+            "none of " + ", ".join(str(c) for c in candidates) + " exists"
+        )
 
     @classmethod
     def load(
@@ -128,11 +144,14 @@ class StudyDataset:
         lenient: bool = False,
         shard: int | None = None,
         shards: int = 1,
+        format: str = "auto",
     ) -> "StudyDataset":
         """Load a trace directory written by ``SimulationOutput.write``.
 
-        Both plain and gzip-compressed (``.csv.gz``) proxy/MME logs are
-        accepted.
+        Plain CSV, gzip-compressed CSV (``.csv.gz``) and binary columnar
+        (``.bin``, :mod:`repro.logs.binfmt`) proxy/MME logs are accepted;
+        ``format`` pins the wire format (``csv``/``bin``) or probes for
+        whichever exists (``auto``, the default).
 
         Strict mode (the default) raises on the first defect — a missing
         log, a truncated gzip member, an unparseable row.  With
@@ -188,13 +207,13 @@ class StudyDataset:
         if lenient:
             collector = QuarantineCollector()
             proxy_records = _scrub_records(
-                cls._lenient_log(base, "proxy", ProxyRecord, collector),
+                cls._lenient_log(base, "proxy", ProxyRecord, collector, format),
                 "proxy",
                 collector,
                 keep=keep,
             )
             mme_records = _scrub_records(
-                cls._lenient_log(base, "mme", MmeRecord, collector),
+                cls._lenient_log(base, "mme", MmeRecord, collector, format),
                 "mme",
                 collector,
                 sector_map=sector_map,
@@ -203,8 +222,8 @@ class StudyDataset:
             quarantine = collector.report()
         elif shard is not None:
             proxy_records = list(
-                read_csv_records_shard(
-                    cls._log_path(base, "proxy"),
+                read_records_shard(
+                    cls._log_path(base, "proxy", format),
                     ProxyRecord,
                     shard,
                     shards,
@@ -212,8 +231,8 @@ class StudyDataset:
                 )
             )
             mme_records = list(
-                read_csv_records_shard(
-                    cls._log_path(base, "mme"),
+                read_records_shard(
+                    cls._log_path(base, "mme", format),
                     MmeRecord,
                     shard,
                     shards,
@@ -221,8 +240,12 @@ class StudyDataset:
                 )
             )
         else:
-            proxy_records = list(read_proxy_log(cls._log_path(base, "proxy")))
-            mme_records = list(read_mme_log(cls._log_path(base, "mme")))
+            proxy_records = list(
+                read_records(cls._log_path(base, "proxy", format), ProxyRecord)
+            )
+            mme_records = list(
+                read_records(cls._log_path(base, "mme", format), MmeRecord)
+            )
 
         return cls(
             proxy_records=proxy_records,
@@ -240,18 +263,19 @@ class StudyDataset:
         stem: str,
         record_type: type,
         collector: QuarantineCollector,
+        format: str = "auto",
     ) -> Iterator:
         """Lenient record stream for one log; empty when the file is gone."""
         try:
-            path = StudyDataset._log_path(base, stem)
+            path = StudyDataset._log_path(base, stem, format)
         except FileNotFoundError:
             collector.note(
                 f"{stem}-missing",
                 "log file missing from the trace directory",
-                f"{stem}.csv[.gz]",
+                f"{stem}.csv[.gz|.bin]",
             )
             return iter(())
-        return read_csv_records(path, record_type, collector)
+        return read_records(path, record_type, collector)
 
     # ------------------------------------------------------------ partitions
     @cached_property

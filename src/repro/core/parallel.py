@@ -1419,6 +1419,7 @@ class _AnalysisPayload:
     observe: bool = False
     parent_pid: int = 0
     events_path: str | None = None
+    format: str = "auto"
 
 
 @dataclass
@@ -1462,6 +1463,7 @@ def _analyze_shard(payload: _AnalysisPayload) -> _ShardResult:
                     lenient=payload.lenient,
                     shard=shard,
                     shards=payload.shards,
+                    format=payload.format,
                 )
             rows = len(dataset.proxy_records) + len(dataset.mme_records)
             events.emit("progress", shard=shard, stage="load", rows=rows)
@@ -1541,6 +1543,7 @@ def analyze_parallel(
     lenient: bool = False,
     seed: int = 0,
     app_catalog=None,
+    format: str = "auto",
 ) -> ParallelAnalysisRun:
     """Map-reduce the full study over account shards.
 
@@ -1553,6 +1556,10 @@ def analyze_parallel(
     ``seed`` feeds the per-shard reservoir streams
     (``seed:activity-reservoir:<shard>``); reservoir-derived quantiles
     are the only report fields that vary with the shard count.
+
+    ``format`` selects the log encoding to load (``auto`` / ``csv`` /
+    ``bin``); binary traces use per-block shard headers to skip other
+    shards' blocks without decompressing them.
     """
     if shards < 1:
         raise ValueError("shards must be >= 1")
@@ -1575,6 +1582,7 @@ def analyze_parallel(
             observe=observe,
             parent_pid=parent_pid,
             events_path=events_path,
+            format=format,
         )
         for shard in range(shards)
     ]

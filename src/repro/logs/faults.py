@@ -234,8 +234,36 @@ class InjectionReport:
 
 
 # ----------------------------------------------------------------- helpers
+def _record_type_for(stem: str):
+    from repro.logs.records import MmeRecord, ProxyRecord
+
+    return ProxyRecord if stem == "proxy" else MmeRecord
+
+
+def _log_format(path: Path) -> str:
+    if path.name.endswith(".bin"):
+        return "bin"
+    return "csv.gz" if path.suffix == ".gz" else "csv"
+
+
 def _read_log_rows(path: Path) -> list[list[str]]:
-    """All CSV rows (header included) of a plain or gzipped log."""
+    """All rows (header included) of a log, as strings, any format.
+
+    Binary logs are decoded *without* validation and their values
+    stringified with the same ``str()`` rendering the CSV writers use,
+    so the corruptor mutates one uniform row shape; ``float`` round-trips
+    ``str`` exactly, which keeps untouched values bit-identical.
+    """
+    if path.name.endswith(".bin"):
+        from repro.logs import binfmt
+        from repro.logs.records import fields_for
+
+        stem = path.name.split(".", 1)[0]
+        record_type = _record_type_for(stem)
+        rows = binfmt.read_bin_rows(path, record_type)
+        return [list(fields_for(record_type))] + [
+            [str(value) for value in row] for row in rows
+        ]
     if path.suffix == ".gz":
         with gzip.open(path, "rt", encoding="utf-8", newline="") as handle:
             return list(csv.reader(handle))
@@ -261,6 +289,46 @@ def _serialize_log(entries: list, is_gzip: bool) -> bytes:
     if is_gzip:
         return gzip.compress(data, compresslevel=6, mtime=0)
     return data
+
+
+def _serialize_bin_log(entries: list, stem: str) -> bytes:
+    """Render corruptor entries back to framed binary blocks.
+
+    ``row`` string fields are coerced back to their typed values and
+    packed *without* record validation (the whole point is smuggling
+    out-of-domain values into the file); ``raw`` garbage text becomes
+    noise bytes spliced between blocks, the binary analogue of a
+    non-CSV line — the lenient reader has to resync on the block magic.
+    """
+    from repro.logs import binfmt
+    from repro.logs.io import _field_types
+    from repro.logs.records import fields_for
+
+    record_type = _record_type_for(stem)
+    types = _field_types(record_type)
+    names = fields_for(record_type)
+    pieces = [binfmt.file_header_bytes(record_type)]
+    batch: list[tuple] = []
+
+    def flush() -> None:
+        if batch:
+            pieces.append(binfmt.pack_block(batch, record_type))
+            batch.clear()
+
+    for kind, payload in entries[1:]:  # entries[0] is the header row
+        if kind == "row":
+            batch.append(
+                tuple(
+                    types[name](value) for name, value in zip(names, payload)
+                )
+            )
+            if len(batch) >= binfmt.DEFAULT_BLOCK_ROWS:
+                flush()
+        else:
+            flush()
+            pieces.append(payload.encode("utf-8"))
+    flush()
+    return b"".join(pieces)
 
 
 def _swap_timestamps(
@@ -307,6 +375,7 @@ def _corrupt_log(
         key = f"{stem}.{fault}"
         counts[key] = counts.get(key, 0) + by
 
+    is_bin = src.name.endswith(".bin")
     rows = _read_log_rows(src)
     header, data = rows[0], rows[1:]
     column = {name: index for index, name in enumerate(header)}
@@ -332,7 +401,11 @@ def _corrupt_log(
             fields[column["sector_id"]] = f"sector-bogus-{rng.randrange(10**6)}"
             bump("bad_sector")
         elif "bytes_up" in column and rng.random() < spec.bad_bytes_rate:
-            fields[column["bytes_up"]] = rng.choice(("NaN", "-1", "-4096"))
+            # Binary columns are typed int64, so the injected value must
+            # survive int() re-encoding: negatives only.  CSV keeps the
+            # textual "NaN" case, which exercises the parse-level reject.
+            choices = ("-1", "-4096") if is_bin else ("NaN", "-1", "-4096")
+            fields[column["bytes_up"]] = rng.choice(choices)
             bump("bad_bytes")
         if (
             ts_index is not None
@@ -355,16 +428,18 @@ def _corrupt_log(
         registry.counter(
             "repro_io_rows_read_total",
             stream=stem,
-            format="csv.gz" if src.suffix == ".gz" else "csv",
+            format=_log_format(src),
             category="corrupt",
         ).add(len(data))
         registry.counter(
             "repro_io_rows_written_total",
             stream=stem,
-            format="csv.gz" if src.suffix == ".gz" else "csv",
+            format=_log_format(src),
             category="corrupt",
         ).add(sum(1 for kind, _ in entries if kind == "row") - 1)
 
+    if is_bin:
+        return _serialize_bin_log(entries, stem)
     return _serialize_log(entries, is_gzip=src.suffix == ".gz")
 
 

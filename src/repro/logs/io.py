@@ -22,10 +22,13 @@ never materialised.  Two failure disciplines are supported:
 
 from __future__ import annotations
 
+import codecs
 import csv
 import gzip
+import io
 import json
 import time
+from collections import deque
 from dataclasses import fields as dataclass_fields
 from functools import lru_cache
 from pathlib import Path
@@ -34,7 +37,13 @@ from zlib import crc32
 
 from repro import obs
 from repro.logs.quarantine import QuarantineCollector
-from repro.logs.records import MME_FIELDS, PROXY_FIELDS, MmeRecord, ProxyRecord
+from repro.logs.records import (
+    MME_FIELDS,
+    PROXY_FIELDS,
+    MmeRecord,
+    ProxyRecord,
+    fields_for,
+)
 
 RecordT = TypeVar("RecordT", ProxyRecord, MmeRecord)
 
@@ -44,22 +53,48 @@ RecordT = TypeVar("RecordT", ProxyRecord, MmeRecord)
 GZIP_COMPRESSLEVEL = 6
 
 
+class _DeterministicGzipText(io.TextIOWrapper):
+    """Text wrapper over a gzip member whose bytes are run-independent.
+
+    ``gzip.open(path, "wt")`` embeds the wall-clock MTIME and the file's
+    basename (FNAME) in the member header, so two byte-identical record
+    streams written a second apart produce different ``.gz`` bytes.  We
+    build the chain by hand — ``mtime=0``, no filename — and keep the
+    raw handle so closing the wrapper closes the whole stack
+    (:class:`gzip.GzipFile` never closes a ``fileobj`` it was handed).
+    """
+
+    def __init__(self, raw: IO[bytes], member: gzip.GzipFile) -> None:
+        super().__init__(member, encoding="utf-8", newline="")
+        self._raw_file = raw
+
+    def close(self) -> None:
+        try:
+            super().close()
+        finally:
+            self._raw_file.close()
+
+
 def _open_text(path: Path, mode: str) -> IO[str]:
     """Open a log file as text, transparently compressing ``.gz`` paths.
 
     Real operator exports arrive gzip-compressed; every reader and writer
     in this module accepts either form based purely on the suffix.  Writes
-    use :data:`GZIP_COMPRESSLEVEL` rather than the slow library default.
+    use :data:`GZIP_COMPRESSLEVEL` rather than the slow library default
+    and produce deterministic bytes (``mtime=0``, no embedded filename),
+    so identical runs yield SHA-identical artifacts.
     """
     if path.suffix == ".gz":
         if "w" in mode or "a" in mode or "x" in mode:
-            return gzip.open(
-                path,
-                mode + "t",
+            raw = path.open(mode + "b")
+            member = gzip.GzipFile(
+                filename="",
+                mode=mode + "b",
                 compresslevel=GZIP_COMPRESSLEVEL,
-                encoding="utf-8",
-                newline="",
+                fileobj=raw,
+                mtime=0,
             )
+            return _DeterministicGzipText(raw, member)
         return gzip.open(path, mode + "t", encoding="utf-8", newline="")
     return path.open(mode, newline="", encoding="utf-8")
 
@@ -103,6 +138,140 @@ _ROW_MESSAGES = {
 #: Exceptions that mean the underlying *stream* died (truncated gzip
 #: member, undecodable bytes, NUL bytes confusing the csv module, ...).
 _STREAM_ERRORS = (EOFError, gzip.BadGzipFile, UnicodeDecodeError, csv.Error, OSError)
+
+
+def _plain_chunks(raw: IO[bytes], size: int) -> Iterator[bytes]:
+    while True:
+        data = raw.read(size)
+        if not data:
+            return
+        yield data
+
+
+def _gzip_chunks(raw: IO[bytes], size: int) -> Iterator[bytes]:
+    """Incrementally decompress gzip members, never discarding output.
+
+    ``gzip.GzipFile.read`` raises on a truncated member and throws away
+    whatever that call had already decompressed.  Here every decodable
+    byte is yielded *before* the truncation error surfaces, so lenient
+    readers keep the partial tail of a cut-off export.
+    """
+    import zlib
+
+    decomp = zlib.decompressobj(31)
+    fed = False
+    buffered = b""  # compressed bytes belonging to the next member
+    while True:
+        if buffered:
+            data, buffered = buffered, b""
+        else:
+            data = raw.read(size)
+        if not data:
+            if decomp is not None and fed and not decomp.eof:
+                raise EOFError(
+                    "Compressed file ended before the end-of-stream"
+                    " marker was reached"
+                )
+            return
+        if decomp is None:
+            decomp = zlib.decompressobj(31)
+            fed = False
+        try:
+            out = decomp.decompress(data)
+        except zlib.error as exc:
+            raise gzip.BadGzipFile(str(exc)) from exc
+        fed = True
+        if out:
+            yield out
+        if decomp.eof:
+            buffered = decomp.unused_data.lstrip(b"\x00")
+            decomp = None
+
+
+class _LenientLineSource:
+    """Iterator of text lines that survives a mid-stream death.
+
+    ``TextIOWrapper`` buffers decoded text internally, so when a gzip
+    member dies mid-read the partially decoded final line is silently
+    discarded along with the exception — lenient ingestion could not
+    account for it.  This reader does its own chunked binary reads and
+    incremental UTF-8 decoding: when the stream dies the exception is
+    recorded on :attr:`stream_error` and whatever text had decoded but
+    not yet formed a complete line is kept on :attr:`partial_tail`, so
+    the caller can quarantine the torn row instead of losing it.
+
+    A *clean* EOF flushes the buffer as a final (unterminated but
+    complete) line, matching the text-layer behaviour strict reads get.
+    """
+
+    _CHUNK = 1 << 16
+
+    def __init__(self, path: Path) -> None:
+        self._raw = path.open("rb")
+        if path.suffix == ".gz":
+            self._chunks = _gzip_chunks(self._raw, self._CHUNK)
+        else:
+            self._chunks = _plain_chunks(self._raw, self._CHUNK)
+        self._decoder = codecs.getincrementaldecoder("utf-8")()
+        self._buffer = ""
+        self._lines: deque[str] = deque()
+        self._eof = False
+        self.stream_error: BaseException | None = None
+        self.partial_tail: str | None = None
+
+    def __iter__(self) -> "_LenientLineSource":
+        return self
+
+    def __next__(self) -> str:
+        while not self._lines:
+            if self._eof:
+                raise StopIteration
+            try:
+                data = next(self._chunks, None)
+            except _STREAM_ERRORS as exc:
+                self._die(exc)
+                continue
+            if data is None:
+                self._finish()
+                continue
+            try:
+                text = self._decoder.decode(data)
+            except UnicodeDecodeError as exc:
+                self._die(exc)
+                continue
+            self._push(text)
+        return self._lines.popleft()
+
+    def _push(self, text: str) -> None:
+        pieces = (self._buffer + text).splitlines(keepends=True)
+        if pieces and not pieces[-1].endswith(("\n", "\r")):
+            self._buffer = pieces.pop()
+        else:
+            self._buffer = ""
+        self._lines.extend(pieces)
+
+    def _finish(self) -> None:
+        self._eof = True
+        try:
+            tail = self._decoder.decode(b"", final=True)
+        except UnicodeDecodeError as exc:
+            self._die(exc)
+            return
+        if tail:
+            self._push(tail)
+        if self._buffer:
+            self._lines.append(self._buffer)
+            self._buffer = ""
+
+    def _die(self, exc: BaseException) -> None:
+        self._eof = True
+        self.stream_error = exc
+        if self._buffer:
+            self.partial_tail = self._buffer
+            self._buffer = ""
+
+    def close(self) -> None:
+        self._raw.close()
 
 
 @lru_cache(maxsize=None)
@@ -154,6 +323,37 @@ def _coerce_row(
         return record_type(**converted)  # type: ignore[arg-type]
     except ValueError as exc:
         raise LogReadError(path, line_number, str(exc), code="value") from exc
+
+
+def _account_stream_death(
+    quarantine: QuarantineCollector,
+    kind: str,
+    source: Path,
+    lines: _LenientLineSource,
+) -> None:
+    """Account for a stream that died mid-read under lenient ingestion.
+
+    When the death tore a row in half (a partially decoded final line),
+    that row is *quarantined* — it enters the row accounting exactly
+    once under ``<kind>-truncated``.  Only a death with no torn row
+    (cut on a line boundary) falls back to the structural note, so the
+    issue code is recorded exactly once either way.
+    """
+    tail = (lines.partial_tail or "").strip("\r\n")
+    if tail:
+        quarantine.saw_row(kind)
+        quarantine.quarantine_row(
+            kind,
+            f"{kind}-truncated",
+            "partial row lost at truncated stream tail",
+            f"{source.name}: {tail[:120]!r} ({lines.stream_error})",
+        )
+        return
+    quarantine.note(
+        f"{kind}-truncated",
+        "log stream unreadable or truncated mid-read; tail rows lost",
+        f"{source.name}: {lines.stream_error}",
+    )
 
 
 def _stream_of(field_names: tuple[str, ...]) -> str:
@@ -232,29 +432,28 @@ def read_csv_records(
     rows_out = 0
     started = time.perf_counter() if on else 0.0
     try:
-        with _open_text(source, "r") as handle:
-            reader = csv.DictReader(handle)
-            if reader.fieldnames is None:
-                if quarantine is not None:
-                    quarantine.note(
-                        f"{kind}-truncated",
-                        "log file empty (no header row)",
-                        str(source),
+        if quarantine is None:
+            with _open_text(source, "r") as handle:
+                reader = csv.DictReader(handle)
+                if reader.fieldnames is None:
+                    raise LogReadError(
+                        source, 1, "empty file (no header row)", code="truncated"
                     )
-                    return
-                raise LogReadError(
-                    source, 1, "empty file (no header row)", code="truncated"
-                )
-            rows = enumerate(reader, start=2)
-            while True:
-                try:
-                    line_number, row = next(rows)
-                except StopIteration:
-                    return
-                if quarantine is None:
+                for line_number, row in enumerate(reader, start=2):
                     yield _coerce_row(record_type, row, source, line_number)
                     rows_out += 1
-                    continue
+            return
+        lines = _LenientLineSource(source)
+        try:
+            reader = csv.DictReader(lines)
+            if reader.fieldnames is None:
+                quarantine.note(
+                    f"{kind}-truncated",
+                    "log file empty (no header row)",
+                    str(source),
+                )
+                return
+            for line_number, row in enumerate(reader, start=2):
                 quarantine.saw_row(kind)
                 try:
                     record = _coerce_row(record_type, row, source, line_number)
@@ -268,6 +467,10 @@ def read_csv_records(
                     continue
                 yield record
                 rows_out += 1
+        finally:
+            lines.close()
+        if lines.stream_error is not None:
+            _account_stream_death(quarantine, kind, source, lines)
     except FileNotFoundError:
         if quarantine is None:
             raise
@@ -407,13 +610,17 @@ def read_jsonl_records(
     on = obs.enabled()
     rows_out = 0
     try:
-        with _open_text(source, "r") as handle:
+        if quarantine is None:
+            handle = _open_text(source, "r")
+        else:
+            handle = _LenientLineSource(source)
+        try:
             lines = enumerate(handle, start=1)
             while True:
                 try:
                     line_number, line = next(lines)
                 except StopIteration:
-                    return
+                    break
                 line = line.strip()
                 if not line:
                     continue
@@ -443,6 +650,13 @@ def read_jsonl_records(
                     continue
                 yield record
                 rows_out += 1
+        finally:
+            handle.close()
+        if (
+            isinstance(handle, _LenientLineSource)
+            and handle.stream_error is not None
+        ):
+            _account_stream_death(quarantine, kind, source, handle)
     except FileNotFoundError:
         if quarantine is None:
             raise
@@ -470,25 +684,123 @@ def read_jsonl_records(
             ).add(rows_out)
 
 
+# ------------------------------------------------------ format dispatch
+#: Trace formats a log file can be stored in; ``bin`` is the binary
+#: columnar format (:mod:`repro.logs.binfmt`), everything else is text.
+TRACE_FORMATS = ("csv", "csv.gz", "bin")
+
+
+def trace_format(path: str | Path) -> str:
+    """Wire format of a log path, from its suffix (``csv`` / ``bin``)."""
+    return "bin" if str(path).endswith(".bin") else "csv"
+
+
+def format_suffix(format: str) -> str:
+    """File suffix for a trace format name (``csv.gz`` → ``.csv.gz``)."""
+    if format not in TRACE_FORMATS:
+        raise ValueError(
+            f"unknown trace format {format!r} (expected one of {TRACE_FORMATS})"
+        )
+    return "." + format
+
+
+def write_records(
+    path: str | Path,
+    records: Iterable[RecordT],
+    record_type: Type[RecordT],
+    *,
+    category: str = "log",
+) -> int:
+    """Write records in the format implied by the path suffix."""
+    if trace_format(path) == "bin":
+        from repro.logs import binfmt
+
+        return binfmt.write_bin_records(
+            path, records, record_type, category=category
+        )
+    return write_csv_records(
+        path, records, fields_for(record_type), category=category
+    )
+
+
+def read_records(
+    path: str | Path,
+    record_type: Type[RecordT],
+    quarantine: QuarantineCollector | None = None,
+    *,
+    category: str = "log",
+) -> Iterator[RecordT]:
+    """Stream records in the format implied by the path suffix."""
+    if trace_format(path) == "bin":
+        from repro.logs import binfmt
+
+        return binfmt.read_bin_records(
+            path, record_type, quarantine, category=category
+        )
+    return read_csv_records(path, record_type, quarantine, category=category)
+
+
+def read_records_shard(
+    path: str | Path,
+    record_type: Type[RecordT],
+    shard: int,
+    shards: int,
+    account_directory: Mapping[str, str] | None = None,
+    quarantine: QuarantineCollector | None = None,
+    *,
+    category: str = "log",
+) -> Iterator[RecordT]:
+    """Stream one account shard in the format implied by the path suffix.
+
+    Binary logs additionally skip whole blocks via their per-block
+    subscriber-bucket bitmaps when the shard count allows it.
+    """
+    if trace_format(path) == "bin":
+        from repro.logs import binfmt
+
+        return binfmt.read_bin_records_shard(
+            path,
+            record_type,
+            shard,
+            shards,
+            account_directory,
+            quarantine,
+            category=category,
+        )
+    return read_csv_records_shard(
+        path,
+        record_type,
+        shard,
+        shards,
+        account_directory,
+        quarantine,
+        category=category,
+    )
+
+
 def write_proxy_log(path: str | Path, records: Iterable[ProxyRecord]) -> int:
-    """Write a transparent-proxy transaction log as CSV."""
-    return write_csv_records(path, records, PROXY_FIELDS)
+    """Write a transparent-proxy transaction log as CSV (or binary).
+
+    Despite the historical name this dispatches on the path suffix, so
+    ``proxy.bin`` callers get the binary fast path transparently.
+    """
+    return write_records(path, records, ProxyRecord)
 
 
 def read_proxy_log(
     path: str | Path, quarantine: QuarantineCollector | None = None
 ) -> Iterator[ProxyRecord]:
-    """Stream a transparent-proxy transaction log written as CSV."""
-    return read_csv_records(path, ProxyRecord, quarantine)
+    """Stream a transparent-proxy transaction log (CSV or binary)."""
+    return read_records(path, ProxyRecord, quarantine)
 
 
 def write_mme_log(path: str | Path, records: Iterable[MmeRecord]) -> int:
-    """Write an MME mobility event log as CSV."""
-    return write_csv_records(path, records, MME_FIELDS)
+    """Write an MME mobility event log (CSV or binary, by suffix)."""
+    return write_records(path, records, MmeRecord)
 
 
 def read_mme_log(
     path: str | Path, quarantine: QuarantineCollector | None = None
 ) -> Iterator[MmeRecord]:
-    """Stream an MME mobility event log written as CSV."""
-    return read_csv_records(path, MmeRecord, quarantine)
+    """Stream an MME mobility event log (CSV or binary)."""
+    return read_records(path, MmeRecord, quarantine)

@@ -25,11 +25,10 @@ from pathlib import Path
 from typing import Iterable, Iterator, Sequence, Type
 
 from repro import obs
-from repro.logs.io import log_kind, read_csv_records, write_csv_records
+from repro.logs.io import log_kind, read_records, write_records
 from repro.logs.records import (
     MmeRecord,
     ProxyRecord,
-    fields_for,
     record_sort_key,
 )
 
@@ -46,15 +45,17 @@ def write_sorted_chunk(
     records: Iterable[ProxyRecord] | Iterable[MmeRecord],
     record_type: Type[ProxyRecord] | Type[MmeRecord],
 ) -> int:
-    """Sort ``records`` canonically and write one CSV chunk; returns count.
+    """Sort ``records`` canonically and write one chunk; returns count.
 
-    The sort happens in memory — callers bound chunk size by sharding, so
-    peak memory is O(largest shard), never O(trace).
+    The chunk's wire format follows the path suffix — CSV by default,
+    the binary columnar format for ``.bin`` (the engine's spill format:
+    chunks are written once and re-read once, exactly the workload the
+    binary fast path exists for).  The sort happens in memory — callers
+    bound chunk size by sharding, so peak memory is O(largest shard),
+    never O(trace).
     """
     ordered = sorted(records, key=record_sort_key)
-    return write_csv_records(
-        path, ordered, fields_for(record_type), category="chunk"
-    )
+    return write_records(path, ordered, record_type, category="chunk")
 
 
 def _counted_merge(
@@ -84,7 +85,7 @@ def merge_record_chunks(
     :func:`write_sorted_chunk` (or be otherwise canonically sorted).
     """
     streams = [
-        read_csv_records(path, record_type, category="chunk")
+        read_records(path, record_type, category="chunk")
         for path in paths
     ]
     merged = heapq.merge(*streams, key=record_sort_key)

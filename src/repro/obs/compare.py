@@ -34,7 +34,6 @@ a fixed seed is a *correctness* smell, reported loudly as ``rows-drift``
 from __future__ import annotations
 
 import json
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator, Mapping
@@ -43,6 +42,7 @@ __all__ = [
     "COMPARE_SCHEMA",
     "CompareConfig",
     "MetricDelta",
+    "PROVENANCE_META_KEYS",
     "RunComparison",
     "SpanDelta",
     "compare_run_reports",
@@ -52,6 +52,23 @@ __all__ = [
 ]
 
 COMPARE_SCHEMA = "repro.obs/run-compare/v1"
+
+#: Run-report meta keys that describe *where/when* a report was made
+#: rather than *what* it measured.  They are stripped from the JSON
+#: comparison output: diffing the same two inputs must be reproducible
+#: byte for byte, and a timestamp or interpreter tag would make every
+#: re-run differ while changing nothing about the verdict.
+PROVENANCE_META_KEYS = frozenset(
+    {"created_unix", "python", "platform", "hostname", "commit"}
+)
+
+
+def _scrub_meta(meta: Mapping) -> dict:
+    return {
+        key: value
+        for key, value in meta.items()
+        if key not in PROVENANCE_META_KEYS
+    }
 
 #: Delta statuses, from worst to best.
 REGRESSION = "regression"
@@ -238,9 +255,15 @@ class RunComparison:
 
     # -------------------------------------------------------------- export
     def to_dict(self) -> dict:
+        """JSON payload; deterministic for fixed inputs.
+
+        Provenance-only fields (``created_unix`` and the
+        interpreter/platform tags in the run-report metas — see
+        :data:`PROVENANCE_META_KEYS`) are excluded so that comparing the
+        same two reports twice yields byte-identical output.
+        """
         return {
             "schema": COMPARE_SCHEMA,
-            "created_unix": time.time(),
             "config": {
                 "threshold": self.config.threshold,
                 "min_wall_s": self.config.min_wall_s,
@@ -250,8 +273,8 @@ class RunComparison:
             "ok": self.ok,
             "spans": [d.to_dict() for d in self.spans],
             "metrics": [d.to_dict() for d in self.metrics],
-            "base_meta": dict(self.base_meta),
-            "other_meta": dict(self.other_meta),
+            "base_meta": _scrub_meta(self.base_meta),
+            "other_meta": _scrub_meta(self.other_meta),
         }
 
     def write_json(self, path: str | Path) -> Path:

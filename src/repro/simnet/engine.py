@@ -464,6 +464,7 @@ class EngineRun:
         directory: str | Path,
         compress: bool = False,
         anonymizer=None,
+        format: str | None = None,
     ) -> dict[str, Path]:
         """Streaming export: merge chunks straight into the final logs.
 
@@ -471,13 +472,18 @@ class EngineRun:
         record list — memory during export is O(number of chunks).  With
         ``anonymizer`` the records and billing directory are pseudonymised
         on the fly (timestamps are untouched, so the logs stay
-        time-ordered).
+        time-ordered).  ``format`` pins the log wire format (``csv`` /
+        ``csv.gz`` / ``bin``) and overrides the legacy ``compress`` flag.
         """
+        from repro.logs.io import format_suffix
         from repro.simnet.simulator import write_side_artifacts
 
         base = Path(directory)
         base.mkdir(parents=True, exist_ok=True)
-        suffix = ".csv.gz" if compress else ".csv"
+        if format is not None:
+            suffix = format_suffix(format)
+        else:
+            suffix = ".csv.gz" if compress else ".csv"
         proxy_path = base / f"proxy{suffix}"
         mme_path = base / f"mme{suffix}"
 
@@ -602,8 +608,11 @@ class ShardedSimulationEngine:
                 config=self._config,
                 catalog=self._catalog,
                 task=task,
-                proxy_path=str(spool_dir / f"proxy-{task.shard:04d}.csv"),
-                mme_path=str(spool_dir / f"mme-{task.shard:04d}.csv"),
+                # Spill chunks use the binary columnar format: they are
+                # written once and read once by our own merge, so there
+                # is no interchange concern — only throughput.
+                proxy_path=str(spool_dir / f"proxy-{task.shard:04d}.bin"),
+                mme_path=str(spool_dir / f"mme-{task.shard:04d}.bin"),
                 observe=observe,
                 parent_pid=parent_pid,
                 events_path=events_path,

@@ -104,20 +104,30 @@ class SimulationOutput:
         return self.config.study_end
 
     def write(
-        self, directory: str | Path, compress: bool = False
+        self,
+        directory: str | Path,
+        compress: bool = False,
+        format: str | None = None,
     ) -> dict[str, Path]:
         """Export all artefacts to ``directory``; returns name → path.
 
         With ``compress=True`` the two large logs (proxy, MME) are written
         gzip-compressed (``.csv.gz``); readers detect the suffix.
+        ``format`` (``csv`` / ``csv.gz`` / ``bin``) pins the wire format
+        explicitly and overrides ``compress``.
 
         For traces produced by the sharded engine prefer
         :meth:`repro.simnet.engine.EngineRun.write`, which streams the
         chunk merge straight to disk and never holds the record lists.
         """
+        from repro.logs.io import format_suffix
+
         base = Path(directory)
         base.mkdir(parents=True, exist_ok=True)
-        suffix = ".csv.gz" if compress else ".csv"
+        if format is not None:
+            suffix = format_suffix(format)
+        else:
+            suffix = ".csv.gz" if compress else ".csv"
         proxy_path = base / f"proxy{suffix}"
         mme_path = base / f"mme{suffix}"
         write_proxy_log(proxy_path, self.proxy_records)

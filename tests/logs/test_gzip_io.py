@@ -126,3 +126,34 @@ class TestGzipWriteLevel:
         with gzip.open(path, "rt", encoding="utf-8") as handle:
             body = handle.read()
         assert body.count("\n") == len(records) + 1  # header + rows
+
+
+class TestGzipDeterminism:
+    """Regression: gzip writes used to embed the wall-clock mtime and
+    the output filename in the member header, so two identical exports
+    produced different bytes and the golden-trace SHAs only held for
+    plain CSV.  Writers now pin ``mtime=0`` and an empty filename."""
+
+    def test_same_records_same_bytes_across_runs(self, tmp_path, records):
+        import hashlib
+        import time
+
+        first = tmp_path / "a" / "proxy.csv.gz"
+        second = tmp_path / "b" / "other-name.csv.gz"
+        first.parent.mkdir()
+        second.parent.mkdir()
+        write_proxy_log(first, records)
+        time.sleep(1.1)  # cross a whole mtime second
+        write_proxy_log(second, records)
+        digest = lambda p: hashlib.sha256(p.read_bytes()).hexdigest()
+        assert digest(first) == digest(second)
+
+    def test_member_header_has_zero_mtime_and_no_filename(
+        self, tmp_path, records
+    ):
+        path = tmp_path / "proxy.csv.gz"
+        write_proxy_log(path, records)
+        head = path.read_bytes()[:10]
+        assert head[:2] == b"\x1f\x8b"
+        assert head[4:8] == b"\x00\x00\x00\x00"  # MTIME == 0
+        assert not head[3] & 0x08  # FNAME flag clear

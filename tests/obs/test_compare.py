@@ -336,3 +336,67 @@ class TestFiles:
         write_run_report(tmp_path / "b.json", _baseline())
         with pytest.raises(ValueError):
             compare_run_report_files(tmp_path / "a.json", tmp_path / "b.json")
+
+# ------------------------------------------------- deterministic JSON output
+class TestProvenanceScrubbing:
+    """Regression: ``--json`` output used to embed ``created_unix`` and
+    the interpreter/platform tags from the run-report metas, so comparing
+    the same two reports twice produced different bytes and CI diffs on
+    the comparison artefact were pure noise."""
+
+    def _noisy_pair(self):
+        base = _baseline()
+        other = copy.deepcopy(base)
+        for report, stamp in ((base, 111.0), (other, 222.0)):
+            report["meta"].update(
+                {
+                    "created_unix": stamp,
+                    "platform": f"Linux-{stamp}",
+                    "python": "3.11.7",
+                    "hostname": f"host-{stamp}",
+                    "commit": "deadbeef",
+                }
+            )
+        return base, other
+
+    def test_to_dict_has_no_created_unix(self):
+        base, other = self._noisy_pair()
+        payload = compare_run_reports(base, other).to_dict()
+        assert "created_unix" not in payload
+        assert "created_unix" not in payload["base_meta"]
+        assert "created_unix" not in payload["other_meta"]
+
+    def test_metas_scrubbed_of_provenance_keys(self):
+        from repro.obs.compare import PROVENANCE_META_KEYS
+
+        base, other = self._noisy_pair()
+        payload = compare_run_reports(base, other).to_dict()
+        for meta in (payload["base_meta"], payload["other_meta"]):
+            assert not PROVENANCE_META_KEYS & meta.keys()
+        # Substantive meta survives the scrub.
+        assert payload["base_meta"]["command"] == "simulate"
+        assert payload["base_meta"]["seed"] == 7
+
+    def test_same_inputs_byte_identical_json(self):
+        base, other = self._noisy_pair()
+        first = json.dumps(
+            compare_run_reports(base, other).to_dict(), sort_keys=True
+        )
+        second = json.dumps(
+            compare_run_reports(base, other).to_dict(), sort_keys=True
+        )
+        assert first == second
+
+    def test_wallclock_only_difference_is_invisible(self):
+        # Two runs of the *same* workload stamped at different times must
+        # compare to byte-identical payloads.
+        base, other = self._noisy_pair()
+        rebase = copy.deepcopy(base)
+        reother = copy.deepcopy(other)
+        for report in (rebase, reother):
+            report["created_unix"] = 9_999_999.0
+            report["meta"]["created_unix"] = 9_999_999.0
+            report["meta"]["hostname"] = "elsewhere"
+        a = json.dumps(compare_run_reports(base, other).to_dict())
+        b = json.dumps(compare_run_reports(rebase, reother).to_dict())
+        assert a == b

@@ -133,13 +133,13 @@ class TestStreamingRun:
         assert all(path.exists() for path in run.proxy_chunks + run.mme_chunks)
 
     def test_chunks_are_sorted(self, run):
-        from repro.logs.io import read_csv_records
+        from repro.logs.io import read_records
 
         for path in run.proxy_chunks:
-            keys = [record_sort_key(r) for r in read_csv_records(path, ProxyRecord)]
+            keys = [record_sort_key(r) for r in read_records(path, ProxyRecord)]
             assert keys == sorted(keys)
         for path in run.mme_chunks:
-            keys = [record_sort_key(r) for r in read_csv_records(path, MmeRecord)]
+            keys = [record_sort_key(r) for r in read_records(path, MmeRecord)]
             assert keys == sorted(keys)
 
     def test_merged_stream_is_time_ordered_and_complete(self, run):

@@ -93,6 +93,90 @@ class TestChaosAnalyses:
         assert study.quarantine.total_quarantined > 0
 
 
+class TestTruncatedTailParity:
+    """Satellite regression: a truncated final gzip member used to lose
+    its partial block silently under lenient ingestion.  Both the CSV
+    and binary lenient readers now quarantine the truncated tail under
+    a distinct ``*-truncated`` code with exact row accounting — and the
+    accounting is identical for a serial load and a 4-way sharded
+    map-reduce run.
+    """
+
+    @pytest.fixture(scope="class", params=["csv.gz", "bin"])
+    def truncated_trace(
+        self, request, small_output, tmp_path_factory
+    ):
+        base = tmp_path_factory.mktemp(f"trunc-{request.param}")
+        pristine = base / "pristine"
+        small_output.write(
+            pristine,
+            **(
+                {"compress": True}
+                if request.param == "csv.gz"
+                else {"format": "bin"}
+            ),
+        )
+        if request.param == "bin":
+            # Re-block the proxy log with small blocks so a byte-level
+            # truncation chops the tail rather than the single default
+            # 8192-row block (which would quarantine the whole stream).
+            from repro.logs.binfmt import read_bin_records, write_bin_records
+            from repro.logs.records import ProxyRecord
+
+            log = pristine / "proxy.bin"
+            rows = list(read_bin_records(log, ProxyRecord))
+            write_bin_records(log, rows, ProxyRecord, block_rows=256)
+        out = base / "trace"
+        corrupt_trace(
+            pristine,
+            out,
+            FaultSpec(
+                seed=99, truncate_fraction=0.25, truncate_files=("proxy",)
+            ),
+        )
+        return out
+
+    def test_tail_quarantined_with_exact_accounting(self, truncated_trace):
+        dataset = StudyDataset.load(truncated_trace, lenient=True)
+        quarantine = dataset.quarantine
+        assert quarantine.count("proxy-truncated") > 0
+        # Exact accounting: every proxy row the stream ever contained is
+        # either kept or quarantined — nothing vanishes silently.
+        kept = len(dataset.proxy_records)
+        assert quarantine.rows_read["proxy"] == (
+            kept + quarantine.rows_quarantined["proxy"]
+        )
+
+    def test_serial_and_parallel_quarantine_identical(self, truncated_trace):
+        from repro.core.parallel import analyze_parallel
+
+        serial = analyze_parallel(
+            truncated_trace, shards=4, workers=1, lenient=True
+        )
+        parallel = analyze_parallel(
+            truncated_trace, shards=4, workers=4, lenient=True
+        )
+        assert (
+            serial.report.quarantine.to_dict()
+            == parallel.report.quarantine.to_dict()
+        )
+
+    def test_serial_load_matches_sharded_accounting(self, truncated_trace):
+        from repro.core.parallel import analyze_parallel
+
+        dataset = StudyDataset.load(truncated_trace, lenient=True)
+        sharded = analyze_parallel(
+            truncated_trace, shards=4, workers=1, lenient=True
+        )
+        mine = dataset.quarantine
+        theirs = sharded.report.quarantine
+        assert mine.rows_read == theirs.rows_read
+        assert mine.rows_quarantined == theirs.rows_quarantined
+        assert mine.count("proxy-truncated") == theirs.count(
+            "proxy-truncated"
+        )
+
+
 class TestMissingLogFile:
     def test_dropped_mme_log_is_survivable(self, small_trace_dir, tmp_path):
         out = tmp_path / "no-mme"

@@ -4,8 +4,14 @@
 PY ?= python
 PYTEST = PYTHONPATH=src $(PY) -m pytest
 
-.PHONY: test coverage chaos bench bench-perf bench-perf-check bench-gate \
-    trace obs-smoke analyze-smoke convert-smoke clean
+.PHONY: test coverage chaos soak soak-tests bench bench-perf \
+    bench-perf-check bench-gate trace obs-smoke analyze-smoke \
+    convert-smoke clean
+
+# Chaos-soak knobs (override on the command line: make soak EPISODES=10).
+EPISODES ?= 25
+SEED ?= 1
+SOAK_DIR ?= soak-run
 
 PERF_MODULES = benchmarks/test_perf_engine.py benchmarks/test_perf_io.py \
     benchmarks/test_perf_primitives.py benchmarks/test_perf_analysis.py
@@ -23,7 +29,25 @@ coverage:
 ## and prove quarantine-and-continue ingestion survives it end to end.
 chaos:
 	$(PYTEST) tests/logs/test_faults.py tests/logs/test_quarantine.py \
-	    tests/logs/test_roundtrip_property.py tests/test_chaos.py -q
+	    tests/logs/test_roundtrip_property.py tests/test_chaos.py \
+	    tests/chaos/ -q
+
+## Continuous chaos soak: EPISODES seeded episodes of simulate ->
+## corrupt -> lenient-analyze per wire format (csv.gz and bin) under the
+## default time-varying fault schedule, checking invariants each episode
+## (exact quarantine accounting, no crash, report panels within bands,
+## serial == sharded lenient equality).  Failing episodes leave shrunk
+## replay capsules in $(SOAK_DIR)/replays/; re-run one with
+## `PYTHONPATH=src python -m repro replay <capsule.json>`.
+soak:
+	rm -rf $(SOAK_DIR)
+	PYTHONPATH=src $(PY) -m repro soak --out $(SOAK_DIR) \
+	    --episodes $(EPISODES) --seed $(SEED)
+
+## Soak-marked pytest tier: multi-episode campaigns + the deliberate
+## failure -> shrink -> replay acceptance path (excluded from tier-1).
+soak-tests:
+	$(PYTEST) tests/ -q -m soak
 
 ## Regenerate every paper figure into benchmarks/reports/ (slow: runs a
 ## paper-scale simulation once).
@@ -155,5 +179,6 @@ trace:
 	    --out trace/ --shards 4
 
 clean:
-	rm -rf trace/ obs-smoke/ analyze-smoke/ convert-smoke/ .pytest_cache
+	rm -rf trace/ obs-smoke/ analyze-smoke/ convert-smoke/ soak-run/ \
+	    .pytest_cache
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,75 @@
+"""``repro.chaos`` — continuous chaos soak with auto-shrinking replay.
+
+The PR-2 fault layer answers *does one corrupted trace survive lenient
+ingestion*; this package answers the always-on question: does the whole
+simulate → corrupt → lenient-analyze loop keep its invariants over long
+windows of *time-varying* corruption?  Four pieces:
+
+* :mod:`repro.chaos.schedule` — versioned JSON fault schedules
+  (``repro.chaos/schedule/v1``): per-fault-class piecewise-linear rate
+  envelopes over normalised trace time with per-stream phase offsets,
+  plus a :class:`~repro.chaos.schedule.ScheduleSpec` adapter that drives
+  :func:`repro.logs.faults.corrupt_trace` with those time-varying rates.
+  Corruption stays a pure function of ``(seed, schedule)``.
+* :mod:`repro.chaos.soak` — the soak runner: N seeded episodes of
+  simulate → corrupt → lenient-analyze across the ``.csv.gz`` and
+  ``.bin`` wire formats, checking invariants each episode (exact
+  quarantine row accounting, no crash, report panels within bands,
+  bounded RSS via the heartbeat sampler, serial ≡ sharded lenient
+  equality) and writing a timeline event log plus a versioned summary
+  report (``repro.chaos/soak-report/v1``).
+* :mod:`repro.chaos.replay` — minimal failure capsules
+  (``repro.chaos/replay/v1``: seed + schedule + format + shard config)
+  that re-run one failing episode deterministically.
+* :mod:`repro.chaos.shrink` — a delta-debugging shrinker that reduces a
+  failing schedule to the smallest one still failing: fewer fault
+  classes, narrower time windows, lower rates.
+
+CLI entry points: ``repro soak`` and ``repro replay`` (see
+:mod:`repro.cli`), plus ``make soak``.
+"""
+
+from repro.chaos.schedule import (
+    Envelope,
+    FaultSchedule,
+    SCHEDULE_SCHEMA,
+    ScheduleSpec,
+    default_schedule,
+)
+from repro.chaos.shrink import ShrinkResult, shrink_schedule
+from repro.chaos.soak import (
+    EpisodeResult,
+    InvariantViolation,
+    SoakConfig,
+    SoakReport,
+    run_episode,
+    run_soak,
+)
+from repro.chaos.replay import (
+    REPLAY_SCHEMA,
+    build_replay,
+    load_replay,
+    run_replay,
+    write_replay,
+)
+
+__all__ = [
+    "Envelope",
+    "EpisodeResult",
+    "FaultSchedule",
+    "InvariantViolation",
+    "REPLAY_SCHEMA",
+    "SCHEDULE_SCHEMA",
+    "ScheduleSpec",
+    "ShrinkResult",
+    "SoakConfig",
+    "SoakReport",
+    "build_replay",
+    "default_schedule",
+    "load_replay",
+    "run_episode",
+    "run_replay",
+    "run_soak",
+    "shrink_schedule",
+    "write_replay",
+]

@@ -1,0 +1,215 @@
+"""Minimal replay capsules for failing soak episodes
+(``repro.chaos/replay/v1``).
+
+A capsule is everything needed to re-run one failing episode
+deterministically, and nothing else: the soak seed and episode index
+(together they derive the fault seed), the wire format, the shard
+count, the simulation preset, the (possibly shrunk) fault schedule
+inline, the invariant-check configuration, and the violations the
+original run observed.  ``repro replay capsule.json`` rebuilds the
+pristine trace from the preset, re-runs corrupt → ingest → check with
+the capsule's schedule, and reports whether the original violations
+reproduce — exit 0 when they do.
+
+The capsule stores the *schedule document itself* rather than a path so
+a single JSON file uploaded from CI is sufficient to triage a failure
+locally (see the "soak triage" walkthrough in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.chaos.schedule import FaultSchedule
+
+__all__ = [
+    "REPLAY_SCHEMA",
+    "ReplayResult",
+    "build_replay",
+    "load_replay",
+    "run_replay",
+    "write_replay",
+]
+
+REPLAY_SCHEMA = "repro.chaos/replay/v1"
+
+
+def build_replay(
+    *,
+    seed: int,
+    episode: int,
+    fault_seed: int,
+    format: str,
+    preset: str,
+    shards: int,
+    schedule: FaultSchedule,
+    violations: list,
+    checks: Mapping[str, Any],
+    shrink: Mapping[str, Any] | None = None,
+) -> dict:
+    """Assemble a replay capsule document (plain dict, ready to write)."""
+    capsule: dict[str, Any] = {
+        "schema": REPLAY_SCHEMA,
+        "seed": seed,
+        "episode": episode,
+        "fault_seed": fault_seed,
+        "format": format,
+        "preset": preset,
+        "shards": shards,
+        "schedule": schedule.to_dict(),
+        "checks": dict(checks),
+        "violations": [violation.to_dict() for violation in violations],
+    }
+    if shrink is not None:
+        capsule["shrink"] = dict(shrink)
+    return capsule
+
+
+def write_replay(capsule: Mapping[str, Any], path: str | Path) -> Path:
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8") as handle:
+        json.dump(dict(capsule), handle, indent=2)
+        handle.write("\n")
+    return target
+
+
+def load_replay(path: str | Path) -> dict:
+    """Read and schema-check a capsule; raises ValueError when invalid."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        try:
+            capsule = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(capsule, dict):
+        raise ValueError(f"{path}: capsule is not a JSON object")
+    schema = capsule.get("schema")
+    if schema != REPLAY_SCHEMA:
+        raise ValueError(
+            f"{path}: schema is {schema!r}, expected {REPLAY_SCHEMA!r}"
+        )
+    for key in ("seed", "episode", "format", "preset", "shards", "schedule"):
+        if key not in capsule:
+            raise ValueError(f"{path}: capsule missing {key!r}")
+    # Parse eagerly so a mangled inline schedule fails here, not mid-run.
+    FaultSchedule.from_dict(capsule["schedule"])
+    return capsule
+
+
+@dataclass(slots=True)
+class ReplayResult:
+    """Outcome of re-running one capsule."""
+
+    reproduced: bool
+    expected: frozenset = frozenset()
+    observed: frozenset = frozenset()
+    episode_result: Any = None
+    violations: list = field(default_factory=list)
+
+    def summary(self) -> str:
+        def render(keys: frozenset) -> str:
+            if not keys:
+                return "(none)"
+            return ", ".join(
+                f"{invariant}/{code}" for invariant, code in sorted(keys)
+            )
+
+        lines = [
+            "replay "
+            + ("REPRODUCED the failure" if self.reproduced else "did NOT reproduce"),
+            f"  expected violations: {render(self.expected)}",
+            f"  observed violations: {render(self.observed)}",
+        ]
+        return "\n".join(lines)
+
+
+def run_replay(
+    capsule: Mapping[str, Any] | str | Path,
+    workdir: str | Path,
+    *,
+    events: Any = None,
+) -> ReplayResult:
+    """Re-run the episode a capsule describes; deterministic by design.
+
+    ``capsule`` may be a loaded document or a path.  The pristine trace
+    is rebuilt from the capsule's preset and seed under ``workdir`` and
+    the corrupt → ingest → check episode re-executed with the capsule's
+    schedule and check configuration.  The replay *reproduces* when it
+    observes at least one of the capsule's recorded violations (peak-RSS
+    breaches are machine-dependent and never required to reproduce).
+    """
+    from repro.chaos.soak import (
+        Band,
+        InvariantViolation,
+        SoakConfig,
+        _shrink_target,
+        baseline_panels,
+        preset_config,
+        run_episode,
+    )
+    from repro.obs.timeline import NULL_EVENTS
+    from repro.simnet.simulator import Simulator
+
+    if isinstance(capsule, (str, Path)):
+        capsule = load_replay(capsule)
+    if events is None:
+        events = NULL_EVENTS
+
+    schedule = FaultSchedule.from_dict(capsule["schedule"])
+    checks = capsule.get("checks", {})
+    recorded = [
+        InvariantViolation.from_dict(violation)
+        for violation in capsule.get("violations", [])
+    ]
+    expected = _shrink_target(recorded)
+
+    config = SoakConfig(
+        episodes=1,
+        seed=int(capsule["seed"]),
+        formats=(str(capsule["format"]),),
+        preset=str(capsule["preset"]),
+        shards=int(capsule["shards"]),
+        schedule=schedule,
+        bands=tuple(
+            Band.from_dict(band) for band in checks.get("bands", [])
+        ),
+        max_quarantine_fraction=float(
+            checks.get("max_quarantine_fraction", 1.0)
+        ),
+        max_issue_counts=dict(checks.get("max_issue_counts", {})),
+        rss_limit_mb=None,
+        shrink=False,
+    )
+
+    base = Path(workdir)
+    fmt = config.formats[0]
+    pristine = base / "pristine"
+    events.emit("phase", stage="replay.simulate")
+    output = Simulator(preset_config(config.preset, config.seed)).run()
+    output.write(pristine, format=fmt)
+    baseline = baseline_panels(pristine, config.bands)
+
+    events.emit("phase", stage=f"replay.episode.{capsule['episode']}.{fmt}")
+    result = run_episode(
+        pristine,
+        base / "episode",
+        config=config,
+        fmt=fmt,
+        episode=int(capsule["episode"]),
+        baseline=baseline,
+        events=events,
+    )
+    observed = result.violation_keys()
+    reproduced = (
+        bool(observed & expected) if expected else bool(observed)
+    )
+    return ReplayResult(
+        reproduced=reproduced,
+        expected=expected,
+        observed=frozenset(observed),
+        episode_result=result,
+        violations=result.violations,
+    )

@@ -1,0 +1,528 @@
+"""Time-varying fault schedules (``repro.chaos/schedule/v1``).
+
+A :class:`FaultSchedule` describes *how corruption evolves over the
+simulated window*: for each row-level fault class of
+:mod:`repro.logs.faults`, one or more :class:`Envelope` values give the
+per-row injection probability as a piecewise-linear function of
+**normalised trace time** ``u ∈ [0, 1]`` (0 = the first timestamp in the
+log, 1 = the last).  Ramps are two-point envelopes, bursts are narrow
+triangles, and per-stream ``phases`` shift a stream's envelopes later in
+the window — the proxy and MME logs can degrade out of step, like real
+shippers do.
+
+Schedules are declarative, versioned JSON documents::
+
+    {
+      "schema": "repro.chaos/schedule/v1",
+      "name": "ramp-and-burst",
+      "phases": {"mme": 0.05},
+      "envelopes": [
+        {"fault": "duplicated", "streams": ["proxy", "mme"],
+         "points": [[0.0, 0.0], [1.0, 0.04]]},
+        {"fault": "garbage", "streams": ["proxy"],
+         "points": [[0.40, 0.0], [0.45, 0.20], [0.50, 0.0]]}
+      ],
+      "truncate": {"fraction": 0.15, "files": ["proxy"]},
+      "drop_files": []
+    }
+
+Evaluation semantics:
+
+* an envelope contributes 0 outside the ``u`` range of its points and
+  linear interpolation inside it, so the *support* of its points is its
+  time window;
+* several envelopes for the same (fault, stream) **sum**, clamped to 1 —
+  a burst rides on top of a baseline ramp;
+* a stream's phase offset ``p`` evaluates its envelopes at ``u - p``
+  (no wrap-around: whatever slides past the end of the window is gone).
+
+:class:`ScheduleSpec` adapts a schedule (plus a seed) to the protocol
+:func:`repro.logs.faults.corrupt_trace` consumes, so corruption is fully
+determined by ``(seed, schedule)`` — the property the soak harness,
+replay files and the hypothesis suite all rely on.  The shrinker
+(:mod:`repro.chaos.shrink`) manipulates schedules only through the pure
+:meth:`FaultSchedule.without_envelope` / :meth:`FaultSchedule.clipped` /
+:meth:`FaultSchedule.scaled` transforms defined here.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.logs.faults import LOG_STEMS, FaultSpec
+
+__all__ = [
+    "Envelope",
+    "FaultSchedule",
+    "ROW_FAULT_CLASSES",
+    "SCHEDULE_SCHEMA",
+    "ScheduleSpec",
+    "default_schedule",
+    "load_schedule",
+]
+
+SCHEDULE_SCHEMA = "repro.chaos/schedule/v1"
+
+#: The row-level fault classes an envelope may drive (the per-row rates
+#: of :class:`~repro.logs.faults.FaultSpec`; file-level faults —
+#: truncation, dropped files — are static schedule fields instead).
+ROW_FAULT_CLASSES = (
+    "dropped",
+    "duplicated",
+    "shuffled",
+    "bad_imei",
+    "bad_sector",
+    "bad_bytes",
+    "garbage",
+)
+
+
+def _fail(where: str, reason: str) -> None:
+    raise ValueError(f"schedule {where}: {reason}")
+
+
+@dataclass(frozen=True, slots=True)
+class Envelope:
+    """One fault class's piecewise-linear rate curve on some streams."""
+
+    fault: str
+    streams: tuple[str, ...] = LOG_STEMS
+    #: ``(u, rate)`` knots, strictly increasing in ``u``; rate is 0
+    #: outside ``[points[0].u, points[-1].u]``.
+    points: tuple[tuple[float, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.fault not in ROW_FAULT_CLASSES:
+            _fail(
+                f"envelope[{self.fault!r}]",
+                f"unknown row fault class; expected one of {ROW_FAULT_CLASSES}",
+            )
+        if not self.streams:
+            _fail(f"envelope[{self.fault}]", "empty stream list")
+        for stream in self.streams:
+            if stream not in LOG_STEMS:
+                _fail(
+                    f"envelope[{self.fault}]",
+                    f"unknown stream {stream!r}; expected one of {LOG_STEMS}",
+                )
+        if len(self.points) < 1:
+            _fail(f"envelope[{self.fault}]", "needs at least one point")
+        last_u = None
+        for u, rate in self.points:
+            if not 0.0 <= u <= 1.0:
+                _fail(
+                    f"envelope[{self.fault}]",
+                    f"point u={u!r} outside [0, 1]",
+                )
+            if not 0.0 <= rate <= 1.0:
+                _fail(
+                    f"envelope[{self.fault}]",
+                    f"rate {rate!r} outside [0, 1]",
+                )
+            if last_u is not None and u <= last_u:
+                _fail(
+                    f"envelope[{self.fault}]",
+                    f"points not strictly increasing in u ({last_u} -> {u})",
+                )
+            last_u = u
+
+    # ------------------------------------------------------------ evaluation
+    def rate_at(self, u: float) -> float:
+        """Interpolated rate at normalised time ``u`` (0 outside support)."""
+        points = self.points
+        if u < points[0][0] or u > points[-1][0]:
+            return 0.0
+        if len(points) == 1:
+            return points[0][1]
+        for (u0, r0), (u1, r1) in zip(points, points[1:]):
+            if u <= u1:
+                if u1 == u0:
+                    return r1
+                frac = (u - u0) / (u1 - u0)
+                return r0 + frac * (r1 - r0)
+        return points[-1][1]
+
+    @property
+    def support(self) -> tuple[float, float]:
+        """``(u_start, u_end)`` window this envelope can fire in."""
+        return self.points[0][0], self.points[-1][0]
+
+    @property
+    def max_rate(self) -> float:
+        return max(rate for _, rate in self.points)
+
+    # ------------------------------------------------------------ transforms
+    def clipped(self, u0: float, u1: float) -> "Envelope | None":
+        """Restriction to ``[u0, u1]``; None when the windows are disjoint.
+
+        Boundary rates are re-interpolated so the clipped curve agrees
+        with the original everywhere inside the window.
+        """
+        lo, hi = self.support
+        u0, u1 = max(u0, lo), min(u1, hi)
+        if u1 < u0:
+            return None
+        inner = [(u, r) for u, r in self.points if u0 < u < u1]
+        knots = [(u0, self.rate_at(u0))] + inner
+        if u1 > u0:
+            knots.append((u1, self.rate_at(u1)))
+        return replace(self, points=tuple(knots))
+
+    def scaled(self, factor: float) -> "Envelope":
+        """Every rate multiplied by ``factor`` (clamped to [0, 1])."""
+        return replace(
+            self,
+            points=tuple(
+                (u, min(1.0, max(0.0, rate * factor)))
+                for u, rate in self.points
+            ),
+        )
+
+    # -------------------------------------------------------------- wire form
+    def to_dict(self) -> dict:
+        return {
+            "fault": self.fault,
+            "streams": list(self.streams),
+            "points": [[u, rate] for u, rate in self.points],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Envelope":
+        if not isinstance(data, Mapping):
+            _fail("envelope", "not an object")
+        points = data.get("points")
+        if not isinstance(points, (list, tuple)):
+            _fail("envelope", "points must be a list of [u, rate] pairs")
+        knots = []
+        for point in points:
+            if not isinstance(point, (list, tuple)) or len(point) != 2:
+                _fail("envelope", f"bad point {point!r}")
+            u, rate = point
+            if not isinstance(u, (int, float)) or not isinstance(
+                rate, (int, float)
+            ):
+                _fail("envelope", f"non-numeric point {point!r}")
+            knots.append((float(u), float(rate)))
+        return cls(
+            fault=data.get("fault", ""),
+            streams=tuple(data.get("streams", LOG_STEMS)),
+            points=tuple(knots),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class FaultSchedule:
+    """A whole time-varying corruption plan, serialisable as JSON."""
+
+    name: str = "unnamed"
+    envelopes: tuple[Envelope, ...] = ()
+    #: Per-stream phase offset in normalised time; a stream's envelopes
+    #: are evaluated at ``u - phase`` (delayed, never wrapped).
+    phases: Mapping[str, float] = field(default_factory=dict)
+    truncate_fraction: float = 0.0
+    truncate_files: tuple[str, ...] = ()
+    drop_files: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        for stream, phase in self.phases.items():
+            if stream not in LOG_STEMS:
+                _fail("phases", f"unknown stream {stream!r}")
+            if not -1.0 <= phase <= 1.0:
+                _fail("phases", f"{stream} phase {phase!r} outside [-1, 1]")
+        if not 0.0 <= self.truncate_fraction <= 1.0:
+            _fail(
+                "truncate",
+                f"fraction {self.truncate_fraction!r} outside [0, 1]",
+            )
+        for name in (*self.truncate_files, *self.drop_files):
+            if name not in LOG_STEMS:
+                _fail("files", f"unknown log stem {name!r}")
+
+    # ------------------------------------------------------------ evaluation
+    def rate_at(self, fault: str, stream: str, u: float) -> float:
+        """Summed (clamped) rate for one fault class on one stream."""
+        shifted = u - float(self.phases.get(stream, 0.0))
+        total = 0.0
+        for envelope in self.envelopes:
+            if envelope.fault == fault and stream in envelope.streams:
+                total += envelope.rate_at(shifted)
+        return min(1.0, total)
+
+    def rates_at(self, stream: str, u: float) -> dict[str, float]:
+        """All row-fault rates for one stream at normalised time ``u``."""
+        shifted = u - float(self.phases.get(stream, 0.0))
+        rates = dict.fromkeys(ROW_FAULT_CLASSES, 0.0)
+        for envelope in self.envelopes:
+            if stream in envelope.streams:
+                rate = envelope.rate_at(shifted)
+                if rate:
+                    rates[envelope.fault] = min(
+                        1.0, rates[envelope.fault] + rate
+                    )
+        return rates
+
+    def max_rate(self, fault: str, stream: str | None = None) -> float:
+        """Peak envelope rate for a fault class (any stream by default)."""
+        peak = 0.0
+        for envelope in self.envelopes:
+            if envelope.fault != fault:
+                continue
+            if stream is not None and stream not in envelope.streams:
+                continue
+            peak = max(peak, envelope.max_rate)
+        return peak
+
+    def fault_classes(self) -> frozenset[str]:
+        """Row fault classes with a positive rate anywhere."""
+        return frozenset(
+            envelope.fault
+            for envelope in self.envelopes
+            if envelope.max_rate > 0.0
+        )
+
+    def window(self) -> tuple[float, float]:
+        """Union support ``(u_min, u_max)`` of the active envelopes."""
+        supports = [
+            envelope.support
+            for envelope in self.envelopes
+            if envelope.max_rate > 0.0
+        ]
+        if not supports:
+            return (0.0, 0.0)
+        return min(s[0] for s in supports), max(s[1] for s in supports)
+
+    def window_width(self) -> float:
+        lo, hi = self.window()
+        return hi - lo
+
+    def touches_rows(self) -> bool:
+        return any(envelope.max_rate > 0.0 for envelope in self.envelopes)
+
+    # ------------------------------------------------------------ transforms
+    def without_envelope(self, index: int) -> "FaultSchedule":
+        return replace(
+            self,
+            envelopes=tuple(
+                envelope
+                for position, envelope in enumerate(self.envelopes)
+                if position != index
+            ),
+        )
+
+    def clipped(self, u0: float, u1: float) -> "FaultSchedule":
+        """Every envelope restricted to ``[u0, u1]`` (empty ones dropped)."""
+        kept = []
+        for envelope in self.envelopes:
+            clipped = envelope.clipped(u0, u1)
+            if clipped is not None and clipped.max_rate > 0.0:
+                kept.append(clipped)
+        return replace(self, envelopes=tuple(kept))
+
+    def scaled(self, factor: float) -> "FaultSchedule":
+        return replace(
+            self,
+            envelopes=tuple(
+                envelope.scaled(factor) for envelope in self.envelopes
+            ),
+        )
+
+    def without_truncation(self) -> "FaultSchedule":
+        return replace(self, truncate_fraction=0.0, truncate_files=())
+
+    def without_dropped_files(self) -> "FaultSchedule":
+        return replace(self, drop_files=())
+
+    # -------------------------------------------------------------- wire form
+    def to_dict(self) -> dict:
+        data: dict = {
+            "schema": SCHEDULE_SCHEMA,
+            "name": self.name,
+            "phases": {k: float(v) for k, v in sorted(self.phases.items())},
+            "envelopes": [env.to_dict() for env in self.envelopes],
+            "drop_files": list(self.drop_files),
+        }
+        if self.truncate_fraction > 0.0:
+            data["truncate"] = {
+                "fraction": self.truncate_fraction,
+                "files": list(self.truncate_files),
+            }
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FaultSchedule":
+        if not isinstance(data, Mapping):
+            _fail("$", "not a JSON object")
+        schema = data.get("schema")
+        if schema != SCHEDULE_SCHEMA:
+            _fail(
+                "$.schema",
+                f"expected {SCHEDULE_SCHEMA!r}, got {schema!r}",
+            )
+        envelopes = data.get("envelopes", [])
+        if not isinstance(envelopes, (list, tuple)):
+            _fail("$.envelopes", "must be a list")
+        truncate = data.get("truncate") or {}
+        if not isinstance(truncate, Mapping):
+            _fail("$.truncate", "must be an object")
+        return cls(
+            name=str(data.get("name", "unnamed")),
+            envelopes=tuple(Envelope.from_dict(env) for env in envelopes),
+            phases=dict(data.get("phases", {})),
+            truncate_fraction=float(truncate.get("fraction", 0.0)),
+            truncate_files=tuple(
+                truncate.get("files", ("proxy",) if truncate else ())
+            ),
+            drop_files=tuple(data.get("drop_files", ())),
+        )
+
+    def save(self, path: str | Path) -> Path:
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with target.open("w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+            handle.write("\n")
+        return target
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FaultSchedule":
+        with Path(path).open("r", encoding="utf-8") as handle:
+            try:
+                data = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}: not valid JSON ({exc})"
+                ) from exc
+        return cls.from_dict(data)
+
+
+def load_schedule(path: str | Path) -> FaultSchedule:
+    """Module-level alias for :meth:`FaultSchedule.load`."""
+    return FaultSchedule.load(path)
+
+
+@dataclass(frozen=True, slots=True)
+class ScheduleSpec:
+    """Adapter: drive :func:`repro.logs.faults.corrupt_trace` from a
+    schedule.
+
+    Satisfies the same protocol as :class:`~repro.logs.faults.FaultSpec`
+    (``seed`` / ``touches_rows`` / ``truncates`` / ``truncate_fraction``
+    / ``drop_files`` / ``rates_at``), with :attr:`time_varying` True so
+    the injector re-evaluates the rates at every row's normalised
+    timestamp.  Corrupted bytes are a pure function of
+    ``(seed, schedule)``.
+    """
+
+    seed: int
+    schedule: FaultSchedule
+    time_varying: bool = True
+
+    def touches_rows(self) -> bool:
+        return self.schedule.touches_rows()
+
+    def truncates(self, stem: str) -> bool:
+        return (
+            self.schedule.truncate_fraction > 0.0
+            and stem in self.schedule.truncate_files
+        )
+
+    @property
+    def truncate_fraction(self) -> float:
+        return self.schedule.truncate_fraction
+
+    @property
+    def drop_files(self) -> tuple[str, ...]:
+        return self.schedule.drop_files
+
+    def rates_at(self, stem: str, u: float) -> dict[str, float]:
+        return self.schedule.rates_at(stem, u)
+
+
+def constant_schedule(
+    rates: Mapping[str, float],
+    *,
+    name: str = "constant",
+    streams: Iterable[str] = LOG_STEMS,
+    truncate_fraction: float = 0.0,
+    truncate_files: tuple[str, ...] = ("proxy",),
+) -> FaultSchedule:
+    """A schedule holding each fault class at a flat rate — the exact
+    time-invariant equivalent of a :class:`~repro.logs.faults.FaultSpec`
+    (same rates at every row, so the injected bytes are identical)."""
+    envelopes = tuple(
+        Envelope(
+            fault=fault,
+            streams=tuple(streams),
+            points=((0.0, rate), (1.0, rate)),
+        )
+        for fault, rate in rates.items()
+        if rate > 0.0
+    )
+    return FaultSchedule(
+        name=name,
+        envelopes=envelopes,
+        truncate_fraction=truncate_fraction,
+        truncate_files=truncate_files if truncate_fraction > 0.0 else (),
+    )
+
+
+def spec_as_schedule(spec: FaultSpec, name: str = "from-spec") -> FaultSchedule:
+    """The :class:`FaultSchedule` equivalent of a constant fault spec."""
+    return constant_schedule(
+        {fault: rate for fault, rate in spec.row_rates.items() if rate > 0.0},
+        name=name,
+        truncate_fraction=spec.truncate_fraction,
+        truncate_files=spec.truncate_files,
+    )
+
+
+def default_schedule() -> FaultSchedule:
+    """The stock soak schedule (`examples/schedules/soak-default.json`).
+
+    Gentle ramps on the common row faults, a mid-window garbage burst, a
+    short bad-sector burst on the phase-shifted MME stream and a modest
+    truncated proxy tail — every fault class the lenient readers must
+    survive, at rates low enough that report panels stay inside their
+    statistical bands.
+    """
+    return FaultSchedule(
+        name="soak-default",
+        phases={"mme": 0.05},
+        envelopes=(
+            Envelope(
+                fault="dropped",
+                points=((0.0, 0.0), (1.0, 0.02)),
+            ),
+            Envelope(
+                fault="duplicated",
+                points=((0.0, 0.02), (0.5, 0.005), (1.0, 0.02)),
+            ),
+            Envelope(
+                fault="shuffled",
+                points=((0.0, 0.0), (0.25, 0.015), (0.75, 0.015), (1.0, 0.0)),
+            ),
+            Envelope(
+                fault="bad_imei",
+                points=((0.2, 0.0), (0.6, 0.02), (1.0, 0.0)),
+            ),
+            Envelope(
+                fault="bad_sector",
+                streams=("mme",),
+                points=((0.55, 0.0), (0.6, 0.08), (0.65, 0.0)),
+            ),
+            Envelope(
+                fault="bad_bytes",
+                streams=("proxy",),
+                points=((0.0, 0.01), (1.0, 0.01)),
+            ),
+            Envelope(
+                fault="garbage",
+                points=((0.45, 0.0), (0.5, 0.1), (0.55, 0.0)),
+            ),
+        ),
+        truncate_fraction=0.1,
+        truncate_files=("proxy",),
+    )

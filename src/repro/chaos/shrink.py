@@ -1,0 +1,148 @@
+"""Delta-debugging shrinker for failing fault schedules.
+
+Given a schedule that makes an episode violate a soak invariant and a
+``still_fails`` oracle, :func:`shrink_schedule` searches for the
+smallest schedule that still reproduces the failure, in three ordered
+phases (all candidates built with the pure transforms on
+:class:`~repro.chaos.schedule.FaultSchedule`, so the search itself is
+deterministic):
+
+1. **structure** — drop file-level faults (truncation, dropped files),
+   then greedily eliminate whole envelopes to a fixpoint: fewer fault
+   classes;
+2. **window** — repeatedly clip the active time window (halves first,
+   then edge trims): a narrower burst;
+3. **rates** — halve every remaining rate while the failure survives:
+   a gentler burst.
+
+Because the oracle replays a full corrupt → ingest → check episode per
+candidate, attempts are budgeted (``max_attempts``); the greedy order
+puts the biggest reductions first so even a tight budget lands close to
+minimal.  The result always satisfies ``still_fails`` (it starts from a
+failing schedule and only accepts failing candidates), which is what
+lets the soak write the *shrunk* schedule into the replay capsule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.chaos.schedule import FaultSchedule
+
+__all__ = ["ShrinkResult", "shrink_schedule"]
+
+
+@dataclass(slots=True)
+class ShrinkResult:
+    """Outcome of one shrink search."""
+
+    original: FaultSchedule
+    schedule: FaultSchedule
+    attempts: int = 0
+    steps: list[str] = field(default_factory=list)
+
+    @property
+    def reduced(self) -> bool:
+        return self.schedule != self.original
+
+    def to_dict(self) -> dict:
+        original_window = self.original.window_width()
+        return {
+            "attempts": self.attempts,
+            "steps": list(self.steps),
+            "envelopes": {
+                "before": len(self.original.envelopes),
+                "after": len(self.schedule.envelopes),
+            },
+            "fault_classes": {
+                "before": sorted(self.original.fault_classes()),
+                "after": sorted(self.schedule.fault_classes()),
+            },
+            "window_width": {
+                "before": original_window,
+                "after": self.schedule.window_width(),
+            },
+        }
+
+
+def shrink_schedule(
+    schedule: FaultSchedule,
+    still_fails: Callable[[FaultSchedule], bool],
+    *,
+    max_attempts: int = 64,
+) -> ShrinkResult:
+    """Reduce ``schedule`` to a smaller one for which ``still_fails``
+    holds.
+
+    ``still_fails`` must be a pure predicate of the candidate schedule
+    (the soak builds one that replays the failing episode's seed and
+    format); it is never called on the original schedule, which the
+    caller already knows fails.
+    """
+    result = ShrinkResult(original=schedule, schedule=schedule)
+
+    def accept(candidate: FaultSchedule, step: str) -> bool:
+        if result.attempts >= max_attempts:
+            return False
+        if candidate == result.schedule:
+            return False
+        if not (
+            candidate.touches_rows()
+            or candidate.truncate_fraction > 0.0
+            or candidate.drop_files
+        ):
+            return False  # a no-op schedule cannot reproduce anything
+        result.attempts += 1
+        if still_fails(candidate):
+            result.schedule = candidate
+            result.steps.append(step)
+            return True
+        return False
+
+    # Phase 1: structure — file-level faults first, then whole envelopes.
+    accept(result.schedule.without_truncation(), "drop truncation")
+    accept(result.schedule.without_dropped_files(), "drop dropped-files")
+    eliminated = True
+    while eliminated and result.attempts < max_attempts:
+        eliminated = False
+        # Backwards so surviving indices stay valid across removals.
+        for index in range(len(result.schedule.envelopes) - 1, -1, -1):
+            fault = result.schedule.envelopes[index].fault
+            if accept(
+                result.schedule.without_envelope(index),
+                f"remove {fault} envelope",
+            ):
+                eliminated = True
+
+    # Phase 2: window — bisect towards the smallest failing time window.
+    # Stop at half a percent of normalised time: below that a clip no
+    # longer changes which rows fall inside the burst, it just halves
+    # floats forever and burns the attempt budget.
+    min_width = 0.005
+    narrowed = True
+    while narrowed and result.attempts < max_attempts:
+        narrowed = False
+        lo, hi = result.schedule.window()
+        width = hi - lo
+        if width <= min_width:
+            break
+        mid = lo + width / 2.0
+        quarter = width / 4.0
+        for u0, u1, step in (
+            (lo, mid, f"clip to left half [{lo:.3f}, {mid:.3f}]"),
+            (mid, hi, f"clip to right half [{mid:.3f}, {hi:.3f}]"),
+            (lo + quarter, hi, f"trim left quarter to [{lo + quarter:.3f}, {hi:.3f}]"),
+            (lo, hi - quarter, f"trim right quarter to [{lo:.3f}, {hi - quarter:.3f}]"),
+        ):
+            if accept(result.schedule.clipped(u0, u1), step):
+                narrowed = True
+                break
+
+    # Phase 3: rates — halve while the failure survives.
+    while result.attempts < max_attempts and accept(
+        result.schedule.scaled(0.5), "halve rates"
+    ):
+        pass
+
+    return result

@@ -186,19 +186,26 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def cmd_corrupt(args: argparse.Namespace) -> int:
-    spec = FaultSpec(
-        seed=args.seed,
-        drop_rate=_rate(args.drop_rate, args.rate),
-        duplicate_rate=_rate(args.duplicate_rate, args.rate),
-        shuffle_rate=_rate(args.shuffle_rate, args.rate),
-        bad_imei_rate=_rate(args.bad_imei_rate, args.rate),
-        bad_sector_rate=_rate(args.bad_sector_rate, args.rate),
-        bad_bytes_rate=_rate(args.bad_bytes_rate, args.rate),
-        garbage_rate=_rate(args.garbage_rate, args.rate),
-        truncate_fraction=args.truncate,
-        truncate_files=tuple(args.truncate_file or ("proxy",)),
-        drop_files=tuple(args.drop_file or ()),
-    )
+    if getattr(args, "schedule", None):
+        from repro.chaos.schedule import FaultSchedule, ScheduleSpec
+
+        spec = ScheduleSpec(
+            seed=args.seed, schedule=FaultSchedule.load(args.schedule)
+        )
+    else:
+        spec = FaultSpec(
+            seed=args.seed,
+            drop_rate=_rate(args.drop_rate, args.rate),
+            duplicate_rate=_rate(args.duplicate_rate, args.rate),
+            shuffle_rate=_rate(args.shuffle_rate, args.rate),
+            bad_imei_rate=_rate(args.bad_imei_rate, args.rate),
+            bad_sector_rate=_rate(args.bad_sector_rate, args.rate),
+            bad_bytes_rate=_rate(args.bad_bytes_rate, args.rate),
+            garbage_rate=_rate(args.garbage_rate, args.rate),
+            truncate_fraction=args.truncate,
+            truncate_files=tuple(args.truncate_file or ("proxy",)),
+            drop_files=tuple(args.drop_file or ()),
+        )
     report = corrupt_trace(args.trace, args.out, spec)
     manifest = Path(args.out) / "faults.json"
     with manifest.open("w", encoding="utf-8") as handle:
@@ -211,6 +218,68 @@ def cmd_corrupt(args: argparse.Namespace) -> int:
 
 def _rate(override: float | None, default: float) -> float:
     return default if override is None else override
+
+
+def cmd_soak(args: argparse.Namespace) -> int:
+    """Run a chaos soak campaign; exit 1 when any episode fails."""
+    from repro.chaos import FaultSchedule, SoakConfig, default_schedule, run_soak
+
+    schedule = (
+        FaultSchedule.load(args.schedule)
+        if args.schedule
+        else default_schedule()
+    )
+    max_issue_counts: dict[str, int] = {}
+    for item in args.fail_on_issue or ():
+        code, _, ceiling = item.partition(":")
+        if not code:
+            raise ValueError(f"bad --fail-on-issue value {item!r}")
+        max_issue_counts[code] = int(ceiling) if ceiling else 0
+    config = SoakConfig(
+        episodes=args.episodes,
+        seed=args.seed,
+        formats=tuple(args.format or ("csv.gz", "bin")),
+        preset=args.preset,
+        shards=args.shards,
+        schedule=schedule,
+        max_issue_counts=max_issue_counts,
+        rss_limit_mb=args.rss_limit_mb,
+        shrink=not args.no_shrink,
+    )
+    report = run_soak(config, args.out)
+    print(report.summary(), file=sys.stderr)
+    print(
+        f"soak report: {Path(args.out) / 'soak-report.json'}",
+        file=sys.stderr,
+    )
+    print(args.out)
+    return 0 if report.ok else 1
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Re-run a replay capsule; exit 0 only when the failure reproduces."""
+    import tempfile
+
+    from repro.chaos.replay import load_replay, run_replay
+
+    capsule = load_replay(args.capsule)
+    workdir = args.workdir or tempfile.mkdtemp(prefix="repro-replay-")
+    result = run_replay(capsule, workdir)
+    print(result.summary(), file=sys.stderr)
+    print(f"replay artifacts: {workdir}", file=sys.stderr)
+    if args.json:
+        payload = {
+            "reproduced": result.reproduced,
+            "expected": sorted(list(key) for key in result.expected),
+            "observed": sorted(list(key) for key in result.observed),
+            "violations": [v.to_dict() for v in result.violations],
+        }
+        target = Path(args.json)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with target.open("w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    return 0 if result.reproduced else 1
 
 
 #: Suffix probe order for locating a trace's logs (matches
@@ -783,7 +852,96 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="log file(s) to remove entirely (repeatable)",
     )
+    corrupt.add_argument(
+        "--schedule",
+        default=None,
+        metavar="PATH",
+        help="time-varying fault schedule JSON (repro.chaos/schedule/v1); "
+        "overrides every per-class rate flag — corruption becomes a pure "
+        "function of (--seed, schedule)",
+    )
     corrupt.set_defaults(func=cmd_corrupt)
+
+    soak = subparsers.add_parser(
+        "soak",
+        help="chaos soak: N seeded episodes of simulate -> corrupt -> "
+        "lenient-analyze with per-episode invariant checks; failing "
+        "episodes emit shrunk replay capsules",
+    )
+    soak.add_argument("--out", required=True, help="soak working directory")
+    soak.add_argument(
+        "--episodes", type=int, default=25, help="episodes per wire format"
+    )
+    soak.add_argument("--seed", type=int, default=1, help="soak seed")
+    soak.add_argument(
+        "--schedule",
+        default=None,
+        metavar="PATH",
+        help="fault schedule JSON (default: the built-in soak-default "
+        "schedule, examples/schedules/soak-default.json)",
+    )
+    soak.add_argument(
+        "--format",
+        action="append",
+        choices=("csv", "csv.gz", "bin"),
+        default=None,
+        help="wire format(s) to soak (repeatable; default: csv.gz and bin)",
+    )
+    soak.add_argument(
+        "--preset",
+        choices=("tiny", "small", "medium"),
+        default="small",
+        help="simulation preset backing every episode (default: small)",
+    )
+    soak.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help="shard count for the serial-vs-sharded lenient equality "
+        "check (default: 2; 1 disables the check)",
+    )
+    soak.add_argument(
+        "--rss-limit-mb",
+        type=float,
+        default=None,
+        help="fail an episode when its peak resident set exceeds this "
+        "many MB (default: unbounded)",
+    )
+    soak.add_argument(
+        "--fail-on-issue",
+        action="append",
+        metavar="CODE[:MAX]",
+        default=None,
+        help="fail an episode when quarantine issue CODE occurs more "
+        "than MAX times (default MAX: 0; repeatable)",
+    )
+    soak.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="emit replay capsules with the full schedule instead of "
+        "running the shrinker on failures",
+    )
+    soak.set_defaults(func=cmd_soak)
+
+    replay = subparsers.add_parser(
+        "replay",
+        help="re-run a soak replay capsule deterministically; exit 0 "
+        "only when the recorded failure reproduces",
+    )
+    replay.add_argument("capsule", help="replay capsule JSON file")
+    replay.add_argument(
+        "--workdir",
+        default=None,
+        help="directory for the rebuilt trace and episode artifacts "
+        "(default: a fresh temp directory, kept for triage)",
+    )
+    replay.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the structured replay outcome as JSON here",
+    )
+    replay.set_defaults(func=cmd_replay)
 
     validate = subparsers.add_parser(
         "validate", help="check trace integrity", parents=[obs_flags]
@@ -960,6 +1118,11 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except (NotADirectoryError, PermissionError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        # Malformed schedule / replay-capsule documents and bad flag
+        # combinations raise ValueError with a self-explanatory message.
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

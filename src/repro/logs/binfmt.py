@@ -63,6 +63,7 @@ import json
 import struct
 import sys
 import time
+import zlib
 from array import array
 from itertools import islice
 from pathlib import Path
@@ -708,7 +709,16 @@ def read_bin_records(
                     cols = _unpack_columns(
                         gzip.decompress(payload), record_type, rows
                     )
-                except (OSError, EOFError, ValueError, struct.error) as exc:
+                # zlib.error is not an OSError: a byte flipped *inside*
+                # a gzip member surfaces as a bare decompress failure,
+                # not a BadGzipFile.
+                except (
+                    OSError,
+                    EOFError,
+                    ValueError,
+                    struct.error,
+                    zlib.error,
+                ) as exc:
                     if quarantine is None:
                         raise LogReadError(
                             source,

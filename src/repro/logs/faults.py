@@ -14,6 +14,15 @@ hand-crafted fixtures.
 produces byte-identical corruption; a spec with every rate at zero is a
 byte-identical no-op (files are copied verbatim, never re-encoded).
 
+Specs may also be *time-varying*: any object satisfying the same
+protocol (``seed`` / ``touches_rows()`` / ``truncates(stem)`` /
+``truncate_fraction`` / ``drop_files`` / ``rates_at(stem, u)``) with
+``time_varying = True`` is re-queried at every row's normalised
+timestamp ``u ∈ [0, 1]`` (0 = earliest row in that log, 1 = latest), so
+injection rates can ramp and burst across the trace window.
+:class:`repro.chaos.schedule.ScheduleSpec` is the canonical
+implementation; a plain :class:`FaultSpec` reports constant rates.
+
 Fault classes and how lenient ingestion surfaces them:
 
 ===============  =====================================  ====================
@@ -42,6 +51,7 @@ import random
 import shutil
 from dataclasses import dataclass, fields as dataclass_fields, replace
 from pathlib import Path
+from typing import ClassVar
 
 from repro import obs
 
@@ -97,6 +107,10 @@ class FaultSpec:
     on plain CSV it leaves one torn final row).  ``drop_files`` removes
     whole logs from the corrupted copy.
     """
+
+    #: Constant specs evaluate to the same rates at every row; the
+    #: injector uses this flag to skip per-row timestamp normalisation.
+    time_varying: ClassVar[bool] = False
 
     seed: int = 0
     drop_rate: float = 0.0
@@ -171,6 +185,11 @@ class FaultSpec:
 
     def truncates(self, stem: str) -> bool:
         return self.truncate_fraction > 0.0 and stem in self.truncate_files
+
+    def rates_at(self, stem: str, u: float) -> dict[str, float]:
+        """Per-row fault rates at normalised trace time ``u`` — constant
+        for a plain spec; the time-varying protocol hook."""
+        return self.row_rates
 
 
 @dataclass(slots=True)
@@ -348,6 +367,33 @@ def _swap_timestamps(
     return True
 
 
+def _normalized_times(data: list[list[str]], ts_index: int | None) -> list[float]:
+    """Each row's position ``u ∈ [0, 1]`` in the log's timestamp span.
+
+    Rows with a missing/unparsable timestamp — and every row when the
+    span is degenerate — sit at ``u = 0.0``, so a schedule's behaviour
+    at the window start covers them deterministically.
+    """
+    if ts_index is None:
+        return [0.0] * len(data)
+    stamps: list[float | None] = []
+    for fields in data:
+        try:
+            stamps.append(float(fields[ts_index]))
+        except (IndexError, ValueError):
+            stamps.append(None)
+    known = [stamp for stamp in stamps if stamp is not None]
+    if not known:
+        return [0.0] * len(data)
+    lo, hi = min(known), max(known)
+    span = hi - lo
+    if span <= 0.0:
+        return [0.0] * len(data)
+    return [
+        0.0 if stamp is None else (stamp - lo) / span for stamp in stamps
+    ]
+
+
 def _mutate_imei(imei: str, rng: random.Random) -> str:
     choice = rng.randrange(3)
     if choice == 0:
@@ -366,6 +412,12 @@ def _corrupt_log(
 ) -> bytes:
     """Apply row-level faults to one log file; returns the new bytes.
 
+    ``spec`` is anything satisfying the fault-spec protocol; when it is
+    ``time_varying`` the rates are re-evaluated at every row's normalised
+    timestamp, otherwise they are looked up once.  Either way each row
+    consumes the same RNG draw sequence, so a constant spec corrupts
+    byte-identically to the pre-time-varying injector.
+
     Row accounting lands on the active observability registry under the
     shared I/O counter names (``category="corrupt"``), so ``repro
     corrupt`` runs report rows in/out like every other stage.
@@ -381,26 +433,35 @@ def _corrupt_log(
     column = {name: index for index, name in enumerate(header)}
     ts_index = column.get("timestamp")
 
+    time_varying = getattr(spec, "time_varying", False)
+    if time_varying:
+        row_times = _normalized_times(data, ts_index)
+    else:
+        row_times = None
+        rates = spec.rates_at(stem, 0.0)
+
     entries: list = [("row", header)]
     previous_index: int | None = None  # index of the last data row kept
-    for fields in data:
-        if rng.random() < spec.garbage_rate:
+    for row_number, fields in enumerate(data):
+        if row_times is not None:
+            rates = spec.rates_at(stem, row_times[row_number])
+        if rng.random() < rates["garbage"]:
             noise = "".join(rng.choices(_GARBAGE_ALPHABET, k=24))
             entries.append(("raw", noise))
             bump("garbage")
-        if rng.random() < spec.drop_rate:
+        if rng.random() < rates["dropped"]:
             bump("dropped")
             continue
         fields = list(fields)
         # Field mutations are exclusive per row so injected counts map
         # one-to-one onto quarantined rows.
-        if "imei" in column and rng.random() < spec.bad_imei_rate:
+        if "imei" in column and rng.random() < rates["bad_imei"]:
             fields[column["imei"]] = _mutate_imei(fields[column["imei"]], rng)
             bump("bad_imei")
-        elif "sector_id" in column and rng.random() < spec.bad_sector_rate:
+        elif "sector_id" in column and rng.random() < rates["bad_sector"]:
             fields[column["sector_id"]] = f"sector-bogus-{rng.randrange(10**6)}"
             bump("bad_sector")
-        elif "bytes_up" in column and rng.random() < spec.bad_bytes_rate:
+        elif "bytes_up" in column and rng.random() < rates["bad_bytes"]:
             # Binary columns are typed int64, so the injected value must
             # survive int() re-encoding: negatives only.  CSV keeps the
             # textual "NaN" case, which exercises the parse-level reject.
@@ -410,7 +471,7 @@ def _corrupt_log(
         if (
             ts_index is not None
             and previous_index is not None
-            and rng.random() < spec.shuffle_rate
+            and rng.random() < rates["shuffled"]
         ):
             prev_kind, prev_fields = entries[previous_index]
             if prev_kind == "row" and _swap_timestamps(
@@ -419,7 +480,7 @@ def _corrupt_log(
                 bump("shuffled")
         entries.append(("row", fields))
         previous_index = len(entries) - 1
-        if rng.random() < spec.duplicate_rate:
+        if rng.random() < rates["duplicated"]:
             entries.append(("row", list(fields)))
             bump("duplicated")
 
@@ -448,10 +509,12 @@ def corrupt_trace(
 ) -> InjectionReport:
     """Copy a trace directory, injecting the faults described by ``spec``.
 
-    Files the spec does not touch (side artefacts, or the logs themselves
-    when every rate is zero) are copied byte-for-byte, which is what makes
-    an all-zero spec a provable no-op.  The source directory is never
-    modified.
+    ``spec`` is a :class:`FaultSpec` or any object satisfying the same
+    protocol — :class:`repro.chaos.schedule.ScheduleSpec` plugs in a
+    time-varying JSON fault schedule here.  Files the spec does not touch
+    (side artefacts, or the logs themselves when every rate is zero) are
+    copied byte-for-byte, which is what makes an all-zero spec a provable
+    no-op.  The source directory is never modified.
     """
     src_base = Path(source)
     dst_base = Path(destination)

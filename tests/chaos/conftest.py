@@ -1,0 +1,74 @@
+"""Shared fixtures for the chaos-harness tests.
+
+``micro_trace`` is a hand-built trace directory (a few hundred rows in
+both logs) small enough that property tests can corrupt it dozens of
+times per run; ``tiny_pristine`` is a real simulated trace at the soak
+``tiny`` preset for the episode/replay tests.
+"""
+
+import pytest
+
+from repro.chaos.soak import preset_config
+from repro.logs.io import write_mme_log, write_proxy_log
+from repro.logs.records import MmeRecord, ProxyRecord
+from repro.simnet.simulator import Simulator
+
+#: One simulated day; micro-trace timestamps span two of them so the
+#: normalised-time axis a schedule evaluates on is non-degenerate.
+_DAY = 86_400.0
+_T0 = 1_513_296_000.0
+
+
+def micro_proxy_records(n: int = 240) -> list[ProxyRecord]:
+    return [
+        ProxyRecord(
+            timestamp=_T0 + i * (2 * _DAY / n),
+            subscriber_id=f"s{i % 23:04d}",
+            imei="358847080000011",
+            host=f"api{i % 7}.example.com",
+            bytes_down=200 + i,
+            bytes_up=i % 11,
+            protocol="https" if i % 3 else "http",
+            path="/sync" if i % 5 == 0 else "",
+        )
+        for i in range(n)
+    ]
+
+
+def micro_mme_records(n: int = 120) -> list[MmeRecord]:
+    events = ("attach", "detach", "handover", "tracking_area_update")
+    return [
+        MmeRecord(
+            timestamp=_T0 + i * (2 * _DAY / n),
+            subscriber_id=f"s{i % 23:04d}",
+            imei="358847080000011",
+            sector_id=f"S{i % 5:03d}-001",
+            event=events[i % len(events)],
+        )
+        for i in range(n)
+    ]
+
+
+@pytest.fixture(scope="package")
+def micro_trace(tmp_path_factory):
+    """A minimal csv.gz trace directory for fast corruption tests."""
+    base = tmp_path_factory.mktemp("chaos-micro") / "trace"
+    base.mkdir(parents=True)
+    write_proxy_log(base / "proxy.csv.gz", micro_proxy_records())
+    write_mme_log(base / "mme.csv.gz", micro_mme_records())
+    (base / "metadata.json").write_text("{}\n", encoding="utf-8")
+    return base
+
+
+@pytest.fixture(scope="package")
+def tiny_output():
+    """The simulated ``tiny`` soak preset (one run shared per package)."""
+    return Simulator(preset_config("tiny", seed=1)).run()
+
+
+@pytest.fixture(scope="package")
+def tiny_pristine(tiny_output, tmp_path_factory):
+    """The tiny preset exported as a csv.gz trace."""
+    out = tmp_path_factory.mktemp("chaos-tiny") / "pristine"
+    tiny_output.write(out, format="csv.gz")
+    return out

@@ -1,0 +1,182 @@
+"""Property tests for the chaos layer (hypothesis).
+
+Three guarantees the soak harness is built on:
+
+* corruption is a pure function of ``(seed, schedule)`` — same inputs,
+  byte-identical corrupted trace;
+* an all-zero-rate schedule is a provable no-op — byte-identical copy;
+* whatever the shrinker returns still satisfies the failure oracle.
+"""
+
+import itertools
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.chaos.schedule import (
+    ROW_FAULT_CLASSES,
+    Envelope,
+    FaultSchedule,
+    ScheduleSpec,
+)
+from repro.chaos.shrink import shrink_schedule
+from repro.logs.faults import LOG_STEMS, corrupt_trace
+
+_SETTINGS = dict(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+_dirs = itertools.count()
+
+
+def _fresh_dir(base):
+    return base / f"case-{next(_dirs):04d}"
+
+
+@st.composite
+def envelopes(draw, max_rate=0.25):
+    fault = draw(st.sampled_from(ROW_FAULT_CLASSES))
+    streams = draw(
+        st.sampled_from([LOG_STEMS, ("proxy",), ("mme",)])
+    )
+    knots = draw(
+        st.lists(
+            st.floats(0.0, 1.0, allow_nan=False),
+            min_size=1,
+            max_size=4,
+            unique=True,
+        ).map(sorted)
+    )
+    rates = draw(
+        st.lists(
+            st.floats(0.0, max_rate, allow_nan=False),
+            min_size=len(knots),
+            max_size=len(knots),
+        )
+    )
+    return Envelope(
+        fault=fault,
+        streams=streams,
+        points=tuple(zip(knots, rates)),
+    )
+
+
+@st.composite
+def schedules(draw):
+    envs = draw(st.lists(envelopes(), min_size=1, max_size=3))
+    phases = {}
+    if draw(st.booleans()):
+        phases["mme"] = draw(st.floats(0.0, 0.2, allow_nan=False))
+    return FaultSchedule(
+        name="prop", envelopes=tuple(envs), phases=phases
+    )
+
+
+class TestDeterminism:
+    @given(schedule=schedules(), seed=st.integers(0, 2**31))
+    @settings(**_SETTINGS)
+    def test_same_seed_and_schedule_give_identical_bytes(
+        self, micro_trace, tmp_path, schedule, seed
+    ):
+        base = _fresh_dir(tmp_path)
+        spec = ScheduleSpec(seed=seed, schedule=schedule)
+        report_a = corrupt_trace(micro_trace, base / "a", spec)
+        report_b = corrupt_trace(micro_trace, base / "b", spec)
+        assert report_a.counts == report_b.counts
+        for name in ("proxy.csv.gz", "mme.csv.gz"):
+            assert (base / "a" / name).read_bytes() == (
+                base / "b" / name
+            ).read_bytes(), name
+
+    @given(seed=st.integers(0, 2**31))
+    @settings(**_SETTINGS)
+    def test_zero_rate_schedule_is_a_byte_identical_noop(
+        self, micro_trace, tmp_path, seed
+    ):
+        schedule = FaultSchedule(
+            name="all-zero",
+            envelopes=tuple(
+                Envelope(fault=fault, points=((0.0, 0.0), (1.0, 0.0)))
+                for fault in ROW_FAULT_CLASSES
+            ),
+        )
+        out = _fresh_dir(tmp_path)
+        report = corrupt_trace(
+            micro_trace, out, ScheduleSpec(seed=seed, schedule=schedule)
+        )
+        assert not any(report.counts.values())
+        for name in ("proxy.csv.gz", "mme.csv.gz", "metadata.json"):
+            assert (out / name).read_bytes() == (
+                micro_trace / name
+            ).read_bytes(), name
+
+
+class TestShrinkerContract:
+    @given(
+        schedule=schedules(),
+        target=st.sampled_from(ROW_FAULT_CLASSES),
+        budget=st.integers(4, 64),
+    )
+    @settings(**_SETTINGS)
+    def test_result_always_satisfies_the_oracle(
+        self, schedule, target, budget
+    ):
+        def still_fails(candidate):
+            return target in candidate.fault_classes()
+
+        if not still_fails(schedule):
+            # The shrinker's contract starts from a failing schedule.
+            return
+        result = shrink_schedule(schedule, still_fails, max_attempts=budget)
+        assert still_fails(result.schedule)
+        assert result.attempts <= budget
+
+    @given(schedule=schedules(), u=st.floats(0.0, 1.0))
+    @settings(**_SETTINGS)
+    def test_shrunk_rates_never_exceed_the_original(self, schedule, u):
+        """Shrinking only removes corruption pressure: at every time and
+        on every stream the shrunk schedule's rates are <= the original
+        (the oracle here accepts everything, maximising reduction)."""
+        result = shrink_schedule(schedule, lambda candidate: True)
+        for stream in LOG_STEMS:
+            original = schedule.rates_at(stream, u)
+            shrunk = result.schedule.rates_at(stream, u)
+            for fault in ROW_FAULT_CLASSES:
+                assert shrunk[fault] <= original[fault] + 1e-9
+
+
+class TestShrunkScheduleReproduces:
+    def test_shrunk_schedule_reproduces_on_the_real_oracle(
+        self, micro_trace, tmp_path
+    ):
+        """Against the *real* corrupt-and-count oracle (not a synthetic
+        predicate): the shrunk schedule still injects the offending
+        fault class into the micro trace."""
+
+        def still_fails(candidate):
+            out = _fresh_dir(tmp_path)
+            report = corrupt_trace(
+                micro_trace, out, ScheduleSpec(seed=9, schedule=candidate)
+            )
+            return report.counts.get("mme.bad_sector", 0) > 0
+
+        schedule = FaultSchedule(
+            name="dense",
+            envelopes=(
+                Envelope(fault="garbage", points=((0.0, 0.05), (1.0, 0.05))),
+                Envelope(fault="dropped", points=((0.0, 0.05), (1.0, 0.05))),
+                Envelope(
+                    fault="bad_sector",
+                    streams=("mme",),
+                    points=((0.4, 0.0), (0.5, 0.9), (0.6, 0.0)),
+                ),
+            ),
+            truncate_fraction=0.1,
+            truncate_files=("proxy",),
+        )
+        assert still_fails(schedule)
+        result = shrink_schedule(schedule, still_fails)
+        assert still_fails(result.schedule)
+        assert result.schedule.fault_classes() == {"bad_sector"}

@@ -1,0 +1,249 @@
+"""Unit tests for time-varying fault schedules
+(:mod:`repro.chaos.schedule`)."""
+
+import json
+
+import pytest
+
+from repro.chaos.schedule import (
+    SCHEDULE_SCHEMA,
+    Envelope,
+    FaultSchedule,
+    ScheduleSpec,
+    constant_schedule,
+    default_schedule,
+    load_schedule,
+    spec_as_schedule,
+)
+from repro.logs.faults import FaultSpec, corrupt_trace
+
+
+class TestEnvelope:
+    def test_interpolates_between_knots(self):
+        env = Envelope(fault="garbage", points=((0.2, 0.0), (0.6, 0.4)))
+        assert env.rate_at(0.2) == 0.0
+        assert env.rate_at(0.6) == pytest.approx(0.4)
+        assert env.rate_at(0.4) == pytest.approx(0.2)
+
+    def test_zero_outside_support(self):
+        env = Envelope(fault="garbage", points=((0.2, 0.3), (0.6, 0.4)))
+        assert env.rate_at(0.0) == 0.0
+        assert env.rate_at(0.19) == 0.0
+        assert env.rate_at(0.61) == 0.0
+        assert env.rate_at(1.0) == 0.0
+        assert env.support == (0.2, 0.6)
+
+    def test_single_point_is_an_impulse(self):
+        env = Envelope(fault="dropped", points=((0.5, 0.25),))
+        assert env.rate_at(0.5) == 0.25
+        assert env.rate_at(0.4999) == 0.0
+        assert env.max_rate == 0.25
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"fault": "nope", "points": ((0.0, 0.1),)},
+            {"fault": "garbage", "points": ()},
+            {"fault": "garbage", "streams": (), "points": ((0.0, 0.1),)},
+            {"fault": "garbage", "streams": ("dns",), "points": ((0.0, 0.1),)},
+            {"fault": "garbage", "points": ((-0.1, 0.1),)},
+            {"fault": "garbage", "points": ((0.0, 1.5),)},
+            {"fault": "garbage", "points": ((0.5, 0.1), (0.5, 0.2))},
+            {"fault": "garbage", "points": ((0.6, 0.1), (0.4, 0.2))},
+        ],
+    )
+    def test_validation_rejects(self, kwargs):
+        with pytest.raises(ValueError):
+            Envelope(**kwargs)
+
+    def test_clipped_agrees_inside_window(self):
+        env = Envelope(
+            fault="garbage", points=((0.0, 0.0), (0.5, 0.2), (1.0, 0.0))
+        )
+        clipped = env.clipped(0.25, 0.75)
+        assert clipped is not None
+        for u in (0.25, 0.4, 0.5, 0.6, 0.75):
+            assert clipped.rate_at(u) == pytest.approx(env.rate_at(u))
+        assert clipped.rate_at(0.2) == 0.0
+        assert clipped.rate_at(0.8) == 0.0
+
+    def test_clipped_disjoint_is_none(self):
+        env = Envelope(fault="garbage", points=((0.1, 0.2), (0.3, 0.2)))
+        assert env.clipped(0.5, 0.9) is None
+
+    def test_scaled_clamps(self):
+        env = Envelope(fault="garbage", points=((0.0, 0.4), (1.0, 0.8)))
+        assert env.scaled(0.5).points == ((0.0, 0.2), (1.0, 0.4))
+        assert env.scaled(10.0).max_rate == 1.0
+
+
+class TestFaultSchedule:
+    def test_same_fault_envelopes_sum_clamped(self):
+        schedule = FaultSchedule(
+            envelopes=(
+                Envelope(fault="garbage", points=((0.0, 0.6), (1.0, 0.6))),
+                Envelope(fault="garbage", points=((0.0, 0.7), (1.0, 0.7))),
+            )
+        )
+        assert schedule.rate_at("garbage", "proxy", 0.5) == 1.0
+        rates = schedule.rates_at("proxy", 0.5)
+        assert rates["garbage"] == 1.0
+        assert rates["dropped"] == 0.0
+
+    def test_phase_delays_without_wrap(self):
+        schedule = FaultSchedule(
+            phases={"mme": 0.2},
+            envelopes=(
+                Envelope(fault="garbage", points=((0.0, 0.5), (0.1, 0.0))),
+            ),
+        )
+        # The proxy stream sees the burst at the window start...
+        assert schedule.rate_at("garbage", "proxy", 0.0) == 0.5
+        # ...the mme stream sees it 0.2 later, and nothing before that.
+        assert schedule.rate_at("garbage", "mme", 0.0) == 0.0
+        assert schedule.rate_at("garbage", "mme", 0.2) == 0.5
+        assert schedule.rate_at("garbage", "mme", 0.25) == pytest.approx(0.25)
+
+    def test_window_and_fault_classes(self):
+        schedule = FaultSchedule(
+            envelopes=(
+                Envelope(fault="garbage", points=((0.4, 0.0), (0.6, 0.2))),
+                Envelope(fault="dropped", points=((0.1, 0.1), (0.3, 0.1))),
+                # Zero-rate envelopes do not count as active.
+                Envelope(fault="bad_imei", points=((0.0, 0.0), (1.0, 0.0))),
+            )
+        )
+        assert schedule.fault_classes() == {"garbage", "dropped"}
+        assert schedule.window() == (0.1, 0.6)
+        assert schedule.window_width() == pytest.approx(0.5)
+        assert schedule.touches_rows()
+        assert not FaultSchedule().touches_rows()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"phases": {"dns": 0.1}},
+            {"phases": {"mme": 1.5}},
+            {"truncate_fraction": 1.2},
+            {"truncate_files": ("dns",)},
+            {"drop_files": ("dns",)},
+        ],
+    )
+    def test_validation_rejects(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultSchedule(**kwargs)
+
+    def test_roundtrip_through_json(self, tmp_path):
+        schedule = default_schedule()
+        path = schedule.save(tmp_path / "sched.json")
+        loaded = load_schedule(path)
+        assert loaded == schedule
+        assert json.loads(path.read_text())["schema"] == SCHEDULE_SCHEMA
+
+    def test_from_dict_rejects_wrong_schema(self):
+        with pytest.raises(ValueError, match="schema"):
+            FaultSchedule.from_dict({"schema": "repro.chaos/schedule/v0"})
+
+    def test_load_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{nope")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            FaultSchedule.load(path)
+
+    def test_transforms_are_pure(self):
+        schedule = default_schedule()
+        narrowed = schedule.clipped(0.4, 0.6)
+        assert narrowed.window_width() <= 0.2 + 1e-9
+        assert schedule == default_schedule()  # original untouched
+        assert schedule.without_truncation().truncate_fraction == 0.0
+        assert schedule.without_envelope(0).envelopes == schedule.envelopes[1:]
+
+    def test_shipped_default_schedule_file_matches_code(self):
+        """`examples/schedules/soak-default.json` must not drift from
+        :func:`default_schedule` — the docs point at the file, the soak
+        defaults to the code."""
+        from pathlib import Path
+
+        shipped = (
+            Path(__file__).resolve().parents[2]
+            / "examples"
+            / "schedules"
+            / "soak-default.json"
+        )
+        assert load_schedule(shipped) == default_schedule()
+
+
+class TestScheduleSpecProtocol:
+    def test_protocol_surface(self):
+        schedule = default_schedule()
+        spec = ScheduleSpec(seed=42, schedule=schedule)
+        assert spec.time_varying is True
+        assert spec.touches_rows()
+        assert spec.truncates("proxy") and not spec.truncates("mme")
+        assert spec.truncate_fraction == schedule.truncate_fraction
+        assert spec.drop_files == ()
+        assert spec.rates_at("mme", 0.65) == schedule.rates_at("mme", 0.65)
+
+    def test_constant_schedule_corrupts_identically_to_spec(
+        self, micro_trace, tmp_path
+    ):
+        """A flat schedule must inject byte-for-byte what the equivalent
+        constant :class:`FaultSpec` injects — same RNG draw order."""
+        spec = FaultSpec(
+            seed=77,
+            drop_rate=0.05,
+            duplicate_rate=0.03,
+            bad_imei_rate=0.04,
+            bad_sector_rate=0.04,
+            garbage_rate=0.02,
+        )
+        via_spec = tmp_path / "via-spec"
+        via_schedule = tmp_path / "via-schedule"
+        report_a = corrupt_trace(micro_trace, via_spec, spec)
+        report_b = corrupt_trace(
+            micro_trace,
+            via_schedule,
+            ScheduleSpec(seed=77, schedule=spec_as_schedule(spec)),
+        )
+        assert report_a.counts == report_b.counts
+        for name in ("proxy.csv.gz", "mme.csv.gz"):
+            assert (via_spec / name).read_bytes() == (
+                via_schedule / name
+            ).read_bytes(), name
+
+    def test_constant_schedule_drops_zero_rates(self):
+        schedule = constant_schedule({"garbage": 0.1, "dropped": 0.0})
+        assert schedule.fault_classes() == {"garbage"}
+        assert len(schedule.envelopes) == 1
+
+
+class TestTimeVaryingInjection:
+    def test_burst_hits_only_its_window(self, micro_trace, tmp_path):
+        """A mid-window garbage burst must leave the first and last rows
+        of the log untouched (they sit outside the burst's support)."""
+        import gzip
+
+        schedule = FaultSchedule(
+            envelopes=(
+                Envelope(
+                    fault="garbage",
+                    streams=("proxy",),
+                    points=((0.45, 0.0), (0.5, 1.0), (0.55, 0.0)),
+                ),
+            )
+        )
+        out = tmp_path / "burst"
+        report = corrupt_trace(
+            micro_trace, out, ScheduleSpec(seed=3, schedule=schedule)
+        )
+        assert report.counts.get("proxy.garbage", 0) > 0
+        with gzip.open(out / "proxy.csv.gz", "rt") as handle:
+            lines = handle.read().splitlines()
+        # Garbage lines are 24-char noise with no commas; all of them
+        # must land in the middle fifth of the row span.
+        noise_rows = [
+            index for index, line in enumerate(lines[1:]) if "," not in line
+        ]
+        assert noise_rows
+        total = len(lines) - 1
+        assert all(0.3 * total < index < 0.7 * total for index in noise_rows)

@@ -1,0 +1,125 @@
+"""Unit tests for the schedule shrinker (:mod:`repro.chaos.shrink`).
+
+The oracles here are synthetic predicates over the schedule itself, so
+every search is instant and fully deterministic — the real
+corrupt-and-check oracle is exercised by the soak acceptance test in
+``test_soak.py``.
+"""
+
+from repro.chaos.schedule import Envelope, FaultSchedule, default_schedule
+from repro.chaos.shrink import shrink_schedule
+
+
+def classes_oracle(*required):
+    """Fails iff every required fault class is still active."""
+
+    def still_fails(schedule):
+        return set(required) <= schedule.fault_classes()
+
+    return still_fails
+
+
+class TestStructurePhase:
+    def test_reduces_to_the_guilty_fault_class(self):
+        result = shrink_schedule(default_schedule(), classes_oracle("garbage"))
+        assert result.reduced
+        assert result.schedule.fault_classes() == {"garbage"}
+        assert len(result.schedule.envelopes) == 1
+        assert result.schedule.truncate_fraction == 0.0
+
+    def test_keeps_a_required_pair(self):
+        oracle = classes_oracle("garbage", "bad_sector")
+        result = shrink_schedule(default_schedule(), oracle)
+        assert result.schedule.fault_classes() == {"garbage", "bad_sector"}
+        assert oracle(result.schedule)
+
+    def test_result_always_still_fails(self):
+        # Even a degenerate always-true oracle must never hand back a
+        # no-op schedule (it could not reproduce anything).
+        result = shrink_schedule(default_schedule(), lambda schedule: True)
+        assert (
+            result.schedule.touches_rows()
+            or result.schedule.truncate_fraction > 0.0
+            or result.schedule.drop_files
+        )
+
+
+class TestWindowPhase:
+    def test_narrows_around_the_guilty_burst(self):
+        schedule = default_schedule()
+
+        def still_fails(candidate):
+            # The failure needs garbage pressure at u = 0.5.
+            return candidate.rate_at("garbage", "proxy", 0.5) > 0.0
+
+        result = shrink_schedule(schedule, still_fails)
+        lo, hi = result.schedule.window()
+        assert lo <= 0.5 <= hi
+        assert result.schedule.window_width() < 0.2 * schedule.window_width()
+        assert still_fails(result.schedule)
+
+    def test_min_width_floor_stops_the_bisection(self):
+        schedule = FaultSchedule(
+            envelopes=(
+                Envelope(fault="garbage", points=((0.0, 0.5), (1.0, 0.5))),
+            )
+        )
+        result = shrink_schedule(schedule, lambda candidate: True)
+        # The bisection stops at the width floor instead of halving
+        # floats forever: ~8 halvings get from 1.0 to 0.005, so the clip
+        # steps must be few and the final window must not collapse.
+        clip_steps = [s for s in result.steps if s.startswith(("clip", "trim"))]
+        assert len(clip_steps) <= 12
+        assert result.schedule.window_width() >= 0.001
+
+
+class TestRatePhase:
+    def test_halves_rates_while_failing(self):
+        schedule = FaultSchedule(
+            envelopes=(
+                Envelope(fault="garbage", points=((0.4, 0.8), (0.6, 0.8))),
+            )
+        )
+
+        def still_fails(candidate):
+            return candidate.max_rate("garbage") >= 0.1
+
+        result = shrink_schedule(schedule, still_fails)
+        assert 0.1 <= result.schedule.max_rate("garbage") < 0.8
+        assert still_fails(result.schedule)
+
+
+class TestBudgetAndBookkeeping:
+    def test_attempt_budget_is_respected(self):
+        calls = {"n": 0}
+
+        def still_fails(candidate):
+            calls["n"] += 1
+            return True
+
+        result = shrink_schedule(
+            default_schedule(), still_fails, max_attempts=5
+        )
+        assert result.attempts <= 5
+        assert calls["n"] <= 5
+
+    def test_unshrinkable_schedule_is_returned_unchanged(self):
+        schedule = FaultSchedule(
+            envelopes=(
+                Envelope(fault="garbage", points=((0.5, 0.2),)),
+            )
+        )
+        result = shrink_schedule(schedule, lambda candidate: False)
+        assert not result.reduced
+        assert result.schedule == schedule
+        assert result.steps == []
+
+    def test_to_dict_summarises_the_reduction(self):
+        result = shrink_schedule(default_schedule(), classes_oracle("garbage"))
+        summary = result.to_dict()
+        assert summary["envelopes"]["before"] == 7
+        assert summary["envelopes"]["after"] == 1
+        assert summary["fault_classes"]["after"] == ["garbage"]
+        assert summary["window_width"]["after"] <= summary["window_width"]["before"]
+        assert summary["attempts"] == result.attempts
+        assert summary["steps"]

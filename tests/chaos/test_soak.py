@@ -1,0 +1,380 @@
+"""Soak-runner and replay tests (:mod:`repro.chaos.soak` / ``.replay``).
+
+The tier-1 subset covers one green episode, the full deliberate-failure
+acceptance path (fail → shrink → capsule → deterministic replay, twice)
+and the CLI surfaces on the ``tiny`` preset.  Multi-episode both-format
+campaigns carry the ``soak`` marker and run via ``make soak-tests``.
+"""
+
+import json
+
+import pytest
+
+from repro.chaos.replay import (
+    REPLAY_SCHEMA,
+    build_replay,
+    load_replay,
+    run_replay,
+    write_replay,
+)
+from repro.chaos.schedule import (
+    Envelope,
+    FaultSchedule,
+    default_schedule,
+)
+from repro.chaos.soak import (
+    SOAK_REPORT_SCHEMA,
+    SoakConfig,
+    preset_config,
+    run_episode,
+    run_soak,
+)
+from repro.cli import main
+
+#: Ingestion-only config: empty bands skip the analysis pipeline, which
+#: keeps each tiny episode well under a second.
+INGEST_ONLY = SoakConfig(
+    episodes=1,
+    seed=1,
+    formats=("csv.gz",),
+    preset="tiny",
+    shards=2,
+    bands=(),
+    shrink=False,
+)
+
+
+class TestPresets:
+    def test_preset_resolution(self):
+        tiny = preset_config("tiny", seed=1)
+        small = preset_config("small", seed=1)
+        assert tiny.total_days < small.total_days
+        assert tiny.n_wearable_users < small.n_wearable_users
+        with pytest.raises(ValueError, match="unknown soak preset"):
+            preset_config("galactic", seed=1)
+
+
+class TestRunEpisode:
+    def test_green_episode_under_default_schedule(
+        self, tiny_pristine, tmp_path
+    ):
+        result = run_episode(
+            tiny_pristine,
+            tmp_path / "episode",
+            config=INGEST_ONLY,
+            fmt="csv.gz",
+            episode=0,
+        )
+        assert result.ok, [v.to_dict() for v in result.violations]
+        assert result.fault_seed == INGEST_ONLY.fault_seed(0)
+        # The default schedule really injected row faults...
+        assert result.injected and sum(result.injected.values()) > 0
+        # ...and the quarantine accounting is exact per stream.
+        quarantine = result.quarantine
+        assert set(quarantine["rows_read"]) == {"proxy", "mme"}
+        assert quarantine["rows_quarantined"]["proxy"] > 0
+
+    def test_deliberate_failure_is_caught(self, tiny_pristine, tmp_path):
+        config = SoakConfig(
+            episodes=1,
+            seed=1,
+            formats=("csv.gz",),
+            preset="tiny",
+            shards=1,
+            bands=(),
+            max_issue_counts={"mme-sector": 0},
+            shrink=False,
+        )
+        result = run_episode(
+            tiny_pristine,
+            tmp_path / "episode",
+            config=config,
+            fmt="csv.gz",
+            episode=0,
+        )
+        assert not result.ok
+        assert ("issue-count", "mme-sector") in result.violation_keys()
+
+
+class TestAcceptance:
+    """The issue's acceptance criterion, end to end: a deliberately
+    failing invariant produces a replay capsule whose shrunk schedule
+    has <=2 fault classes over <=10% of the original window, and
+    ``run_replay`` reproduces the failure deterministically twice."""
+
+    @pytest.fixture(scope="class")
+    def failing_soak(self, tmp_path_factory):
+        workdir = tmp_path_factory.mktemp("soak-fail")
+        config = SoakConfig(
+            episodes=1,
+            seed=1,
+            formats=("csv.gz",),
+            preset="tiny",
+            shards=1,
+            bands=(),
+            # Any bogus sector is an invariant failure: the default
+            # schedule's mme bad_sector burst guarantees one.
+            max_issue_counts={"mme-sector": 0},
+            shrink=True,
+        )
+        report = run_soak(config, workdir)
+        return workdir, config, report
+
+    def test_failure_produces_one_capsule(self, failing_soak):
+        workdir, _, report = failing_soak
+        assert not report.ok
+        assert len(report.replays) == 1
+        capsules = sorted((workdir / "replays").glob("replay-*.json"))
+        assert [str(c) for c in capsules] == report.replays
+
+    def test_soak_report_records_the_violation(self, failing_soak):
+        workdir, _, report = failing_soak
+        on_disk = json.loads((workdir / "soak-report.json").read_text())
+        assert on_disk["schema"] == SOAK_REPORT_SCHEMA
+        assert on_disk["ok"] is False
+        codes = {
+            (v["invariant"], v["code"])
+            for episode in on_disk["episodes"]
+            for v in episode["violations"]
+        }
+        assert ("issue-count", "mme-sector") in codes
+
+    def test_events_timeline_is_schema_valid(self, failing_soak):
+        from repro.obs.timeline import validate_events_file
+
+        workdir, _, _ = failing_soak
+        events = validate_events_file(workdir / "events.jsonl")
+        stages = {e.get("stage") for e in events if e["type"] == "phase"}
+        assert "soak.simulate" in stages
+        assert "soak.episode.0.csv.gz" in stages
+        assert "soak.shrink.0.csv.gz" in stages
+
+    def test_shrunk_schedule_is_minimal(self, failing_soak):
+        _, config, report = failing_soak
+        capsule = load_replay(report.replays[0])
+        shrunk = FaultSchedule.from_dict(capsule["schedule"])
+        original = config.schedule
+        assert len(shrunk.fault_classes()) <= 2
+        assert shrunk.window_width() <= 0.10 * original.window_width()
+        shrink = capsule["shrink"]
+        assert shrink["fault_classes"]["after"] == sorted(
+            shrunk.fault_classes()
+        )
+        assert shrink["attempts"] <= 64
+
+    def test_replay_reproduces_twice(self, failing_soak, tmp_path):
+        _, _, report = failing_soak
+        capsule = load_replay(report.replays[0])
+        first = run_replay(capsule, tmp_path / "replay-1")
+        second = run_replay(capsule, tmp_path / "replay-2")
+        assert first.reproduced and second.reproduced
+        assert ("issue-count", "mme-sector") in first.observed
+        # Determinism: both replays observe the same violations with the
+        # same measurements.
+        assert first.observed == second.observed
+        assert [v.to_dict() for v in first.violations] == [
+            v.to_dict() for v in second.violations
+        ]
+
+
+class TestReplayCapsules:
+    def _capsule(self, **overrides):
+        base = dict(
+            seed=1,
+            episode=0,
+            fault_seed=100004,
+            format="csv.gz",
+            preset="tiny",
+            shards=1,
+            schedule=default_schedule(),
+            violations=[],
+            checks={"bands": [], "max_issue_counts": {}},
+        )
+        base.update(overrides)
+        return build_replay(**base)
+
+    def test_write_load_roundtrip(self, tmp_path):
+        capsule = self._capsule()
+        path = write_replay(capsule, tmp_path / "capsule.json")
+        loaded = load_replay(path)
+        assert loaded == capsule
+        assert loaded["schema"] == REPLAY_SCHEMA
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        capsule = self._capsule()
+        capsule["schema"] = "repro.chaos/replay/v0"
+        path = tmp_path / "capsule.json"
+        path.write_text(json.dumps(capsule))
+        with pytest.raises(ValueError, match="schema"):
+            load_replay(path)
+
+    def test_load_rejects_missing_keys(self, tmp_path):
+        capsule = self._capsule()
+        del capsule["schedule"]
+        path = tmp_path / "capsule.json"
+        path.write_text(json.dumps(capsule))
+        with pytest.raises(ValueError, match="schedule"):
+            load_replay(path)
+
+    def test_load_rejects_mangled_inline_schedule(self, tmp_path):
+        capsule = self._capsule()
+        capsule["schedule"]["envelopes"][0]["fault"] = "gremlins"
+        path = tmp_path / "capsule.json"
+        path.write_text(json.dumps(capsule))
+        with pytest.raises(ValueError, match="gremlins"):
+            load_replay(path)
+
+
+class TestCli:
+    def test_soak_green_run_exits_zero(self, tmp_path, capsys):
+        # A schedule with zero-rate envelopes is a provable no-op, so a
+        # one-episode campaign must be green end to end (bands included).
+        schedule = FaultSchedule(
+            name="noop",
+            envelopes=(
+                Envelope(fault="garbage", points=((0.0, 0.0), (1.0, 0.0))),
+            ),
+        )
+        schedule_path = schedule.save(tmp_path / "noop.json")
+        out = tmp_path / "soak"
+        code = main(
+            [
+                "soak",
+                "--out",
+                str(out),
+                "--episodes",
+                "1",
+                "--seed",
+                "1",
+                "--preset",
+                "tiny",
+                "--format",
+                "csv.gz",
+                "--shards",
+                "1",
+                "--schedule",
+                str(schedule_path),
+                "--no-shrink",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.out.strip() == str(out)
+        assert "all invariants held" in captured.err
+        report = json.loads((out / "soak-report.json").read_text())
+        assert report["schema"] == SOAK_REPORT_SCHEMA
+        assert report["ok"] is True
+        assert report["config"]["schedule"]["name"] == "noop"
+
+    def test_soak_failure_exits_one_and_replay_reproduces(
+        self, tmp_path, capsys
+    ):
+        out = tmp_path / "soak"
+        code = main(
+            [
+                "soak",
+                "--out",
+                str(out),
+                "--episodes",
+                "1",
+                "--seed",
+                "1",
+                "--preset",
+                "tiny",
+                "--format",
+                "csv.gz",
+                "--shards",
+                "1",
+                "--fail-on-issue",
+                "mme-sector:0",
+                "--no-shrink",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "FAIL episode 0" in captured.err
+        capsules = sorted((out / "replays").glob("replay-*.json"))
+        assert len(capsules) == 1
+
+        outcome = tmp_path / "outcome.json"
+        code = main(
+            [
+                "replay",
+                str(capsules[0]),
+                "--workdir",
+                str(tmp_path / "replay"),
+                "--json",
+                str(outcome),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "REPRODUCED" in captured.err
+        payload = json.loads(outcome.read_text())
+        assert payload["reproduced"] is True
+        assert ["issue-count", "mme-sector"] in payload["observed"]
+
+    def test_replay_rejects_bad_capsule(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": "nope"}')
+        code = main(["replay", str(path)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_soak_rejects_bad_fail_on_issue(self, tmp_path, capsys):
+        code = main(
+            [
+                "soak",
+                "--out",
+                str(tmp_path / "soak"),
+                "--fail-on-issue",
+                ":3",
+            ]
+        )
+        assert code == 2
+        assert "fail-on-issue" in capsys.readouterr().err
+
+
+@pytest.mark.soak
+class TestSoakCampaigns:
+    """Multi-episode both-format campaigns (``make soak-tests`` tier)."""
+
+    def test_short_campaign_is_green_on_both_formats(self, tmp_path):
+        config = SoakConfig(
+            episodes=3,
+            seed=1,
+            formats=("csv.gz", "bin"),
+            preset="small",
+            shards=2,
+        )
+        report = run_soak(config, tmp_path / "soak")
+        assert report.ok, report.summary()
+        assert len(report.episodes) == 6
+        formats = {episode.format for episode in report.episodes}
+        assert formats == {"csv.gz", "bin"}
+        # Every episode really exercised corruption and quarantine.
+        for episode in report.episodes:
+            assert episode.injected
+            assert episode.quarantine["rows_quarantined"]["proxy"] > 0
+
+    def test_campaign_report_and_events_validate(self, tmp_path):
+        from repro.obs.timeline import validate_events_file
+
+        config = SoakConfig(
+            episodes=2,
+            seed=5,
+            formats=("csv.gz", "bin"),
+            preset="small",
+            shards=2,
+        )
+        workdir = tmp_path / "soak"
+        report = run_soak(config, workdir)
+        assert report.ok, report.summary()
+        events = validate_events_file(workdir / "events.jsonl")
+        summaries = [e for e in events if e["type"] == "summary"]
+        assert summaries and summaries[-1]["ok"] is True
+        on_disk = json.loads((workdir / "soak-report.json").read_text())
+        assert on_disk["schema"] == SOAK_REPORT_SCHEMA
+        assert on_disk["failures"] == 0
+        # Green episodes leave no corrupted traces behind.
+        assert not list((workdir / "episodes").glob("*"))

@@ -290,6 +290,63 @@ class TestLenientIngestion:
         assert kept == records  # every real row survives the resync
         assert collector.report().count("proxy-fields") == 1
 
+    def test_flipped_block_header_magic_quarantines_one_block(self, tmp_path):
+        """A flipped byte inside a block *header* magic makes that block
+        unframeable; the reader resyncs on the next magic and loses only
+        the damaged block's rows (surfaced as one pseudo-row issue)."""
+        records = proxy_records(256)
+        path = tmp_path / "proxy.bin"
+        write_bin_records(path, records, ProxyRecord, block_rows=64)
+        data = bytearray(path.read_bytes())
+        second = data.index(BLOCK_MAGIC, data.index(BLOCK_MAGIC) + 4)
+        data[second] ^= 0xFF  # corrupt the second block's magic
+        path.write_bytes(bytes(data))
+        collector = QuarantineCollector()
+        kept = list(read_bin_records(path, ProxyRecord, collector))
+        report = collector.report()
+        # Blocks 1, 3 and 4 survive intact; block 2 (rows 64..127) is
+        # skipped by the resync scan.
+        assert kept == records[:64] + records[128:]
+        assert report.count("proxy-fields") == 1
+        # The unframeable region can't expose a row count, so accounting
+        # charges it as a single quarantined pseudo-row.
+        assert report.rows_read["proxy"] == len(kept) + 1
+        assert report.rows_quarantined["proxy"] == 1
+
+    def test_flipped_payload_byte_quarantines_exact_block(self, tmp_path):
+        """A flipped byte inside a block's gzip member fails decompress;
+        exactly that block's rows are quarantined and every other block
+        survives, with exact accounting."""
+        records = proxy_records(256)
+        path = tmp_path / "proxy.bin"
+        write_bin_records(path, records, ProxyRecord, block_rows=64)
+        data = bytearray(path.read_bytes())
+        second = data.index(BLOCK_MAGIC, data.index(BLOCK_MAGIC) + 4)
+        payload_start = second + binfmt._BLOCK_HEADER.size
+        data[payload_start + 30] ^= 0xFF  # inside the gzip member
+        path.write_bytes(bytes(data))
+        collector = QuarantineCollector()
+        kept = list(read_bin_records(path, ProxyRecord, collector))
+        report = collector.report()
+        assert kept == records[:64] + records[128:]
+        assert report.count("proxy-truncated") == 64
+        # Exact accounting: the header still frames the block, so all 64
+        # damaged rows are charged individually.
+        assert report.rows_read["proxy"] == 256
+        assert report.rows_quarantined["proxy"] == 64
+
+    def test_flipped_payload_byte_strict_raises(self, tmp_path):
+        records = proxy_records(256)
+        path = tmp_path / "proxy.bin"
+        write_bin_records(path, records, ProxyRecord, block_rows=64)
+        data = bytearray(path.read_bytes())
+        second = data.index(BLOCK_MAGIC, data.index(BLOCK_MAGIC) + 4)
+        data[second + binfmt._BLOCK_HEADER.size + 30] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(LogReadError) as excinfo:
+            list(read_bin_records(path, ProxyRecord))
+        assert excinfo.value.code == "truncated"
+
     def test_lenient_never_block_skips(self, tmp_path):
         """Shard reads with a collector still see every row (exact
         quarantine accounting trumps the skip optimisation)."""

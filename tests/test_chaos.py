@@ -2,8 +2,8 @@
 
 The closed loop the fault-injection harness exists for:
 
-1. export the small simulation as a gzip trace;
-2. corrupt it with the chaos preset (every row fault class plus gzip
+1. export the small simulation in each wire format (csv.gz and bin);
+2. corrupt it with the chaos preset (every row fault class plus
    truncation);
 3. ingest leniently — every injected fault class must surface in the
    quarantine report under its expected issue code;
@@ -25,10 +25,20 @@ def chaos_spec():
     return FaultSpec.chaos(seed=1234, rate=0.02)
 
 
+@pytest.fixture(scope="module", params=["csv.gz", "bin"])
+def chaos_pristine(request, small_output, small_trace_dir_gz, tmp_path_factory):
+    """The pristine small trace in each wire format the pipeline ships."""
+    if request.param == "csv.gz":
+        return small_trace_dir_gz
+    out = tmp_path_factory.mktemp("chaos-bin") / "pristine"
+    small_output.write(out, format="bin")
+    return out
+
+
 @pytest.fixture(scope="module")
-def chaos_trace(small_trace_dir_gz, tmp_path_factory, chaos_spec):
+def chaos_trace(chaos_pristine, tmp_path_factory, chaos_spec):
     out = tmp_path_factory.mktemp("chaos") / "trace"
-    report = corrupt_trace(small_trace_dir_gz, out, chaos_spec)
+    report = corrupt_trace(chaos_pristine, out, chaos_spec)
     return out, report
 
 
@@ -49,15 +59,16 @@ class TestChaosIngestion:
             assert quarantine.count(code) > 0, f"no quarantine entries for {code}"
 
     def test_dropped_rows_show_as_deficit(
-        self, small_trace_dir_gz, chaos_trace, chaos_dataset
+        self, chaos_pristine, chaos_trace, chaos_dataset
     ):
         _, injection = chaos_trace
-        pristine = StudyDataset.load(small_trace_dir_gz)
+        pristine = StudyDataset.load(chaos_pristine)
         quarantine = chaos_dataset.quarantine
         # rows_read counts everything the reader saw; dropped rows are the
         # only fault class invisible to the reader, so the deficit between
         # the pristine row count and rows_read is dropped + whatever the
-        # truncation chopped off the end of the gzip member.
+        # truncation chopped off the end of the stream (gzip-member bytes
+        # for csv.gz, whole trailing blocks for bin).
         deficit = len(pristine.proxy_records) - quarantine.rows_read["proxy"]
         assert deficit >= injection.counts.get("proxy.dropped", 0) > 0
 
@@ -65,7 +76,9 @@ class TestChaosIngestion:
         directory, _ = chaos_trace
         with pytest.raises(LogReadError) as excinfo:
             StudyDataset.load(directory)
-        assert excinfo.value.code in {"value", "fields", "truncated"}
+        # csv.gz surfaces a row-level fault or the truncated member; bin
+        # can also trip on an unframeable block ("magic").
+        assert excinfo.value.code in {"value", "fields", "truncated", "magic"}
 
     def test_issue_code_map_covers_every_fault_class(self, chaos_spec):
         # Guard the vocabulary: every chaos-injectable row fault maps to an

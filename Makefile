@@ -6,7 +6,7 @@ PYTEST = PYTHONPATH=src $(PY) -m pytest
 
 .PHONY: test coverage chaos soak soak-tests bench bench-perf \
     bench-perf-check bench-gate trace obs-smoke analyze-smoke \
-    convert-smoke clean
+    convert-smoke serve-smoke clean
 
 # Chaos-soak knobs (override on the command line: make soak EPISODES=10).
 EPISODES ?= 25
@@ -14,7 +14,8 @@ SEED ?= 1
 SOAK_DIR ?= soak-run
 
 PERF_MODULES = benchmarks/test_perf_engine.py benchmarks/test_perf_io.py \
-    benchmarks/test_perf_primitives.py benchmarks/test_perf_analysis.py
+    benchmarks/test_perf_primitives.py benchmarks/test_perf_analysis.py \
+    benchmarks/test_perf_serve.py
 
 ## Tier-1 suite: unit / integration / property tests (the CI gate).
 test:
@@ -173,12 +174,23 @@ convert-smoke:
 	sys.exit(f'convert-smoke: round trip NOT lossless: {bad}') if bad \
 	    else print('convert-smoke: csv -> bin -> csv byte-identical')"
 
+## Live-serving smoke: start the daemon over a fresh small trace, check
+## ETag caching on a panel endpoint, append rows and watch the ETag
+## advance, stop it with SIGTERM, and verify the final served panel is
+## identical to a batch analyze of the same trace.  Artifacts land in
+## serve-smoke/ (gitignored).
+serve-smoke:
+	rm -rf serve-smoke && mkdir -p serve-smoke
+	PYTHONPATH=src $(PY) -m repro simulate --preset small --seed 7 \
+	    --out serve-smoke/trace
+	PYTHONPATH=src $(PY) tools/serve_smoke.py serve-smoke
+
 ## Example end-to-end trace (sharded run, per-shard timings on stderr).
 trace:
 	PYTHONPATH=src $(PY) -m repro simulate --scale medium --seed 7 \
 	    --out trace/ --shards 4
 
 clean:
-	rm -rf trace/ obs-smoke/ analyze-smoke/ convert-smoke/ soak-run/ \
-	    .pytest_cache
+	rm -rf trace/ obs-smoke/ analyze-smoke/ convert-smoke/ serve-smoke/ \
+	    soak-run/ .pytest_cache
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Seven subcommands cover the full workflow::
+The subcommands cover the full workflow::
 
     python -m repro simulate  --scale medium --seed 7 --out trace/
                               [--format csv|csv.gz|bin]
@@ -11,6 +11,9 @@ Seven subcommands cover the full workflow::
                               [--lenient --quarantine-report q.json]
                               [--shards N --workers W --seed S]
                               [--format auto|csv|bin]
+    python -m repro serve     --trace trace/ --port 8321
+                              [--checkpoint-dir ckpt/ --checkpoint-interval 30]
+                              [--shards N --workers W --lenient --format auto]
     python -m repro scoreboard trace/
     python -m repro obs summarize report.json
 
@@ -23,9 +26,11 @@ byte-verbatim so the directory stays a complete trace; ``corrupt``
 injects deterministic faults into an exported trace to build chaos
 fixtures; ``validate`` checks trace integrity; ``analyze`` regenerates
 paper figures from the trace (with ``--lenient`` it survives corrupted
-traces by quarantining bad rows); ``scoreboard`` prints the
-paper-vs-measured headline table; ``obs summarize`` renders a saved
-observability run report as a stage table.
+traces by quarantining bad rows); ``serve`` tails a *growing* trace and
+serves live finalized panels over a checkpointed HTTP JSON API
+(:mod:`repro.serve`); ``scoreboard`` prints the paper-vs-measured
+headline table; ``obs summarize`` renders a saved observability run
+report as a stage table.
 
 With ``--shards N`` (and optionally ``--workers W``) ``analyze`` runs
 the map-reduce path (:mod:`repro.core.parallel`): the report is computed
@@ -75,8 +80,10 @@ import argparse
 import json
 import os
 import shutil
+import signal
 import sys
 import tempfile
+import threading
 import time
 from pathlib import Path
 
@@ -452,6 +459,56 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.service import AnalysisService, ServeConfig
+
+    if args.shards < 1:
+        print("--shards must be >= 1", file=sys.stderr)
+        return 2
+    if args.workers is not None and args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.checkpoint_interval <= 0:
+        print("--checkpoint-interval must be > 0", file=sys.stderr)
+        return 2
+    config = ServeConfig(
+        trace_dir=Path(args.trace),
+        host=args.host,
+        port=args.port,
+        checkpoint_dir=(
+            Path(args.checkpoint_dir) if args.checkpoint_dir else None
+        ),
+        checkpoint_interval=args.checkpoint_interval,
+        poll_interval=args.poll_interval,
+        shards=args.shards,
+        workers=args.workers or 1,
+        lenient=args.lenient,
+        seed=args.analysis_seed,
+        format=args.format,
+    )
+    service = AnalysisService(config)
+    stop = threading.Event()
+
+    def _request_stop(signum, frame) -> None:
+        stop.set()
+
+    previous = {
+        sig: signal.signal(sig, _request_stop)
+        for sig in (signal.SIGTERM, signal.SIGINT)
+    }
+    try:
+        service.run(stop)
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    print(
+        f"serve: stopped at generation {service.generation} after "
+        f"{service.rows_total:,} rows",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def cmd_scoreboard(args: argparse.Namespace) -> int:
     dataset = StudyDataset.load(args.trace)
     report = WearableStudy(dataset).run_all()
@@ -565,15 +622,18 @@ def _summary_counts(registry) -> tuple[int, int, int]:
     """(rows in, rows out, issues) for the normalized summary line.
 
     Rows are the *log-level* I/O counters — ``category="log"`` for real
-    log reads/writes plus ``category="corrupt"`` for the fault injector's
-    line-level traffic — so spill-chunk shuffling inside the engine never
-    inflates the numbers.  Issues prefer the validation report's total
+    log reads/writes, ``category="corrupt"`` for the fault injector's
+    line-level traffic, plus ``category="serve"`` for the service
+    tailers' incremental reads — so spill-chunk shuffling inside the
+    engine never inflates the numbers.  Issues prefer the validation report's total
     (which already folds ingestion quarantine in) and otherwise sum the
     quarantine and fault-injection counters.
     """
-    rows_in = registry.sum_counter(
-        "repro_io_rows_read_total", category="log"
-    ) + registry.sum_counter("repro_io_rows_read_total", category="corrupt")
+    rows_in = (
+        registry.sum_counter("repro_io_rows_read_total", category="log")
+        + registry.sum_counter("repro_io_rows_read_total", category="corrupt")
+        + registry.sum_counter("repro_io_rows_read_total", category="serve")
+    )
     rows_out = registry.sum_counter(
         "repro_io_rows_written_total", category="log"
     ) + registry.sum_counter(
@@ -1020,6 +1080,88 @@ def build_parser() -> argparse.ArgumentParser:
         "quantiles depend on it (default: 0)",
     )
     analyze.set_defaults(func=cmd_analyze)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="tail a growing trace and serve live analysis over HTTP",
+        parents=[obs_flags],
+    )
+    serve.add_argument(
+        "--trace", required=True, metavar="DIR", help="trace directory"
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8321,
+        help="listen port (default: 8321; 0 picks an ephemeral port, "
+        "printed on the 'listening on' line)",
+    )
+    serve.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="persist repro.serve/checkpoint/v1 snapshots here and "
+        "crash-recover from the newest valid one on restart "
+        "(default: no checkpoints)",
+    )
+    serve.add_argument(
+        "--checkpoint-interval",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="minimum seconds between checkpoints (default: 30; one is "
+        "always written on shutdown)",
+    )
+    serve.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="sleep between stream polls when no rows arrived "
+        "(default: 0.5)",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="account shards for the incremental partial aggregates "
+        "(default: 1); must match any checkpoint being restored",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the finalize replay step "
+        "(default: 1 == in-process; the report is identical either way)",
+    )
+    serve.add_argument(
+        "--lenient",
+        action="store_true",
+        help="survive corrupted streams: quarantine bad rows with the "
+        "batch lenient semantics instead of failing",
+    )
+    serve.add_argument(
+        "--format",
+        choices=("auto", "csv", "bin"),
+        default="auto",
+        help="which log encoding to tail (default: auto — csv, then "
+        "csv.gz, then bin; pinned once a stream appears)",
+    )
+    serve.add_argument(
+        "--seed",
+        dest="analysis_seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed for the sharded activity reservoir streams; must "
+        "match the batch analyze run being compared against (default: 0)",
+    )
+    serve.set_defaults(func=cmd_serve)
 
     scoreboard = subparsers.add_parser(
         "scoreboard", help="print the paper-vs-measured headline table"

@@ -39,7 +39,7 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from math import log10
 from pathlib import Path
 
@@ -88,6 +88,7 @@ from repro.logs.records import PROTOCOL_HTTP, record_sort_key
 from repro.logs.timeutil import SECONDS_PER_DAY, hour_of_day, is_weekend
 from repro.simnet.appcatalog import builtin_app_catalog
 from repro.simnet.engine import stream_seed
+from repro.state import decode_value, encode_value
 from repro.stats.cdf import ECDF
 from repro.stats.correlation import binned_means, pearson
 from repro.stats.entropy import dwell_weighted_entropy
@@ -127,9 +128,57 @@ def _disjoint_update(target: dict, other: dict) -> None:
     target.update(other)
 
 
+class _PartialState:
+    """Explicit ``to_state()``/``from_state()`` for the partials.
+
+    State is the versioned, pickle-free JSON-safe encoding of
+    :mod:`repro.state`; the round trip is *behaviour-preserving* —
+    ``from_state(p.to_state())`` consumes, merges and finalises exactly
+    like ``p`` (dict insertion order survives, so even the
+    first-occurrence row ordering the batch comparison relies on is
+    intact).  The :mod:`repro.serve` checkpoints are built from these,
+    and the service also uses the round trip as its deep copy before a
+    (mutating) merge-and-finalize pass.
+
+    Fields holding stateful objects rather than plain containers are
+    named in ``_STATE_OBJECTS`` and delegate to that object's own
+    ``to_state``/``from_state``.
+    """
+
+    STATE_VERSION = 1
+    _STATE_OBJECTS: dict = {}
+
+    def to_state(self) -> dict:
+        state: dict = {"v": self.STATE_VERSION}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if spec.name in self._STATE_OBJECTS:
+                state[spec.name] = value.to_state()
+            else:
+                state[spec.name] = encode_value(value)
+        return state
+
+    @classmethod
+    def from_state(cls, state: dict):
+        if state.get("v") != cls.STATE_VERSION:
+            raise ValueError(
+                f"unsupported {cls.__name__} state version: "
+                f"{state.get('v')!r}"
+            )
+        kwargs = {}
+        for spec in fields(cls):
+            if spec.name in cls._STATE_OBJECTS:
+                kwargs[spec.name] = cls._STATE_OBJECTS[spec.name].from_state(
+                    state[spec.name]
+                )
+            else:
+                kwargs[spec.name] = decode_value(state[spec.name])
+        return cls(**kwargs)
+
+
 # ===================================================================== census
 @dataclass
-class CensusPartial:
+class CensusPartial(_PartialState):
     """§3.2 device census: the distinct wearable IMEI set."""
 
     imeis: set[str] = field(default_factory=set)
@@ -161,7 +210,7 @@ class CensusPartial:
 
 # =================================================================== adoption
 @dataclass
-class AdoptionPartial:
+class AdoptionPartial(_PartialState):
     """§4.1 adoption: per-day user sets + first/last registration days."""
 
     total_days: int
@@ -244,8 +293,14 @@ class AdoptionPartial:
 
 # =================================================================== activity
 @dataclass
-class ActivityPartial:
+class ActivityPartial(_PartialState):
     """§4.2-4.3 activity: per-user sets + exact counters + a reservoir."""
+
+    _STATE_OBJECTS = {
+        "reservoir": ReservoirSampler,
+        "median": P2Quantile,
+        "sizes": OnlineStats,
+    }
 
     reservoir: ReservoirSampler
     median: P2Quantile
@@ -431,7 +486,7 @@ class ActivityPartial:
 
 # ================================================================= comparison
 @dataclass
-class ComparisonPartial:
+class ComparisonPartial(_PartialState):
     """§4.3 owners-vs-general: per-account totals (account-disjoint)."""
 
     account_bytes: dict[str, int] = field(default_factory=dict)
@@ -520,7 +575,7 @@ class ComparisonPartial:
 
 # =================================================================== mobility
 @dataclass
-class MobilityPartial:
+class MobilityPartial(_PartialState):
     """§4.4 mobility, reduced per subscriber inside the worker.
 
     Timelines never leave the worker: each shard ships per-subscriber
@@ -689,7 +744,7 @@ class MobilityPartial:
 
 # ======================================================================= apps
 @dataclass
-class AppsPartial:
+class AppsPartial(_PartialState):
     """§5.1 app popularity from shard-local attribution + sessions."""
 
     app_day_users: dict[str, set[tuple[str, int]]] = field(
@@ -853,7 +908,7 @@ class AppsPartial:
 
 # ==================================================================== domains
 @dataclass
-class DomainsPartial:
+class DomainsPartial(_PartialState):
     """§5.2 single-usage microscopics + domain-category split."""
 
     usage_tx: dict[str, int] = field(default_factory=dict)
@@ -973,7 +1028,7 @@ class DomainsPartial:
 
 # ============================================================= through-device
 @dataclass
-class ThroughDevicePartial:
+class ThroughDevicePartial(_PartialState):
     """§6 through-device fingerprinting, per general subscriber."""
 
     detected_kind: dict[str, str] = field(default_factory=dict)
@@ -1083,7 +1138,7 @@ class ThroughDevicePartial:
 
 # ==================================================================== devices
 @dataclass
-class DevicesPartial:
+class DevicesPartial(_PartialState):
     """Device-model adoption from the MME stream (imei-keyed, disjoint)."""
 
     total_weeks: int
@@ -1181,7 +1236,7 @@ class DevicesPartial:
 
 # ================================================================== protocols
 @dataclass
-class ProtocolsPartial:
+class ProtocolsPartial(_PartialState):
     """§3.3 protocol visibility from shard-local attribution."""
 
     total: int = 0
@@ -1279,8 +1334,22 @@ class ProtocolsPartial:
 
 # ==================================================================== bundles
 @dataclass
-class ShardPartials:
+class ShardPartials(_PartialState):
     """One shard's partial aggregates for every figure panel."""
+
+    _STATE_OBJECTS = {
+        "census": CensusPartial,
+        "adoption": AdoptionPartial,
+        "activity": ActivityPartial,
+        "comparison": ComparisonPartial,
+        "mobility": MobilityPartial,
+        "apps": AppsPartial,
+        "domains": DomainsPartial,
+        "through_device": ThroughDevicePartial,
+        "weekly": StreamingWeekly,
+        "protocols": ProtocolsPartial,
+        "devices": DevicesPartial,
+    }
 
     census: CensusPartial
     adoption: AdoptionPartial

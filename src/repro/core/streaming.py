@@ -33,6 +33,7 @@ from repro.core.weekly import EVENING_HOURS, WeeklyResult
 from repro.logs.records import MmeRecord, ProxyRecord
 from repro.logs.timeutil import hour_of_day, is_weekend, weekday
 from repro.simnet.engine import stream_seed
+from repro.state import decode_value, encode_value
 from repro.stats.streaming import OnlineStats, P2Quantile, ReservoirSampler
 
 
@@ -432,3 +433,46 @@ class StreamingWeekly:
             weekend_relative_boost=weekend_boost,
             evening_relative_boost=evening_boost,
         )
+
+    def to_state(self) -> dict:
+        """Self-contained JSON-safe snapshot (window + TACs included)."""
+        return {
+            "v": 1,
+            "window": {
+                "study_start": self._window.study_start,
+                "total_days": self._window.total_days,
+                "detailed_days": self._window.detailed_days,
+            },
+            "tacs": encode_value(self._tacs),
+            "dow_tx": list(self._dow_tx),
+            "dow_bytes": list(self._dow_bytes),
+            "dow_users": encode_value(self._dow_users),
+            "hour_wearable": list(self._hour_wearable),
+            "hour_total": list(self._hour_total),
+            "daytype_wearable": encode_value(self._daytype_wearable),
+            "daytype_total": encode_value(self._daytype_total),
+            "seen_dates": encode_value(dict(self._seen_dates)),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "StreamingWeekly":
+        if state.get("v") != 1:
+            raise ValueError(
+                f"unsupported StreamingWeekly state: {state.get('v')!r}"
+            )
+        meta = state["window"]
+        window = StudyWindow(
+            study_start=meta["study_start"],
+            total_days=meta["total_days"],
+            detailed_days=meta["detailed_days"],
+        )
+        weekly = cls(window, frozenset(decode_value(state["tacs"])))
+        weekly._dow_tx = list(state["dow_tx"])
+        weekly._dow_bytes = list(state["dow_bytes"])
+        weekly._dow_users = decode_value(state["dow_users"])
+        weekly._hour_wearable = list(state["hour_wearable"])
+        weekly._hour_total = list(state["hour_total"])
+        weekly._daytype_wearable = decode_value(state["daytype_wearable"])
+        weekly._daytype_total = decode_value(state["daytype_total"])
+        weekly._seen_dates = defaultdict(set, decode_value(state["seen_dates"]))
+        return weekly

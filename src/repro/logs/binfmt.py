@@ -60,6 +60,7 @@ from __future__ import annotations
 
 import gzip
 import json
+import os
 import struct
 import sys
 import time
@@ -67,7 +68,15 @@ import zlib
 from array import array
 from itertools import islice
 from pathlib import Path
-from typing import Callable, Iterable, Iterator, Mapping, Sequence, Type
+from typing import (
+    Callable,
+    Iterable,
+    Iterator,
+    Mapping,
+    NamedTuple,
+    Sequence,
+    Type,
+)
 
 from repro import obs
 from repro.logs.io import (
@@ -88,15 +97,18 @@ from zlib import crc32
 __all__ = [
     "BIN_COMPRESSLEVEL",
     "BLOCK_MAGIC",
+    "BlockHeader",
     "DEFAULT_BLOCK_ROWS",
     "FILE_MAGIC",
     "VERSION",
     "bucket_of",
     "file_header_bytes",
+    "iter_blocks",
     "pack_block",
     "read_bin_records",
     "read_bin_records_shard",
     "read_bin_rows",
+    "resume_offset",
     "write_bin_records",
     "write_bin_rows",
 ]
@@ -525,7 +537,16 @@ def _read_exact(handle, size: int) -> bytes:
     return b"".join(chunks)
 
 
-def _read_file_header(handle, source: Path, record_type: type) -> None:
+def _read_file_header(
+    handle, source: Path, record_type: type | None
+) -> int:
+    """Validate the file header; returns the first block's byte offset.
+
+    With ``record_type=None`` only the structural checks run (magic,
+    version, schema framing) — the stream kind and column schema are
+    accepted as-is, which is what offset-level tools like
+    :func:`iter_blocks` need.
+    """
     head = _read_exact(handle, _FILE_HEADER.size)
     if len(head) < _FILE_HEADER.size:
         raise LogReadError(
@@ -543,7 +564,7 @@ def _read_file_header(handle, source: Path, record_type: type) -> None:
             f"unsupported binfmt version {version} (supported: {VERSION})",
             code="version",
         )
-    if kind_code != _KIND_CODES[record_type]:
+    if record_type is not None and kind_code != _KIND_CODES[record_type]:
         raise LogReadError(
             source,
             0,
@@ -557,13 +578,94 @@ def _read_file_header(handle, source: Path, record_type: type) -> None:
         )
     (schema_len,) = _SCHEMA_LEN.unpack(raw_len)
     schema = _read_exact(handle, schema_len)
-    if len(schema) < schema_len or schema != _schema_bytes(record_type):
+    if len(schema) < schema_len:
+        raise LogReadError(
+            source, 0, "file truncated inside schema header", code="truncated"
+        )
+    if record_type is not None and schema != _schema_bytes(record_type):
         raise LogReadError(
             source,
             0,
             "embedded schema does not match this reader's record layout",
             code="version",
         )
+    return _FILE_HEADER.size + _SCHEMA_LEN.size + schema_len
+
+
+class BlockHeader(NamedTuple):
+    """Decoded 64-byte block header (see the module wire layout)."""
+
+    comp_len: int
+    rows: int
+    min_bucket: int
+    max_bucket: int
+    min_ts: float
+    max_ts: float
+    bitmap: bytes
+
+
+def iter_blocks(
+    path: str | Path, record_type: type | None = None
+) -> Iterator[tuple[int, BlockHeader]]:
+    """Yield ``(byte_offset, header)`` for every *complete* block.
+
+    Scans block headers only — payloads are seeked over, never read or
+    decompressed — so the whole file costs one 64-byte read per block.
+    An incomplete tail (a short block header, or a payload the file does
+    not yet fully contain) ends the scan cleanly instead of raising: on
+    a growing stream those bytes simply have not arrived yet.  Bad block
+    magic raises :class:`~repro.logs.io.LogReadError` — offset-level
+    iteration has no way to resynchronise safely.
+    """
+    source = Path(path)
+    with source.open("rb") as handle:
+        offset = _read_file_header(handle, source, record_type)
+        file_size = os.fstat(handle.fileno()).st_size
+        while offset + _BLOCK_HEADER.size <= file_size:
+            handle.seek(offset)
+            raw = _read_exact(handle, _BLOCK_HEADER.size)
+            if len(raw) < _BLOCK_HEADER.size:
+                return
+            (
+                magic,
+                comp_len,
+                rows,
+                min_bucket,
+                max_bucket,
+                min_ts,
+                max_ts,
+                bitmap,
+            ) = _BLOCK_HEADER.unpack(raw)
+            if magic != BLOCK_MAGIC:
+                raise LogReadError(
+                    source,
+                    offset,
+                    f"bad block magic {magic!r} at byte {offset}",
+                    code="magic",
+                )
+            end = offset + _BLOCK_HEADER.size + comp_len
+            if end > file_size:
+                return
+            yield offset, BlockHeader(
+                comp_len, rows, min_bucket, max_bucket, min_ts, max_ts, bitmap
+            )
+            offset = end
+
+
+def resume_offset(path: str | Path, record_type: type | None = None) -> int:
+    """Byte offset just past the last complete block.
+
+    This is where a tailer resumes reading a growing ``.bin`` stream:
+    everything before it has been consumed as whole blocks, everything
+    after it is a block still being appended.  On a file with no blocks
+    yet it is the first-block offset (just past the file header).
+    """
+    source = Path(path)
+    with source.open("rb") as handle:
+        offset = _read_file_header(handle, source, record_type)
+    for block_offset, header in iter_blocks(source, record_type):
+        offset = block_offset + _BLOCK_HEADER.size + header.comp_len
+    return offset
 
 
 def _shard_block_skipper(
@@ -600,6 +702,8 @@ def read_bin_records(
     shard: int | None = None,
     shards: int = 1,
     account_directory: Mapping[str, str] | None = None,
+    start_offset: int | None = None,
+    end_offset: int | None = None,
 ) -> Iterator:
     """Stream records from a binary log written by :func:`write_bin_records`.
 
@@ -607,6 +711,12 @@ def read_bin_records(
     the same contract as the CSV reader.  ``time_range=(t0, t1)`` and
     ``shard``/``shards`` enable block skipping via the per-block headers
     (skips are disabled in lenient mode so row accounting stays exact).
+    ``start_offset`` resumes the read at a block boundary previously
+    obtained from :func:`iter_blocks` / :func:`resume_offset` — the file
+    header is still validated, then the reader seeks straight there.
+    ``end_offset`` stops the read at a block boundary: tailers of a
+    growing stream bound the read at :func:`resume_offset` so a block
+    still being appended is never mistaken for a truncated tail.
     """
     source = Path(path)
     kind = log_kind(record_type)
@@ -622,7 +732,7 @@ def read_bin_records(
     try:
         with source.open("rb") as handle:
             try:
-                _read_file_header(handle, source, record_type)
+                data_start = _read_file_header(handle, source, record_type)
             except LogReadError as exc:
                 if quarantine is not None and exc.code == "truncated":
                     quarantine.note(
@@ -632,8 +742,17 @@ def read_bin_records(
                     )
                     return
                 raise
+            if start_offset is not None:
+                if start_offset < data_start:
+                    raise ValueError(
+                        f"start_offset {start_offset} is inside the file "
+                        f"header (first block at {data_start})"
+                    )
+                handle.seek(start_offset)
             block_index = 0
             while True:
+                if end_offset is not None and handle.tell() >= end_offset:
+                    return
                 header = _read_exact(handle, _BLOCK_HEADER.size)
                 if not header:
                     return

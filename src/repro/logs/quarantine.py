@@ -217,6 +217,36 @@ class QuarantineCollector:
             issues=self._issues.to_list(),
         )
 
+    # ------------------------------------------------------------ checkpoint
+    def to_state(self) -> dict:
+        """JSON-safe snapshot for :mod:`repro.serve` checkpoints."""
+        return {
+            "v": 1,
+            "rows_read": dict(self._rows_read),
+            "rows_quarantined": dict(self._rows_quarantined),
+            "issues": [issue.to_dict() for issue in self._issues.to_list()],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "QuarantineCollector":
+        if state.get("v") != 1:
+            raise ValueError(
+                f"unsupported QuarantineCollector state version: "
+                f"{state.get('v')!r}"
+            )
+        collector = cls()
+        collector._rows_read = dict(state["rows_read"])
+        collector._rows_quarantined = dict(state["rows_quarantined"])
+        for entry in state["issues"]:
+            issue = Issue(
+                code=entry["code"],
+                message=entry["message"],
+                count=entry["count"],
+                examples=list(entry["examples"]),
+            )
+            collector._issues._issues[issue.code] = issue
+        return collector
+
 
 __all__ = [
     "MAX_EXAMPLES",

@@ -1,0 +1,146 @@
+"""Minimal stdlib HTTP JSON API over a running analysis service.
+
+Routes (all ``GET``, all ``application/json``):
+
+=====================  ====================================================
+``/healthz``           liveness: status, generation, rows ingested
+``/status``            stream offsets, checkpoint state, effective config
+``/report``            the full finalized study report        (cacheable)
+``/panels``            the list of figure panel names
+``/panels/<name>``     one rendered figure panel              (cacheable)
+``/quarantine``        the lenient-ingestion quarantine report(cacheable)
+``/obs/report``        the observability run report (never cached)
+=====================  ====================================================
+
+Cacheable resources carry ``ETag: "g<generation>"`` — the service bumps
+its generation exactly when rows arrive, so the tag is a complete
+validator.  A conditional request with a matching ``If-None-Match``
+gets ``304 Not Modified`` with no body; an unconditional repeat gets
+the byte-identical cached body.  When finalizing is not yet possible
+(the trace is too young to contain both owner and general traffic) the
+cacheable routes answer ``503`` with a ``Retry-After`` hint instead of
+failing the service.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.serve.service import AnalysisService, ServiceNotReady
+
+
+def _etag(generation: int) -> str:
+    return f'"g{generation}"'
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request; the service reference hangs off the server."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # The default handler writes an access log line per request to
+    # stderr; a polling client would drown the daemon's own output.
+    def log_message(self, format: str, *args) -> None:
+        pass
+
+    @property
+    def service(self) -> AnalysisService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------ replies
+    def _send_json(self, status: int, body: bytes, etag: str | None = None):
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        if etag is not None:
+            self.send_header("ETag", etag)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_obj(self, status: int, payload: dict, etag: str | None = None):
+        body = (
+            json.dumps(payload, sort_keys=True, indent=2) + "\n"
+        ).encode("utf-8")
+        self._send_json(status, body, etag)
+
+    def _send_cached(self, resource) -> None:
+        """Serve a per-generation cached resource with ETag handling."""
+        try:
+            generation, body = resource()
+        except ServiceNotReady as exc:
+            self.send_response(503)
+            payload = (
+                json.dumps(
+                    {"error": "not enough data yet", "detail": str(exc)},
+                    sort_keys=True,
+                )
+                + "\n"
+            ).encode("utf-8")
+            self.send_header(
+                "Content-Type", "application/json; charset=utf-8"
+            )
+            self.send_header("Content-Length", str(len(payload)))
+            self.send_header("Retry-After", "1")
+            self.end_headers()
+            self.wfile.write(payload)
+            return
+        tag = _etag(generation)
+        if self.headers.get("If-None-Match") == tag:
+            self.send_response(304)
+            self.send_header("ETag", tag)
+            self.send_header("Content-Length", "0")
+            self.end_headers()
+            return
+        self._send_json(200, body, tag)
+
+    # ------------------------------------------------------------- routes
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        service = self.service
+        if path == "/healthz":
+            self._send_obj(
+                200,
+                {
+                    "status": "ok",
+                    "generation": service.generation,
+                    "rows_total": service.rows_total,
+                },
+            )
+        elif path == "/status":
+            self._send_obj(200, service.status())
+        elif path == "/report":
+            self._send_cached(service.report_resource)
+        elif path == "/panels":
+            self._send_obj(
+                200,
+                {
+                    "generation": service.generation,
+                    "panels": service.panel_names(),
+                },
+            )
+        elif path.startswith("/panels/"):
+            name = path[len("/panels/") :]
+            try:
+                self._send_cached(lambda: service.panel_resource(name))
+            except KeyError:
+                self._send_obj(404, {"error": f"unknown panel: {name}"})
+        elif path == "/quarantine":
+            self._send_cached(service.quarantine_resource)
+        elif path == "/obs/report":
+            self._send_obj(200, service.obs_report())
+        else:
+            self._send_obj(404, {"error": f"unknown route: {path}"})
+
+
+def build_server(
+    service: AnalysisService, host: str, port: int
+) -> ThreadingHTTPServer:
+    """A threaded HTTP server bound to ``host:port`` (0 = ephemeral)."""
+    server = ThreadingHTTPServer((host, port), _Handler)
+    server.service = service  # type: ignore[attr-defined]
+    return server
+
+
+__all__ = ["build_server"]

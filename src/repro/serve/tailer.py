@@ -1,0 +1,409 @@
+"""Incremental readers for growing trace streams.
+
+A :class:`StreamTailer` wraps one log file that another process is still
+appending to and turns "whatever arrived since last time" into parsed
+records, one :meth:`~StreamTailer.poll` at a time.  The consumption
+point is a plain byte offset plus a tiny carry, so the whole tailer
+state fits in a checkpoint and survives a restart bit-for-bit.
+
+Per wire format:
+
+* **plain CSV** — the offset advances past the last complete line; a
+  partial trailing line stays in the file and is re-read next poll;
+* **gzip CSV** (``.csv.gz``) — appends arrive as whole gzip members, so
+  the offset only advances across *complete* members (a member still
+  being flushed decompresses without reaching its end marker and is left
+  alone).  A line spanning a member boundary is kept in a byte carry;
+* **binary** (``.bin``) — :func:`repro.logs.binfmt.resume_offset` finds
+  the end of the last complete block and the reader is bounded there, so
+  a block still being appended is never mistaken for a truncated tail.
+
+Failure discipline mirrors the batch readers: strict mode raises
+:class:`~repro.logs.io.LogReadError` on the first defect; with a
+quarantine collector bad rows are recorded and skipped with the same
+issue codes, row numbering and accounting the batch lenient read
+produces on the same prefix.  The one deliberate difference: an
+*incomplete* tail (partial line, unfinished gzip member, unfinished
+block) is "not arrived yet" here, where a batch read of the same bytes
+would call it truncated — a growing stream is not a damaged one.
+"""
+
+from __future__ import annotations
+
+import base64
+import csv
+import gzip
+import zlib
+from pathlib import Path
+
+from repro import obs
+from repro.logs.io import (
+    LogReadError,
+    _ROW_MESSAGES,
+    _coerce_row,
+    log_kind,
+)
+from repro.logs.quarantine import QuarantineCollector
+from repro.logs.records import fields_for
+
+#: Compressed bytes fed to the decompressor per step (matches the batch
+#: reader's chunk size, which bounds how much of a corrupt member's
+#: decodable prefix is salvaged).
+_CHUNK = 1 << 16
+
+#: Probe order per requested trace format (mirrors ``StudyDataset``).
+_FORMAT_SUFFIXES = {
+    "auto": (".csv", ".csv.gz", ".bin"),
+    "csv": (".csv", ".csv.gz"),
+    "bin": (".bin",),
+}
+
+
+def record_to_row(record) -> tuple:
+    """A record's values in canonical column order (JSON-safe)."""
+    return tuple(getattr(record, name) for name in fields_for(type(record)))
+
+
+def row_to_record(record_type: type, row) -> object:
+    """Invert :func:`record_to_row`."""
+    return record_type(*row)
+
+
+class StreamTailer:
+    """Tails one log stream of a trace directory.
+
+    The file may not exist yet (a simulation that has not flushed its
+    first export): :meth:`poll` keeps probing and latches onto whichever
+    format variant appears first.  Once resolved, the format is pinned —
+    it is part of the checkpoint state.
+    """
+
+    STATE_VERSION = 1
+
+    def __init__(
+        self,
+        base: str | Path,
+        stem: str,
+        record_type: type,
+        *,
+        format: str = "auto",
+        quarantine: QuarantineCollector | None = None,
+        scrub=None,
+    ) -> None:
+        """``scrub`` is an optional per-record hook (record -> record or
+        None) applied *inside* the parse loop, so any quarantine events
+        it emits interleave with read-layer events in row order — the
+        same order the batch reader/scrubber generator chain produces.
+        """
+        if format not in _FORMAT_SUFFIXES:
+            raise ValueError(
+                f"unknown trace format {format!r} (expected auto/csv/bin)"
+            )
+        self.base = Path(base)
+        self.stem = stem
+        self.record_type = record_type
+        self.format = format
+        self.kind = log_kind(record_type)
+        self.quarantine = quarantine
+        self.scrub = scrub
+        self._parsed = 0
+        self._suffix: str | None = None
+        self._offset = 0
+        self._carry = b""
+        self._header: list[str] | None = None
+        self._line_number = 2
+        self._dead = False
+        self.rows_read = 0
+
+    # -------------------------------------------------------------- state
+    def to_state(self) -> dict:
+        return {
+            "v": self.STATE_VERSION,
+            "suffix": self._suffix,
+            "offset": self._offset,
+            "carry": base64.b64encode(self._carry).decode("ascii"),
+            "header": list(self._header) if self._header is not None else None,
+            "line_number": self._line_number,
+            "dead": self._dead,
+            "rows_read": self.rows_read,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if state.get("v") != self.STATE_VERSION:
+            raise ValueError(
+                f"unsupported tailer state version: {state.get('v')!r}"
+            )
+        self._suffix = state["suffix"]
+        self._offset = int(state["offset"])
+        self._carry = base64.b64decode(state["carry"])
+        header = state["header"]
+        self._header = list(header) if header is not None else None
+        self._line_number = int(state["line_number"])
+        self._dead = bool(state["dead"])
+        self.rows_read = int(state["rows_read"])
+
+    # ------------------------------------------------------------ probing
+    @property
+    def path(self) -> Path | None:
+        """The resolved log path (None until the file first appears)."""
+        if self._suffix is None:
+            return None
+        return self.base / f"{self.stem}{self._suffix}"
+
+    @property
+    def offset(self) -> int:
+        return self._offset
+
+    @property
+    def dead(self) -> bool:
+        return self._dead
+
+    def _resolve(self) -> Path | None:
+        if self._suffix is not None:
+            return self.base / f"{self.stem}{self._suffix}"
+        for suffix in _FORMAT_SUFFIXES[self.format]:
+            candidate = self.base / f"{self.stem}{suffix}"
+            if candidate.exists():
+                self._suffix = suffix
+                return candidate
+        return None
+
+    # ------------------------------------------------------------ polling
+    def poll(self) -> list:
+        """Parse and return every record that arrived since last poll."""
+        if self._dead:
+            return []
+        path = self._resolve()
+        if path is None or not path.exists():
+            return []
+        self._parsed = 0
+        if self._suffix == ".bin":
+            records = self._poll_bin(path)
+        elif self._suffix == ".csv.gz":
+            records = self._poll_csv_gz(path)
+        else:
+            records = self._poll_csv(path)
+        self.rows_read += self._parsed
+        if obs.enabled() and (records or self._parsed):
+            registry = obs.metrics()
+            if records:
+                registry.counter(
+                    "repro_serve_rows_ingested_total", stream=self.kind
+                ).add(len(records))
+            # The ``.bin`` reader already counts its own rows under
+            # ``category="serve"``; the text paths count here, pre-scrub
+            # (parity with the batch reader's counter).
+            if self._parsed and self._suffix != ".bin":
+                registry.counter(
+                    "repro_io_rows_read_total",
+                    stream=self.kind,
+                    format="csv.gz" if self._suffix == ".csv.gz" else "csv",
+                    category="serve",
+                ).add(self._parsed)
+        return records
+
+    # ------------------------------------------------------- csv variants
+    def _poll_csv(self, path: Path) -> list:
+        with path.open("rb") as handle:
+            handle.seek(self._offset)
+            data = handle.read()
+        cut = data.rfind(b"\n")
+        if cut < 0:
+            return []
+        chunk = data[: cut + 1]
+        self._offset += len(chunk)
+        return self._consume_text(path, chunk)
+
+    def _poll_csv_gz(self, path: Path) -> list:
+        with path.open("rb") as handle:
+            handle.seek(self._offset)
+            data = handle.read()
+        if not data:
+            return []
+        out = bytearray()
+        pos = 0
+        error: Exception | None = None
+        while pos < len(data):
+            # The batch reader tolerates NUL padding between members.
+            if data[pos : pos + 1] == b"\x00":
+                pos += 1
+                self._offset += 1
+                continue
+            decomp = zlib.decompressobj(31)
+            member_out = bytearray()
+            mpos = pos
+            try:
+                while mpos < len(data) and not decomp.eof:
+                    piece = data[mpos : mpos + _CHUNK]
+                    member_out += decomp.decompress(piece)
+                    mpos += len(piece)
+            except zlib.error as exc:
+                error = gzip.BadGzipFile(str(exc))
+                out += member_out
+                break
+            if not decomp.eof:
+                # Member still being appended: not arrived yet.
+                break
+            member_len = (mpos - pos) - len(decomp.unused_data)
+            out += member_out
+            pos += member_len
+            self._offset += member_len
+        if error is not None:
+            return self._stream_death(path, bytes(out), error)
+        return self._consume_member_bytes(path, bytes(out))
+
+    def _consume_member_bytes(self, path: Path, payload: bytes) -> list:
+        buffer = self._carry + payload
+        cut = buffer.rfind(b"\n")
+        if cut < 0:
+            self._carry = buffer
+            return []
+        self._carry = buffer[cut + 1 :]
+        return self._consume_text(path, buffer[: cut + 1])
+
+    def _consume_text(self, path: Path, payload: bytes) -> list:
+        try:
+            text = payload.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            return self._stream_death(path, b"", exc)
+        return self._parse_rows(path, csv.reader(text.splitlines()))
+
+    def _parse_rows(self, path: Path, rows) -> list:
+        records: list = []
+        for values in rows:
+            if not values:
+                continue
+            if self._header is None:
+                self._header = values
+                continue
+            number = self._line_number
+            self._line_number += 1
+            if self.quarantine is not None:
+                self.quarantine.saw_row(self.kind)
+            row = dict(zip(self._header, values))
+            try:
+                record = _coerce_row(self.record_type, row, path, number)
+            except LogReadError as exc:
+                if self.quarantine is None:
+                    raise
+                self.quarantine.quarantine_row(
+                    self.kind,
+                    f"{self.kind}-{exc.code}",
+                    _ROW_MESSAGES.get(exc.code, "unparseable row"),
+                    f"{path.name}:{number}: {exc.reason}",
+                )
+                continue
+            self._parsed += 1
+            if self.scrub is not None:
+                record = self.scrub(record)
+                if record is None:
+                    continue
+            records.append(record)
+        return records
+
+    def _stream_death(
+        self, path: Path, salvage: bytes, error: Exception
+    ) -> list:
+        """The stream died mid-member: keep the decodable prefix, stop.
+
+        Mirrors the batch lenient accounting: complete salvaged lines
+        still parse, a torn final row is quarantined once under
+        ``<kind>-truncated``, and a cut on a line boundary leaves only
+        the structural note.  The tailer is dead afterwards — exactly
+        like a batch read, everything past the defect is lost.
+        """
+        self._dead = True
+        if self.quarantine is None:
+            raise LogReadError(
+                path,
+                0,
+                f"unreadable or truncated stream: {error}",
+                code="truncated",
+            ) from error
+        buffer = self._carry + salvage
+        self._carry = b""
+        cut = buffer.rfind(b"\n")
+        tail = buffer[cut + 1 :] if cut >= 0 else buffer
+        records = (
+            self._parse_rows(
+                path,
+                csv.reader(
+                    buffer[: cut + 1]
+                    .decode("utf-8", errors="replace")
+                    .splitlines()
+                ),
+            )
+            if cut >= 0
+            else []
+        )
+        stripped = tail.decode("utf-8", errors="replace").strip("\r\n")
+        if stripped:
+            self.quarantine.saw_row(self.kind)
+            self.quarantine.quarantine_row(
+                self.kind,
+                f"{self.kind}-truncated",
+                "partial row lost at truncated stream tail",
+                f"{path.name}: {stripped[:120]!r} ({error})",
+            )
+        else:
+            self.quarantine.note(
+                f"{self.kind}-truncated",
+                "log stream unreadable or truncated mid-read; tail rows lost",
+                f"{path.name}: {error}",
+            )
+        return records
+
+    # ------------------------------------------------------------- binary
+    def _poll_bin(self, path: Path) -> list:
+        from repro.logs import binfmt
+
+        try:
+            end = binfmt.resume_offset(path, self.record_type)
+        except LogReadError as exc:
+            if exc.code == "truncated":
+                # File header still being written: not arrived yet.
+                return []
+            if self.quarantine is None:
+                raise
+            # Bad block magic in the chain: hand the remainder to the
+            # lenient batch reader (it resynchronises and accounts the
+            # damage exactly like a batch load), then stop tailing.
+            self._dead = True
+            records = self._drain_bin(
+                binfmt.read_bin_records(
+                    path,
+                    self.record_type,
+                    self.quarantine,
+                    start_offset=self._offset or None,
+                    category="serve",
+                )
+            )
+            self._offset = path.stat().st_size
+            return records
+        if end <= self._offset:
+            return []
+        records = self._drain_bin(
+            binfmt.read_bin_records(
+                path,
+                self.record_type,
+                self.quarantine,
+                start_offset=self._offset or None,
+                end_offset=end,
+                category="serve",
+            )
+        )
+        self._offset = end
+        return records
+
+    def _drain_bin(self, iterator) -> list:
+        """Consume the bin reader one record at a time through the scrub
+        hook, keeping read- and scrub-layer quarantines in row order."""
+        records: list = []
+        for record in iterator:
+            self._parsed += 1
+            if self.scrub is not None:
+                record = self.scrub(record)
+                if record is None:
+                    continue
+            records.append(record)
+        return records

@@ -1,0 +1,98 @@
+"""Versioned, pickle-free JSON-safe state encoding.
+
+The always-on service (:mod:`repro.serve`) checkpoints live aggregation
+state — the ``*Partial`` dataclasses, streaming statistics, quarantine
+accounting — to disk and restores it after a crash.  Pickle would be the
+obvious transport, but pickled state is opaque (undiagnosable torn
+checkpoints), version-fragile (a renamed attribute silently breaks
+restore) and unsafe to load from disk.  Instead every stateful class
+exposes explicit ``to_state()`` / ``from_state()`` round-trip helpers
+built on the two primitives here.
+
+The encoding maps Python containers onto JSON with a small tag scheme so
+the round trip is *type-faithful* (tuples stay tuples, sets stay sets,
+non-string dict keys survive):
+
+====================  =========================================
+Python value          JSON encoding
+====================  =========================================
+None/bool/int/float   itself (``±inf`` uses JSON ``Infinity``)
+str                   itself
+list                  JSON array of encoded elements
+tuple                 ``{"t": [...]}``
+set                   ``{"s": [...]}`` — elements *sorted*
+frozenset             ``{"f": [...]}`` — elements *sorted*
+dict                  ``{"d": [[k, v], ...]}`` — insertion order
+====================  =========================================
+
+Two ordering rules matter for the merge-exactness contract:
+
+* **dicts keep insertion order** (encoded as a pair list, not a JSON
+  object) — several partials rely on first-occurrence key order to
+  replicate the batch pipeline's row order bit-for-bit;
+* **sets are emitted sorted** — set iteration order is not part of any
+  partial's contract, and sorting makes the encoded form canonical, so
+  equal states produce byte-identical checkpoints.
+
+Tag dicts are unambiguous: the encoder never emits a plain JSON object,
+so any object seen by the decoder must carry exactly one of the four
+tags.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["STATE_VERSION", "decode_value", "encode_value"]
+
+#: Version of the container encoding itself (bumped only if the tag
+#: scheme changes; class-level state layouts carry their own versions).
+STATE_VERSION = 1
+
+_SCALARS = (bool, int, float, str)
+
+
+def encode_value(value: Any) -> Any:
+    """Encode a Python value into the tagged JSON-safe form."""
+    if value is None or isinstance(value, _SCALARS):
+        return value
+    if isinstance(value, list):
+        return [encode_value(item) for item in value]
+    if isinstance(value, tuple):
+        return {"t": [encode_value(item) for item in value]}
+    if isinstance(value, frozenset):
+        return {"f": [encode_value(item) for item in sorted(value)]}
+    if isinstance(value, set):
+        return {"s": [encode_value(item) for item in sorted(value)]}
+    if isinstance(value, dict):
+        return {
+            "d": [
+                [encode_value(key), encode_value(item)]
+                for key, item in value.items()
+            ]
+        }
+    raise TypeError(f"cannot encode {type(value).__name__} state: {value!r}")
+
+
+def decode_value(value: Any) -> Any:
+    """Invert :func:`encode_value`."""
+    if value is None or isinstance(value, _SCALARS):
+        return value
+    if isinstance(value, list):
+        return [decode_value(item) for item in value]
+    if isinstance(value, dict):
+        if len(value) != 1:
+            raise ValueError(f"malformed tagged value: {value!r}")
+        ((tag, items),) = value.items()
+        if tag == "t":
+            return tuple(decode_value(item) for item in items)
+        if tag == "s":
+            return {decode_value(item) for item in items}
+        if tag == "f":
+            return frozenset(decode_value(item) for item in items)
+        if tag == "d":
+            return {
+                decode_value(key): decode_value(item) for key, item in items
+            }
+        raise ValueError(f"unknown state tag {tag!r}")
+    raise ValueError(f"cannot decode state value: {value!r}")

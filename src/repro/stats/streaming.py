@@ -20,6 +20,13 @@ counts / sums / min / max merge exactly, Welford mean/m2 merge via
 Chan's parallel combine (floating-point associativity caveats only),
 reservoirs merge by weighted re-sampling (still a uniform sample), and
 P² merges are a documented approximation (marker-state refeed).
+
+All three are also **checkpointable**: ``to_state()`` /
+``from_state()`` round-trip the full internal state (including the
+reservoir's RNG position) through the versioned JSON-safe encoding of
+:mod:`repro.state`, so ``from_state(to_state(x))`` behaves identically
+to ``x`` for every future ``add``/``merge`` — the property the
+:mod:`repro.serve` crash-recovery contract rests on.
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ import random
 from math import sqrt
 from typing import Iterable
 
+from repro.state import decode_value, encode_value
 from repro.stats.cdf import ECDF
 
 
@@ -150,6 +158,31 @@ class OnlineStats:
         """Exact sum of every value seen (equals ``math.fsum``)."""
         return math.fsum(self._partials)
 
+    def to_state(self) -> dict:
+        """JSON-safe snapshot; exact — the Shewchuk partials survive."""
+        return {
+            "v": 1,
+            "count": self.count,
+            "mean": self._mean,
+            "m2": self._m2,
+            "min": self._min,
+            "max": self._max,
+            "partials": list(self._partials),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "OnlineStats":
+        if state.get("v") != 1:
+            raise ValueError(f"unsupported OnlineStats state: {state.get('v')!r}")
+        stats = cls()
+        stats.count = state["count"]
+        stats._mean = state["mean"]
+        stats._m2 = state["m2"]
+        stats._min = state["min"]
+        stats._max = state["max"]
+        stats._partials = list(state["partials"])
+        return stats
+
 
 class ReservoirSampler:
     """Uniform sample of up to ``capacity`` values from a stream.
@@ -222,6 +255,33 @@ class ReservoirSampler:
     def ecdf(self) -> ECDF:
         """Empirical CDF of the reservoir (approximates the stream's)."""
         return ECDF(self._sample)
+
+    def to_state(self) -> dict:
+        """JSON-safe snapshot including the RNG position.
+
+        Restoring mid-stream continues the *identical* draw sequence, so
+        a checkpointed reservoir fed the remaining values equals one fed
+        the whole stream — bit-for-bit, not just in distribution.
+        """
+        return {
+            "v": 1,
+            "capacity": self.capacity,
+            "seen": self.seen,
+            "sample": list(self._sample),
+            "rng": encode_value(self._rng.getstate()),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ReservoirSampler":
+        if state.get("v") != 1:
+            raise ValueError(
+                f"unsupported ReservoirSampler state: {state.get('v')!r}"
+            )
+        sampler = cls(state["capacity"])
+        sampler._rng.setstate(decode_value(state["rng"]))
+        sampler._sample = list(state["sample"])
+        sampler.seen = state["seen"]
+        return sampler
 
 
 class P2Quantile:
@@ -389,3 +449,29 @@ class P2Quantile:
             index = min(len(ordered) - 1, int(self.q * len(ordered)))
             return ordered[index]
         return self._heights[2]
+
+    def to_state(self) -> dict:
+        """JSON-safe snapshot; exact — markers are plain floats."""
+        return {
+            "v": 1,
+            "q": self.q,
+            "count": self.count,
+            "initial": list(self._initial),
+            "heights": list(self._heights),
+            "positions": list(self._positions),
+            "desired": list(self._desired),
+            "increments": list(self._increments),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "P2Quantile":
+        if state.get("v") != 1:
+            raise ValueError(f"unsupported P2Quantile state: {state.get('v')!r}")
+        quantile = cls(state["q"])
+        quantile.count = state["count"]
+        quantile._initial = list(state["initial"])
+        quantile._heights = list(state["heights"])
+        quantile._positions = list(state["positions"])
+        quantile._desired = list(state["desired"])
+        quantile._increments = list(state["increments"])
+        return quantile

@@ -1,0 +1,80 @@
+"""Shared helpers for the ``repro.serve`` test suite.
+
+The growth simulation used throughout: write a complete trace once,
+then re-expose each log as progressively longer *byte prefixes* of the
+finished file.  A prefix boundary is arbitrary — it can land mid-line,
+mid-gzip-member or mid-block — which exercises the tailers' pending-tail
+handling for free.  At any point, the batch-comparable prefix of a
+stream is exactly the first ``tailer.offset`` bytes of the growing
+file: plain CSV consumes to line boundaries, ``.csv.gz`` to member
+boundaries, ``.bin`` to block boundaries, so slicing at the offset
+always yields a well-formed file the batch loader accepts.
+"""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.logs.faults import FaultSpec, corrupt_trace
+
+SIDE_ARTIFACTS = ("accounts.csv", "devices.csv", "metadata.json", "sectors.csv")
+
+
+def make_growing_dir(full: Path, base: Path) -> Path:
+    """A trace directory holding only the side artefacts (no logs yet)."""
+    base.mkdir(parents=True, exist_ok=True)
+    for name in SIDE_ARTIFACTS:
+        shutil.copy(full / name, base / name)
+    return base
+
+
+def feed_prefix(full: Path, grow: Path, stem_suffix: str, frac: float) -> None:
+    """Expose the first ``frac`` of one finished log in the growing dir."""
+    blob = (full / stem_suffix).read_bytes()
+    (grow / stem_suffix).write_bytes(blob[: int(len(blob) * frac)])
+
+
+def drain(service) -> int:
+    """Poll until a pass ingests nothing; returns total rows ingested."""
+    total = 0
+    while True:
+        rows = service.ingest_once()
+        if not rows:
+            return total
+        total += rows
+
+
+def snapshot_prefix_dir(service, grow: Path, base: Path) -> Path:
+    """Materialise the batch-comparable prefix trace at this instant."""
+    make_growing_dir(grow, base)
+    for name, tailer in service.tailers.items():
+        if tailer.path is None:
+            continue
+        data = tailer.path.read_bytes()[: tailer.offset]
+        (base / tailer.path.name).write_bytes(data)
+    return base
+
+
+@pytest.fixture(scope="session")
+def small_corrupt_trace_dir(small_trace_dir, tmp_path_factory):
+    """The small trace with every row-level fault class injected.
+
+    No truncation and no shuffling: truncated-stream accounting is
+    deliberately not byte-compatible between a tailer and a batch read,
+    and shuffled timestamps make the batch scrubber re-sort (covered by
+    a dedicated disorder test instead).
+    """
+    base = tmp_path_factory.mktemp("corrupt") / "small"
+    spec = FaultSpec(
+        seed=11,
+        duplicate_rate=0.01,
+        bad_imei_rate=0.01,
+        bad_sector_rate=0.01,
+        bad_bytes_rate=0.01,
+        garbage_rate=0.005,
+    )
+    corrupt_trace(small_trace_dir, base, spec)
+    return base

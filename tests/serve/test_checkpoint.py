@@ -1,0 +1,87 @@
+"""Unit tests for :mod:`repro.serve.checkpoint`."""
+
+import json
+
+import pytest
+
+from repro.serve.checkpoint import CHECKPOINT_SCHEMA, CheckpointStore
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return CheckpointStore(tmp_path / "ckpt", keep=3)
+
+
+class TestWriteLoad:
+    def test_roundtrip(self, store):
+        payload = {"generation": 4, "rows": [1, 2, 3], "nested": {"a": 1.5}}
+        store.write(4, payload)
+        assert store.load_latest() == (4, payload)
+
+    def test_empty_store_loads_nothing(self, store):
+        assert store.load_latest() is None
+
+    def test_newest_generation_wins(self, store):
+        for generation in (1, 2, 3):
+            store.write(generation, {"generation": generation})
+        assert store.load_latest() == (3, {"generation": 3})
+
+    def test_envelope_schema_and_digest(self, store):
+        store.write(1, {"x": 1})
+        (path,) = store.directory.glob("checkpoint-*.json")
+        envelope = json.loads(path.read_text())
+        assert envelope["schema"] == CHECKPOINT_SCHEMA
+        assert set(envelope) == {"schema", "sha256", "payload"}
+
+    def test_no_tmp_files_left_behind(self, store):
+        store.write(1, {"x": 1})
+        assert not list(store.directory.glob("*.tmp"))
+
+
+class TestTornFiles:
+    def test_unparseable_newest_falls_back(self, store):
+        store.write(1, {"generation": 1})
+        store.write(2, {"generation": 2})
+        newest = store.directory / "checkpoint-00000002.json"
+        newest.write_text("{ torn mid-wri")
+        assert store.load_latest() == (1, {"generation": 1})
+
+    def test_digest_mismatch_falls_back(self, store):
+        store.write(1, {"generation": 1})
+        store.write(2, {"generation": 2})
+        newest = store.directory / "checkpoint-00000002.json"
+        envelope = json.loads(newest.read_text())
+        envelope["payload"]["generation"] = 999  # silent bit-rot
+        newest.write_text(json.dumps(envelope))
+        assert store.load_latest() == (1, {"generation": 1})
+
+    def test_wrong_schema_falls_back(self, store):
+        store.write(1, {"generation": 1})
+        store.write(2, {"generation": 2})
+        newest = store.directory / "checkpoint-00000002.json"
+        envelope = json.loads(newest.read_text())
+        envelope["schema"] = "repro.serve/checkpoint/v0"
+        newest.write_text(json.dumps(envelope))
+        assert store.load_latest() == (1, {"generation": 1})
+
+    def test_every_file_torn_loads_nothing(self, store):
+        store.write(1, {"generation": 1})
+        for path in store.directory.glob("checkpoint-*.json"):
+            path.write_bytes(path.read_bytes()[:10])
+        assert store.load_latest() is None
+
+
+class TestPruning:
+    def test_keeps_only_the_newest_n(self, store):
+        for generation in range(1, 8):
+            store.write(generation, {"generation": generation})
+        names = sorted(p.name for p in store.directory.glob("*.json"))
+        assert names == [
+            "checkpoint-00000005.json",
+            "checkpoint-00000006.json",
+            "checkpoint-00000007.json",
+        ]
+
+    def test_keep_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointStore(tmp_path, keep=0)

@@ -6,7 +6,7 @@ PYTEST = PYTHONPATH=src $(PY) -m pytest
 
 .PHONY: test coverage chaos soak soak-tests bench bench-perf \
     bench-perf-check bench-gate trace obs-smoke analyze-smoke \
-    convert-smoke serve-smoke clean
+    convert-smoke serve-smoke prof-smoke clean
 
 # Chaos-soak knobs (override on the command line: make soak EPISODES=10).
 EPISODES ?= 25
@@ -185,6 +185,49 @@ serve-smoke:
 	    --out serve-smoke/trace
 	PYTHONPATH=src $(PY) tools/serve_smoke.py serve-smoke
 
+## Profiler smoke: run a sharded analyze of the small preset twice under
+## the sampling profiler (97 hz for sample density on a sub-second run),
+## validate both profile/v1 artifacts, require the top self-time frame to
+## sit in the CSV/binfmt decode path, check the collapsed-stack and
+## speedscope exports parse with matching totals, and align the two runs
+## with `obs compare --hotspots` (must exit 0).  Artifacts land in
+## prof-smoke/ (gitignored; CI uploads them).
+prof-smoke:
+	rm -rf prof-smoke && mkdir -p prof-smoke
+	PYTHONPATH=src $(PY) -m repro simulate --preset small --seed 7 \
+	    --out prof-smoke/trace
+	PYTHONPATH=src $(PY) -m repro analyze prof-smoke/trace \
+	    --shards 4 --workers 4 --figures fig2a \
+	    --profile-out prof-smoke/p.json --profile-hz 97
+	PYTHONPATH=src $(PY) -m repro analyze prof-smoke/trace \
+	    --shards 4 --workers 4 --figures fig2a \
+	    --profile-out prof-smoke/q.json --profile-hz 97
+	PYTHONPATH=src $(PY) -c "\
+	import json; \
+	from repro.obs.profiler import validate_profile_file, \
+	    aggregate_hotspots; \
+	docs = [validate_profile_file(f'prof-smoke/{n}.json') \
+	    for n in 'pq']; \
+	top = [max(((c[0], f) for (s, f), c in \
+	    aggregate_hotspots(d).items()), key=lambda r: r[0]) \
+	    for d in docs]; \
+	bad = [f for _, f in top if not (f.startswith('csv:') \
+	    or f.startswith('_csv') or f.startswith('repro.logs.'))]; \
+	assert not bad, f'top frame outside decode path: {bad}'; \
+	collapsed = open('prof-smoke/p.collapsed.txt').read().splitlines(); \
+	folded = sum(int(line.rsplit(' ', 1)[1]) for line in collapsed); \
+	ss = json.load(open('prof-smoke/p.speedscope.json')); \
+	prof = ss['profiles'][0]; \
+	assert sum(prof['weights']) == prof['endValue'] == folded, \
+	    (sum(prof['weights']), prof['endValue'], folded); \
+	assert all(i < len(ss['shared']['frames']) \
+	    for s in prof['samples'] for i in s); \
+	print('prof-smoke: both profiles schema-valid, top frames', \
+	    [f for _, f in top], f'; {folded} folded self-samples')"
+	PYTHONPATH=src $(PY) -m repro obs summarize prof-smoke/p.json --top 10
+	PYTHONPATH=src $(PY) -m repro obs compare --hotspots \
+	    prof-smoke/p.json prof-smoke/q.json --top 10
+
 ## Example end-to-end trace (sharded run, per-shard timings on stderr).
 trace:
 	PYTHONPATH=src $(PY) -m repro simulate --scale medium --seed 7 \
@@ -192,5 +235,5 @@ trace:
 
 clean:
 	rm -rf trace/ obs-smoke/ analyze-smoke/ convert-smoke/ serve-smoke/ \
-	    soak-run/ .pytest_cache
+	    prof-smoke/ soak-run/ .pytest_cache
 	find . -name __pycache__ -type d -exec rm -rf {} +

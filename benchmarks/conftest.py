@@ -32,6 +32,7 @@ from repro.core.dataset import StudyDataset
 from repro.core.pipeline import WearableStudy
 from repro.obs.export import build_run_report, write_run_report
 from repro.obs.history import append_history, build_history_record, git_commit
+from repro.obs.profiler import build_profile, write_profile
 from repro.simnet.config import SimulationConfig
 from repro.simnet.simulator import Simulator
 
@@ -61,13 +62,26 @@ def pytest_collection_modifyitems(config, items):
 
 @pytest.fixture(scope="session", autouse=True)
 def bench_obs():
-    """Session-wide observability; persists perf artifacts on teardown."""
-    instance = obs.Observability(enabled=True)
+    """Session-wide observability; persists perf artifacts on teardown.
+
+    Perf sessions additionally run the wall-clock sampling profiler at
+    the standard 19 hz for the whole session, so every history record
+    carries ``top_frames`` provenance and ``BENCH_profile.json`` lands
+    next to the other reports.  The profiler samples from its own
+    thread — it adds no spans and no per-row instructions — so the
+    committed ``BENCH_repro.json`` span surface is unchanged and its
+    <5% overhead sits far inside the gate's 15% threshold.
+    """
+    instance = obs.Observability(
+        enabled=True, profile_hz=19.0 if _PERF_COLLECTED else None
+    )
     previous = obs.install(instance)
+    instance.profiler.start()
     try:
         yield instance
     finally:
         obs.install(previous)
+        instance.profiler.stop()
         REPORTS_DIR.mkdir(exist_ok=True)
         report = build_run_report(
             instance.metrics.snapshot(),
@@ -75,6 +89,14 @@ def bench_obs():
             meta={"command": "benchmarks", "seed": PAPER_SEED},
         )
         write_run_report(REPORTS_DIR / "BENCH_obs.json", report)
+        profile_doc = None
+        if instance.profiler.enabled:
+            profile_doc = build_profile(
+                instance.profiler.snapshot(),
+                meta={"command": "benchmarks", "seed": PAPER_SEED},
+                hz=instance.profiler.hz,
+            )
+            write_profile(REPORTS_DIR / "BENCH_profile.json", profile_doc)
         if _PERF_COLLECTED:
             # The longitudinal perf trajectory: one canonical run report
             # at the repo root (committed as the next gate baseline) and
@@ -86,6 +108,7 @@ def bench_obs():
                     report,
                     label="bench-perf",
                     commit=git_commit(REPO_ROOT),
+                    profile=profile_doc,
                 ),
             )
         instance.close()

@@ -98,6 +98,18 @@ from repro.obs.export import (
     write_prometheus,
     write_run_report,
 )
+from repro.obs.profiler import (
+    PROFILE_SCHEMA,
+    build_profile,
+    compare_profile_files,
+    format_hotspot_table,
+    profile_artifact_paths,
+    validate_profile,
+    validate_profile_file,
+    write_collapsed,
+    write_profile,
+    write_speedscope,
+)
 from repro.obs.timeline import HeartbeatSampler, ProgressPrinter
 from repro.core.export import write_report_json
 from repro.core.figures import FIGURE_RENDERERS, render_all
@@ -557,12 +569,37 @@ def cmd_scoreboard(args: argparse.Namespace) -> int:
 
 
 def cmd_obs_summarize(args: argparse.Namespace) -> int:
-    """Render a saved run report (from ``--metrics-out``) as a table."""
+    """Render a saved run report or profile artifact as a table.
+
+    The positional argument is schema-sniffed: a ``repro.obs/profile/v1``
+    document renders the hotspot table directly, anything else is
+    validated as a run report and rendered as the stage/counter table.
+    ``--profile PATH`` additionally appends the hotspot table of a
+    separate profile artifact below the stage table.
+    """
     try:
-        report = validate_run_report_file(args.report)
+        with open(args.report, "r", encoding="utf-8") as handle:
+            raw = json.load(handle)
     except OSError as exc:
         print(f"error: cannot read {args.report}: {exc}", file=sys.stderr)
         return 2
+    except json.JSONDecodeError as exc:
+        print(f"error: not a valid run report: {exc}", file=sys.stderr)
+        return 2
+    if isinstance(raw, dict) and raw.get("schema") == PROFILE_SCHEMA:
+        try:
+            validate_profile(raw)
+        except ValueError as exc:
+            print(f"error: not a valid profile: {exc}", file=sys.stderr)
+            return 2
+        meta = raw.get("meta", {})
+        if meta.get("command"):
+            print(f"profile: {meta['command']}")
+            print()
+        print(format_hotspot_table(raw, top=args.top))
+        return 0
+    try:
+        report = validate_run_report_file(args.report)
     except (ValueError, json.JSONDecodeError) as exc:
         print(f"error: not a valid run report: {exc}", file=sys.stderr)
         return 2
@@ -575,6 +612,21 @@ def cmd_obs_summarize(args: argparse.Namespace) -> int:
         print(f"run report: {meta['command']} ({created})")
         print()
     print(format_stage_table(report))
+    profile_path = getattr(args, "profile", None)
+    if profile_path:
+        try:
+            profile_doc = validate_profile_file(profile_path)
+        except OSError as exc:
+            print(
+                f"error: cannot read {profile_path}: {exc}", file=sys.stderr
+            )
+            return 2
+        except (ValueError, json.JSONDecodeError) as exc:
+            print(f"error: not a valid profile: {exc}", file=sys.stderr)
+            return 2
+        print()
+        print("hotspots")
+        print(format_hotspot_table(profile_doc, top=args.top))
     return 0
 
 
@@ -584,7 +636,31 @@ def cmd_obs_compare(args: argparse.Namespace) -> int:
     Exit codes: 0 — no regression (or ``--report-only``); 2 — an input
     file is missing or not a valid run report; 3 — at least one aligned
     span regressed past the threshold (offending span paths printed).
+
+    With ``--hotspots`` the two positionals are ``repro.obs/profile/v1``
+    artifacts instead: the profiles are aligned by ``(span path,
+    frame)`` and the top frames whose self-time *share* moved are
+    printed, grouped under their span — always exit 0 on valid input
+    (attribution informs the gate, it is not itself one).
     """
+    if getattr(args, "hotspots", False):
+        try:
+            comparison = compare_profile_files(args.baseline, args.candidate)
+        except OSError as exc:
+            print(f"error: cannot read profile: {exc}", file=sys.stderr)
+            return 2
+        except (ValueError, json.JSONDecodeError) as exc:
+            print(f"error: not a valid profile: {exc}", file=sys.stderr)
+            return 2
+        print(comparison.format_table(top=args.top))
+        if args.json:
+            target = Path(args.json)
+            target.parent.mkdir(parents=True, exist_ok=True)
+            with target.open("w", encoding="utf-8") as handle:
+                json.dump(comparison.to_dict(), handle, indent=2)
+                handle.write("\n")
+            print(f"wrote comparison to {target}", file=sys.stderr)
+        return 0
     reports = []
     for path in (args.baseline, args.candidate):
         try:
@@ -689,6 +765,25 @@ def _finalize_obs(
             "(load at https://ui.perfetto.dev)",
             file=sys.stderr,
         )
+    profile_out = getattr(args, "profile_out", None)
+    if profile_out:
+        # Stop sampling before snapshotting so the artifact is final; the
+        # observe() exit then double-stops harmlessly.
+        ob.profiler.stop()
+        profile_doc = build_profile(
+            ob.profiler.snapshot(), meta=meta, hz=ob.profiler.hz or None
+        )
+        json_path, collapsed_path, speedscope_path = profile_artifact_paths(
+            profile_out
+        )
+        write_profile(json_path, profile_doc)
+        write_collapsed(collapsed_path, profile_doc)
+        write_speedscope(speedscope_path, profile_doc)
+        print(
+            f"wrote profile to {json_path} "
+            f"(+ {collapsed_path.name}, {speedscope_path.name})",
+            file=sys.stderr,
+        )
     if getattr(args, "verbose_stats", False):
         print(file=sys.stderr)
         print(
@@ -715,8 +810,17 @@ def _run_observed(args: argparse.Namespace) -> int:
         os.close(handle)
         events_path = tmp_events
     meta = {"command": args.command, "argv": list(sys.argv[1:])}
+    # The sampler only runs when an artifact was asked for: profiling is
+    # cheap but not free, and a profile nobody writes is pure overhead.
+    profile_hz = (
+        getattr(args, "profile_hz", None)
+        if getattr(args, "profile_out", None)
+        else None
+    )
     try:
-        with obs.observe(events_path=events_path, events_meta=meta) as ob:
+        with obs.observe(
+            events_path=events_path, events_meta=meta, profile_hz=profile_hz
+        ) as ob:
             sampler = (
                 HeartbeatSampler(ob.events).start()
                 if ob.events.enabled
@@ -790,6 +894,23 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="render a live progress line on stderr while the command "
         "runs (tails the timeline event log)",
+    )
+    obs_flags.add_argument(
+        "--profile-out",
+        default=None,
+        metavar="PATH",
+        help="run the wall-clock sampling profiler and write the "
+        "repro.obs/profile/v1 JSON artifact here (plus "
+        "<stem>.collapsed.txt flamegraph text and "
+        "<stem>.speedscope.json next to it)",
+    )
+    obs_flags.add_argument(
+        "--profile-hz",
+        type=float,
+        default=19.0,
+        metavar="N",
+        help="sampling rate for --profile-out (default: 19; a prime "
+        "rate avoids beating against periodic work)",
     )
     obs_flags.set_defaults(observed=True)
 
@@ -1176,9 +1297,26 @@ def build_parser() -> argparse.ArgumentParser:
     summarize = obs_sub.add_parser(
         "summarize",
         help="render a saved run report (--metrics-out JSON) as a "
-        "stage/counter table",
+        "stage/counter table, or a --profile-out artifact as a "
+        "hotspot table",
     )
-    summarize.add_argument("report", help="run-report JSON file")
+    summarize.add_argument(
+        "report", help="run-report or profile JSON file"
+    )
+    summarize.add_argument(
+        "--top",
+        type=int,
+        default=15,
+        metavar="N",
+        help="rows in the hotspot table (default: 15)",
+    )
+    summarize.add_argument(
+        "--profile",
+        default=None,
+        metavar="PATH",
+        help="also render the hotspot table of this profile artifact "
+        "below the stage table",
+    )
     summarize.set_defaults(func=cmd_obs_summarize)
 
     compare = obs_sub.add_parser(
@@ -1222,6 +1360,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="additionally write the structured comparison as JSON here",
+    )
+    compare.add_argument(
+        "--hotspots",
+        action="store_true",
+        help="treat the positionals as repro.obs/profile/v1 artifacts "
+        "and print the top frames whose self-time share diverged, "
+        "grouped by span (always exits 0 on valid input)",
+    )
+    compare.add_argument(
+        "--top",
+        type=int,
+        default=20,
+        metavar="N",
+        help="frame rows to print with --hotspots (default: 20)",
     )
     compare.set_defaults(func=cmd_obs_compare)
 

@@ -1469,6 +1469,9 @@ class AnalysisShardStats:
     elapsed_seconds: float
     metrics_snapshot: dict | None = None
     span_tree: dict | None = None
+    #: Wall-clock sampling-profiler snapshot (merged like the span tree,
+    #: in shard order); only shipped when the parent profiles.
+    profile: dict | None = None
 
     @property
     def resident_records(self) -> int:
@@ -1489,6 +1492,7 @@ class _AnalysisPayload:
     parent_pid: int = 0
     events_path: str | None = None
     format: str = "auto"
+    profile_hz: float | None = None
 
 
 @dataclass
@@ -1513,9 +1517,12 @@ def _analyze_shard(payload: _AnalysisPayload) -> _ShardResult:
     in_worker = os.getpid() != payload.parent_pid
     if payload.observe and in_worker:
         installed = obs.Observability(
-            enabled=True, events_path=payload.events_path
+            enabled=True,
+            events_path=payload.events_path,
+            profile_hz=payload.profile_hz,
         )
         previous = obs.install(installed)
+        installed.profiler.start()
     started = time.perf_counter()
     events = obs.events()
     shard = payload.shard
@@ -1555,9 +1562,15 @@ def _analyze_shard(payload: _AnalysisPayload) -> _ShardResult:
         )
         metrics_snapshot = None
         span_tree = None
+        profile = None
         if installed is not None:
+            # Stop sampling before snapshotting so the shipped profile is
+            # final; close() in the finally is then a harmless double-stop.
+            installed.profiler.stop()
             metrics_snapshot = installed.metrics.snapshot()
             span_tree = installed.tracer.tree().to_dict()
+            if installed.profiler.enabled:
+                profile = installed.profiler.snapshot()
         return _ShardResult(
             partials=partials,
             quarantine=dataset.quarantine,
@@ -1568,6 +1581,7 @@ def _analyze_shard(payload: _AnalysisPayload) -> _ShardResult:
                 elapsed_seconds=elapsed,
                 metrics_snapshot=metrics_snapshot,
                 span_tree=span_tree,
+                profile=profile,
             ),
         )
     finally:
@@ -1641,6 +1655,8 @@ def analyze_parallel(
     parent_pid = os.getpid()
     active_events = obs.events()
     events_path = str(active_events.path) if active_events.enabled else None
+    active_profiler = obs.profiler()
+    profile_hz = active_profiler.hz if active_profiler.enabled else None
     payloads = [
         _AnalysisPayload(
             trace_dir=str(base),
@@ -1652,6 +1668,7 @@ def analyze_parallel(
             parent_pid=parent_pid,
             events_path=events_path,
             format=format,
+            profile_hz=profile_hz,
         )
         for shard in range(shards)
     ]
@@ -1669,11 +1686,14 @@ def analyze_parallel(
             if obs.enabled():
                 registry = obs.metrics()
                 tracer = obs.tracer()
+                profiler = obs.profiler()
                 for result in results:
                     if result.stats.metrics_snapshot is not None:
                         registry.merge_snapshot(result.stats.metrics_snapshot)
                     if result.stats.span_tree is not None:
                         tracer.attach_subtree(result.stats.span_tree)
+                    if result.stats.profile is not None:
+                        profiler.merge(result.stats.profile)
 
         with obs.span("analyze.merge"):
             merged = results[0].partials

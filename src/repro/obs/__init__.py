@@ -45,12 +45,14 @@ from pathlib import Path
 from typing import Any, Iterator, Mapping
 
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import NULL_PROFILER, SamplingProfiler
 from repro.obs.spans import SpanNode, Tracer
 from repro.obs.timeline import NULL_EVENTS, EventWriter
 
 __all__ = [
     "MetricsRegistry",
     "Observability",
+    "SamplingProfiler",
     "SpanNode",
     "Tracer",
     "disable",
@@ -61,6 +63,7 @@ __all__ = [
     "install",
     "metrics",
     "observe",
+    "profiler",
     "span",
     "tracer",
 ]
@@ -77,7 +80,7 @@ class Observability:
     method call.
     """
 
-    __slots__ = ("metrics", "tracer", "events", "enabled")
+    __slots__ = ("metrics", "tracer", "events", "profiler", "enabled")
 
     def __init__(
         self,
@@ -85,6 +88,7 @@ class Observability:
         memory: bool = False,
         events_path: str | Path | None = None,
         events_meta: Mapping[str, Any] | None = None,
+        profile_hz: float | None = None,
     ) -> None:
         self.enabled = enabled
         self.metrics = MetricsRegistry(enabled=enabled)
@@ -94,8 +98,17 @@ class Observability:
             if enabled and events_path is not None
             else NULL_EVENTS
         )
+        # Constructed but NOT started: creating an Observability must not
+        # spawn threads.  Callers (observe(), the CLI, engine workers)
+        # call ``instance.profiler.start()`` once installed.
+        self.profiler = (
+            SamplingProfiler(hz=profile_hz, tracer=self.tracer)
+            if enabled and profile_hz
+            else NULL_PROFILER
+        )
 
     def close(self) -> None:
+        self.profiler.stop()
         self.tracer.close()
         self.events.close()
 
@@ -135,6 +148,16 @@ def events():
     return _ACTIVE.events
 
 
+def profiler():
+    """The active sampling profiler (the shared null one by default).
+
+    Returns an object with ``start``/``stop``/``snapshot``/``merge``,
+    ``enabled`` and ``hz`` — either a live :class:`~repro.obs.profiler.
+    SamplingProfiler` or :data:`~repro.obs.profiler.NULL_PROFILER`.
+    """
+    return _ACTIVE.profiler
+
+
 def span(name: str, **attrs):
     """Open a span on the active tracer (no-op when disabled)."""
     return _ACTIVE.tracer.span(name, **attrs)
@@ -168,6 +191,7 @@ def observe(
     memory: bool = False,
     events_path: str | Path | None = None,
     events_meta: Mapping[str, Any] | None = None,
+    profile_hz: float | None = None,
 ) -> Iterator[Observability]:
     """Context manager: enabled instance for the block, then restore.
 
@@ -178,15 +202,20 @@ def observe(
         report = build_run_report(ob.metrics.snapshot(), ob.tracer.tree())
 
     ``events_path`` additionally records the live timeline event log
-    there for the duration of the block.
+    there for the duration of the block; ``profile_hz`` additionally
+    runs the wall-clock sampling profiler at that rate (stopped on
+    exit; snapshot it before the block ends or via the yielded
+    instance's ``profiler``).
     """
     instance = Observability(
         enabled=True,
         memory=memory,
         events_path=events_path,
         events_meta=events_meta,
+        profile_hz=profile_hz,
     )
     previous = install(instance)
+    instance.profiler.start()
     try:
         yield instance
     finally:

@@ -30,6 +30,7 @@ from pathlib import Path
 from typing import Any, Mapping
 
 from repro.obs.compare import span_index
+from repro.obs.profiler import top_frames_by_module
 
 __all__ = [
     "HISTORY_SCHEMA",
@@ -65,11 +66,17 @@ def build_history_record(
     commit: str | None = None,
     max_depth: int = 2,
     extra: Mapping[str, Any] | None = None,
+    profile: Mapping | None = None,
 ) -> dict:
     """One history line summarising a run report.
 
     ``max_depth`` bounds how deep into the span tree the summary reaches
     (0 == root only); the full tree stays in ``BENCH_repro.json``.
+
+    ``profile`` (a ``repro.obs/profile/v1`` document or profiler
+    snapshot) adds a ``top_frames`` provenance field: the top-3
+    self-time frames under each perf-benchmark module, so a step change
+    in the trajectory names the frames that moved, not just the span.
     """
     spans: dict[str, dict[str, float]] = {}
     for path, node in span_index(report).items():
@@ -96,6 +103,8 @@ def build_history_record(
         "spans": spans,
         "counters": counters,
     }
+    if profile is not None:
+        record["top_frames"] = top_frames_by_module(profile)
     if extra:
         record.update(dict(extra))
     return record

@@ -38,7 +38,27 @@ try:  # pragma: no cover - resource is POSIX-only
 except ImportError:  # pragma: no cover
     resource = None  # type: ignore[assignment]
 
-__all__ = ["SpanNode", "Tracer"]
+__all__ = ["SpanNode", "Tracer", "render_segment"]
+
+
+def render_segment(name: str, attrs: Mapping[str, Any] | None) -> str:
+    """One span-path segment: ``name[k=v,...]`` with sorted attributes.
+
+    Matches the rendering ``repro.obs.compare`` uses to index finished
+    run reports, so the live paths the sampling profiler attributes
+    samples to line up with the span paths the compare table prints.
+    (Live paths carry no ``#n`` sibling suffix — a thread can only be
+    *inside* one sibling at a time.)
+    """
+    if not attrs:
+        return str(name)
+    rendered = ",".join(
+        f"{key}={value}"
+        for key, value in sorted(
+            (str(key), str(value)) for key, value in attrs.items()
+        )
+    )
+    return f"{name}[{rendered}]"
 
 
 def _max_rss_kb() -> float | None:
@@ -160,6 +180,13 @@ class Tracer:
         self.roots: list[SpanNode] = []
         self._lock = threading.Lock()
         self._local = threading.local()
+        # Thread ident -> tuple of rendered span segments currently open
+        # on that thread.  ``threading.local`` stacks are invisible from
+        # other threads, so the sampling profiler reads this registry
+        # instead; tuples are swapped in whole (GIL-atomic), never
+        # mutated, so a concurrent reader sees either the old or the new
+        # path — both valid attributions for an in-flight sample.
+        self._active_paths: dict[int, tuple[str, ...]] = {}
         self._epoch = time.perf_counter()
         self._owns_tracemalloc = False
         if self.memory and not tracemalloc.is_tracing():
@@ -202,6 +229,11 @@ class Tracer:
         node = SpanNode(name=name, attrs=attrs, pid=os.getpid())
         stack = self._stack()
         stack.append(node)
+        ident = threading.get_ident()
+        previous_path = self._active_paths.get(ident, ())
+        self._active_paths[ident] = previous_path + (
+            render_segment(name, attrs),
+        )
         if self.memory:
             tracemalloc.reset_peak()
             traced_before, _ = tracemalloc.get_traced_memory()
@@ -217,12 +249,27 @@ class Tracer:
                 _, traced_peak = tracemalloc.get_traced_memory()
                 node.alloc_peak_kb = max(0.0, (traced_peak - traced_before)) / 1024.0
             node.max_rss_kb = _max_rss_kb()
+            if previous_path:
+                self._active_paths[ident] = previous_path
+            else:
+                self._active_paths.pop(ident, None)
             stack.pop()
             if stack:
                 stack[-1].children.append(node)
             else:
                 with self._lock:
                     self.roots.append(node)
+
+    # ------------------------------------------------------------ sampling
+    def active_span_path(self, ident: int) -> str:
+        """``/``-joined path of the spans open on thread ``ident``.
+
+        Called by the sampling profiler from *its* thread while spans
+        open and close concurrently; returns ``""`` for threads outside
+        any span.  Reads one dict slot (GIL-atomic), never blocks the
+        traced thread.
+        """
+        return "/".join(self._active_paths.get(ident, ()))
 
     # ------------------------------------------------------------- merge
     def attach_subtree(self, payload: Mapping | SpanNode) -> SpanNode | None:

@@ -10,6 +10,8 @@ Routes (all ``GET``, all ``application/json``):
 ``/panels/<name>``     one rendered figure panel              (cacheable)
 ``/quarantine``        the lenient-ingestion quarantine report(cacheable)
 ``/obs/report``        the observability run report (never cached)
+``/obs/profile``       the sampling-profiler profile/v1 doc   (cacheable)
+``/metrics``           Prometheus text exposition (text/plain, uncached)
 =====================  ====================================================
 
 Cacheable resources carry ``ETag: "g<generation>"`` — the service bumps
@@ -27,6 +29,8 @@ from __future__ import annotations
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro import obs
+from repro.obs.metrics import render_prometheus
 from repro.serve.service import AnalysisService, ServiceNotReady
 
 
@@ -130,6 +134,21 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_cached(service.quarantine_resource)
         elif path == "/obs/report":
             self._send_obj(200, service.obs_report())
+        elif path == "/obs/profile":
+            self._send_cached(service.profile_resource)
+        elif path == "/metrics":
+            # A scrape must see the *current* counters, so this route is
+            # deliberately outside the per-generation cache.
+            body = render_prometheus(obs.metrics().snapshot()).encode(
+                "utf-8"
+            )
+            self.send_response(200)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+            )
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
         else:
             self._send_obj(404, {"error": f"unknown route: {path}"})
 

@@ -36,6 +36,7 @@ from repro.logs.quarantine import QuarantineCollector
 from repro.logs.records import MmeRecord, ProxyRecord
 from repro.logs.io import subscriber_shard
 from repro.obs.export import RUN_REPORT_SCHEMA, build_run_report
+from repro.obs.profiler import build_profile
 from repro.serve.checkpoint import CheckpointStore
 from repro.serve.state import (
     IncrementalScrub,
@@ -423,6 +424,30 @@ class AnalysisService:
             tree,
             {"command": "serve", "generation": self.generation},
         )
+
+    def profile_resource(self) -> tuple[int, bytes]:
+        """The ambient sampling profiler as a profile/v1 document.
+
+        Cached per generation like every other resource: the profile
+        keeps accumulating between generations, but a daemon that isn't
+        ingesting is idle, so a fresher snapshot would only add idle
+        samples.  With profiling disabled this serves an empty,
+        schema-valid document (``meta.enabled`` says which).
+        """
+
+        def build() -> dict:
+            profiler = obs.profiler()
+            return build_profile(
+                profiler.snapshot(),
+                meta={
+                    "command": "serve",
+                    "generation": self.generation,
+                    "enabled": profiler.enabled,
+                },
+                hz=profiler.hz or None,
+            )
+
+        return self._cached_resource("obs-profile", build)
 
     # ---------------------------------------------------------- lifecycle
     def run(self, stop_event: threading.Event) -> None:

@@ -170,6 +170,9 @@ class ShardStats:
     elapsed_seconds: float
     metrics_snapshot: dict | None = None
     span_tree: dict | None = None
+    #: Wall-clock sampling-profiler snapshot (merged like the span tree,
+    #: in shard order); only shipped when the parent profiles.
+    profile: dict | None = None
 
     @property
     def resident_records(self) -> int:
@@ -198,6 +201,9 @@ class _ShardPayload:
     #: opened (appends are line-atomic), which is what makes the live
     #: ``--progress`` renderer see inside worker processes.
     events_path: str | None = None
+    #: Sampling rate for the wall-clock profiler inside the worker
+    #: (None = no profiling); mirrors the parent's active profiler.
+    profile_hz: float | None = None
 
 
 # --------------------------------------------------------------- generation
@@ -311,9 +317,12 @@ def _run_shard_to_spool(payload: _ShardPayload) -> ShardStats:
     in_worker = os.getpid() != payload.parent_pid
     if payload.observe and in_worker:
         installed = obs.Observability(
-            enabled=True, events_path=payload.events_path
+            enabled=True,
+            events_path=payload.events_path,
+            profile_hz=payload.profile_hz,
         )
         previous = obs.install(installed)
+        installed.profiler.start()
     started = time.perf_counter()
     events = obs.events()
     shard = payload.task.shard
@@ -371,9 +380,15 @@ def _run_shard_to_spool(payload: _ShardPayload) -> ShardStats:
         )
         metrics_snapshot = None
         span_tree = None
+        profile = None
         if installed is not None:
+            # Stop sampling before snapshotting so the shipped profile is
+            # final; close() in the finally is then a harmless double-stop.
+            installed.profiler.stop()
             metrics_snapshot = installed.metrics.snapshot()
             span_tree = installed.tracer.tree().to_dict()
+            if installed.profiler.enabled:
+                profile = installed.profiler.snapshot()
         return ShardStats(
             shard=payload.task.shard,
             accounts=payload.task.accounts,
@@ -382,6 +397,7 @@ def _run_shard_to_spool(payload: _ShardPayload) -> ShardStats:
             elapsed_seconds=elapsed,
             metrics_snapshot=metrics_snapshot,
             span_tree=span_tree,
+            profile=profile,
         )
     finally:
         if sampler is not None:
@@ -603,6 +619,8 @@ class ShardedSimulationEngine:
         events_path = (
             str(active_events.path) if active_events.enabled else None
         )
+        active_profiler = obs.profiler()
+        profile_hz = active_profiler.hz if active_profiler.enabled else None
         return [
             _ShardPayload(
                 config=self._config,
@@ -616,6 +634,7 @@ class ShardedSimulationEngine:
                 observe=observe,
                 parent_pid=parent_pid,
                 events_path=events_path,
+                profile_hz=profile_hz,
             )
             for task in tasks
         ]
@@ -662,11 +681,14 @@ class ShardedSimulationEngine:
                     # subtrees attach as children of ``simulate.shards``.
                     registry = obs.metrics()
                     tracer = obs.tracer()
+                    profiler = obs.profiler()
                     for stat in stats:
                         if stat.metrics_snapshot is not None:
                             registry.merge_snapshot(stat.metrics_snapshot)
                         if stat.span_tree is not None:
                             tracer.attach_subtree(stat.span_tree)
+                        if stat.profile is not None:
+                            profiler.merge(stat.profile)
 
             with obs.span("simulate.topology"):
                 topology = _build_topology(self._config)

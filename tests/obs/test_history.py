@@ -81,6 +81,27 @@ class TestBuildRecord:
         record = build_history_record(_report(), extra={"ci": True})
         assert record["ci"] is True
 
+    def test_profile_adds_top_frames_provenance(self):
+        from repro.obs.profiler import SamplingProfiler, build_profile
+
+        profiler = SamplingProfiler(hz=10.0)
+        for _ in range(3):
+            profiler.record_sample(
+                "", ["benchmarks.test_perf_io:test_read", "repro.logs.io:parse"]
+            )
+        profiler.record_sample(
+            "", ["benchmarks.test_perf_io:test_read", "repro.logs.io:coerce"]
+        )
+        profile = build_profile(profiler.snapshot(), hz=10.0)
+        record = build_history_record(_report(), profile=profile)
+        assert record["top_frames"]["benchmarks.test_perf_io"] == [
+            {"frame": "repro.logs.io:parse", "self": 3},
+            {"frame": "repro.logs.io:coerce", "self": 1},
+        ]
+
+    def test_no_profile_means_no_top_frames_key(self):
+        assert "top_frames" not in build_history_record(_report())
+
 
 class TestStore:
     def test_append_read_roundtrip(self, tmp_path):

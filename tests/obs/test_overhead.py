@@ -105,3 +105,69 @@ def test_null_instruments_do_not_allocate_state():
     first = registry.counter("repro_x_total", a="1")
     second = registry.counter("repro_y_total", b="2")
     assert first is second
+
+
+# --------------------------------------------------------------- profiler
+# The profiler adds zero per-row instructions: its only cost is the
+# sampling thread waking ``hz`` times a second to walk the other
+# threads' stacks.  Enabled at the standard 19 hz the ingest loop must
+# stay within 5%; disabled profiling is the shared null profiler, which
+# has no thread at all, bounded at 1%.
+
+PROFILER_ATTEMPTS = 5
+
+
+def test_profiler_enabled_overhead_under_five_percent():
+    from repro.obs.profiler import SamplingProfiler
+
+    rows = _sample_rows()
+    path = Path("overhead-test.csv")
+    _ingest_plain(rows, path)
+
+    last_ratio = float("inf")
+    for _ in range(PROFILER_ATTEMPTS):
+        plain = _min_timing(_ingest_plain, rows, path)
+        profiler = SamplingProfiler(hz=19.0)
+        profiler.start()
+        try:
+            profiled = _min_timing(_ingest_plain, rows, path)
+        finally:
+            profiler.stop()
+        plain = min(plain, _min_timing(_ingest_plain, rows, path))
+        last_ratio = profiled / plain
+        if last_ratio <= 1.0 + MAX_OVERHEAD:
+            return
+    pytest.fail(
+        f"enabled-profiler overhead {100 * (last_ratio - 1):.1f}% exceeds "
+        f"{100 * MAX_OVERHEAD:.0f}% after {PROFILER_ATTEMPTS} attempts"
+    )
+
+
+def test_profiler_disabled_overhead_under_one_percent():
+    from repro.obs.profiler import NULL_PROFILER
+
+    assert obs.profiler() is NULL_PROFILER, (
+        "ambient profiling must be disabled in tests"
+    )
+    rows = _sample_rows()
+    path = Path("overhead-test.csv")
+    _ingest_plain(rows, path)
+
+    last_ratio = float("inf")
+    for _ in range(PROFILER_ATTEMPTS):
+        plain = _min_timing(_ingest_plain, rows, path)
+        # "Disabled profiling" is the null profiler: started (a no-op,
+        # no thread spawns) around the identical loop.
+        NULL_PROFILER.start()
+        try:
+            disabled = _min_timing(_ingest_plain, rows, path)
+        finally:
+            NULL_PROFILER.stop()
+        plain = min(plain, _min_timing(_ingest_plain, rows, path))
+        last_ratio = disabled / plain
+        if last_ratio <= 1.01:
+            return
+    pytest.fail(
+        f"disabled-profiler overhead {100 * (last_ratio - 1):.1f}% "
+        f"exceeds 1% after {PROFILER_ATTEMPTS} attempts"
+    )

@@ -1,0 +1,467 @@
+"""Sampling-profiler tests: merge determinism, lifecycle, attribution.
+
+The profiler's core contract is the same one the span tree honours:
+folding a fixed multiset of stacks, split across any number of workers
+and merged in any order, must yield a byte-identical exported snapshot.
+These tests pin that, the daemon-thread lifecycle (idempotent
+start/stop, restart accumulation), span attribution including the
+span-ends-mid-sample race, the profile/v1 schema validator, both export
+formats, the hotspot aggregation/comparison layer, and the overhead
+bounds (<5% enabled at 19 hz, <1% disabled).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs.profiler import (
+    NULL_PROFILER,
+    PROFILE_SCHEMA,
+    SamplingProfiler,
+    aggregate_hotspots,
+    build_profile,
+    compare_profiles,
+    format_hotspot_table,
+    profile_artifact_paths,
+    top_frames_by_module,
+    validate_profile,
+    validate_profile_file,
+    write_collapsed,
+    write_profile,
+    write_speedscope,
+)
+from repro.obs.spans import Tracer, render_segment
+
+# A fixed stack set: (span path, outermost-first frames).  Repeated and
+# overlapping stacks on purpose — the trie must aggregate them.
+FIXED_STACKS = [
+    ("analyze.shard[shard=0]/shard.load", ["cli:main", "io:read", "io:parse"]),
+    ("analyze.shard[shard=0]/shard.load", ["cli:main", "io:read", "io:parse"]),
+    ("analyze.shard[shard=0]/shard.load", ["cli:main", "io:read"]),
+    ("analyze.shard[shard=1]/shard.load", ["cli:main", "io:read", "io:parse"]),
+    ("analyze.shard[shard=1]/shard.load", ["cli:main", "agg:fold"]),
+    ("", ["worker:loop"]),
+    ("", ["worker:loop", "io:parse"]),
+]
+
+
+def _fold(stacks) -> SamplingProfiler:
+    profiler = SamplingProfiler(hz=10.0)
+    for span, frames in stacks:
+        profiler.record_sample(span, frames)
+    return profiler
+
+
+class TestFold:
+    def test_snapshot_counts(self):
+        snap = _fold(FIXED_STACKS).snapshot()
+        assert snap["samples"] == len(FIXED_STACKS)
+        assert snap["idle_samples"] == 0
+        spans = {entry["span"]: entry for entry in snap["spans"]}
+        assert spans["analyze.shard[shard=0]/shard.load"]["samples"] == 3
+        root = spans["analyze.shard[shard=0]/shard.load"]["frames"][0]
+        assert root["frame"] == "cli:main"
+        assert root["samples"] == 3 and root["self"] == 0
+        read = root["children"][0]
+        assert read["frame"] == "io:read"
+        assert read["samples"] == 3 and read["self"] == 1
+        parse = read["children"][0]
+        assert parse["samples"] == 2 and parse["self"] == 2
+
+    def test_fold_order_invariant(self):
+        forward = _fold(FIXED_STACKS).snapshot()
+        backward = _fold(list(reversed(FIXED_STACKS))).snapshot()
+        assert forward == backward
+
+    def test_empty_stack_ignored(self):
+        profiler = SamplingProfiler(hz=10.0)
+        profiler.record_sample("x", [])
+        assert profiler.snapshot()["samples"] == 0
+
+    def test_invalid_hz_rejected(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(hz=0)
+        with pytest.raises(ValueError):
+            SamplingProfiler(hz=-1)
+
+
+class TestMergeDeterminism:
+    """Shard-order fold is associative and worker-count invariant."""
+
+    @pytest.mark.parametrize("workers", [1, 2, 3, 4, 7])
+    def test_worker_count_invariant(self, workers):
+        # Partition the fixed stack set across `workers` profilers (as
+        # the engine partitions shards across processes), merge in shard
+        # order, and require the snapshot to match the single-worker one.
+        shards = [
+            _fold(FIXED_STACKS[index::workers]) for index in range(workers)
+        ]
+        parent = SamplingProfiler(hz=10.0)
+        for shard in shards:
+            parent.merge(shard.snapshot())
+        assert parent.snapshot() == _fold(FIXED_STACKS).snapshot()
+
+    def test_merge_associative(self):
+        a = _fold(FIXED_STACKS[:2]).snapshot()
+        b = _fold(FIXED_STACKS[2:5]).snapshot()
+        c = _fold(FIXED_STACKS[5:]).snapshot()
+        left = SamplingProfiler(hz=10.0)
+        left.merge(a)
+        left.merge(b)
+        inner = SamplingProfiler(hz=10.0)
+        inner.merge(b)
+        inner.merge(c)
+        right = SamplingProfiler(hz=10.0)
+        outer = SamplingProfiler(hz=10.0)
+        outer.merge(left.snapshot())
+        outer.merge(c)
+        right.merge(a)
+        right.merge(inner.snapshot())
+        assert outer.snapshot() == right.snapshot()
+
+    def test_merge_commutative(self):
+        a = _fold(FIXED_STACKS[:3]).snapshot()
+        b = _fold(FIXED_STACKS[3:]).snapshot()
+        ab = SamplingProfiler(hz=10.0)
+        ab.merge(a)
+        ab.merge(b)
+        ba = SamplingProfiler(hz=10.0)
+        ba.merge(b)
+        ba.merge(a)
+        assert ab.snapshot() == ba.snapshot()
+
+    def test_merge_sums_idle(self):
+        parent = SamplingProfiler(hz=10.0)
+        parent.merge({"samples": 0, "idle_samples": 4, "spans": []})
+        parent.merge({"samples": 0, "idle_samples": 3, "spans": []})
+        assert parent.snapshot()["idle_samples"] == 7
+
+
+class TestLifecycle:
+    def test_start_idempotent(self):
+        profiler = SamplingProfiler(hz=200.0)
+        try:
+            profiler.start()
+            thread = profiler._thread
+            assert profiler.running
+            profiler.start()
+            assert profiler._thread is thread
+        finally:
+            profiler.stop()
+
+    def test_stop_idempotent(self):
+        profiler = SamplingProfiler(hz=200.0)
+        profiler.start()
+        profiler.stop()
+        assert not profiler.running
+        profiler.stop()  # second stop is a no-op
+        assert not profiler.running
+
+    def test_stop_without_start(self):
+        SamplingProfiler(hz=10.0).stop()
+
+    def test_restart_accumulates(self):
+        profiler = SamplingProfiler(hz=500.0)
+        profiler.record_sample("a", ["m:f"])
+        profiler.start()
+        profiler.stop()
+        profiler.start()
+        profiler.stop()
+        assert profiler.snapshot()["spans"][0]["samples"] == 1
+
+    def test_sampler_thread_samples_other_threads(self):
+        stop = threading.Event()
+
+        def busy():
+            x = 0
+            while not stop.is_set():
+                x += 1
+
+        worker = threading.Thread(target=busy)
+        worker.start()
+        profiler = SamplingProfiler(hz=500.0)
+        profiler.start()
+        try:
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if profiler.snapshot()["samples"] >= 5:
+                    break
+                time.sleep(0.01)
+        finally:
+            stop.set()
+            worker.join()
+            profiler.stop()
+        snap = profiler.snapshot()
+        assert snap["samples"] >= 5
+        # The profiler never samples its own thread.
+        labels = {
+            stack[-1]
+            for entry in snap["spans"]
+            for stack in _leaf_stacks(entry["frames"])
+        }
+        assert not any("SamplingProfiler._run" in label for label in labels)
+
+
+def _leaf_stacks(frames, prefix=()):
+    for node in frames:
+        stack = prefix + (node["frame"],)
+        if node["self"]:
+            yield stack
+        yield from _leaf_stacks(node.get("children", ()), stack)
+
+
+class TestAttribution:
+    def test_active_span_path_nests(self):
+        tracer = Tracer(enabled=True)
+        ident = threading.get_ident()
+        assert tracer.active_span_path(ident) == ""
+        with tracer.span("a", k=1):
+            assert tracer.active_span_path(ident) == "a[k=1]"
+            with tracer.span("b"):
+                assert tracer.active_span_path(ident) == "a[k=1]/b"
+            assert tracer.active_span_path(ident) == "a[k=1]"
+        assert tracer.active_span_path(ident) == ""
+
+    def test_render_segment_matches_compare(self):
+        assert render_segment("x", None) == "x"
+        assert render_segment("x", {}) == "x"
+        assert render_segment("x", {"b": 2, "a": 1}) == "x[a=1,b=2]"
+
+    def test_span_end_while_sample_in_flight(self):
+        # A sampler thread reads the span path, then the span exits
+        # before the fold happens.  The sample must land under the path
+        # that was live when it was taken — stale but valid — and the
+        # registry must be clean afterwards.
+        tracer = Tracer(enabled=True)
+        profiler = SamplingProfiler(hz=10.0, tracer=tracer)
+        ident = threading.get_ident()
+        with tracer.span("stage", shard=3):
+            in_flight_path = tracer.active_span_path(ident)
+        # span has ended; fold the in-flight sample now
+        profiler.record_sample(in_flight_path, ["m:f"])
+        assert tracer.active_span_path(ident) == ""
+        snap = profiler.snapshot()
+        assert snap["spans"][0]["span"] == "stage[shard=3]"
+        assert snap["spans"][0]["samples"] == 1
+
+    def test_live_attribution_under_observe(self):
+        stop = threading.Event()
+
+        def busy():
+            with obs.span("busy.stage", k=1):
+                x = 0
+                while not stop.is_set():
+                    x += 1
+
+        with obs.observe(profile_hz=500.0) as ob:
+            worker = threading.Thread(target=busy)
+            worker.start()
+            try:
+                deadline = time.monotonic() + 5.0
+                while time.monotonic() < deadline:
+                    snap = ob.profiler.snapshot()
+                    if any(
+                        entry["span"] == "busy.stage[k=1]"
+                        and entry["samples"] >= 2
+                        for entry in snap["spans"]
+                    ):
+                        break
+                    time.sleep(0.01)
+            finally:
+                stop.set()
+                worker.join()
+            snap = ob.profiler.snapshot()
+        spans = {entry["span"] for entry in snap["spans"]}
+        assert "busy.stage[k=1]" in spans
+
+    def test_observe_without_profile_hz_uses_null(self):
+        with obs.observe() as ob:
+            assert ob.profiler is NULL_PROFILER
+            assert obs.profiler() is NULL_PROFILER
+        # ambient default is the shared null profiler too
+        assert obs.profiler() is NULL_PROFILER
+
+    def test_null_profiler_is_shared_noop(self):
+        assert not NULL_PROFILER.enabled
+        assert NULL_PROFILER.start() is NULL_PROFILER
+        NULL_PROFILER.stop()
+        NULL_PROFILER.record_sample("x", ["m:f"])
+        NULL_PROFILER.merge({"samples": 5})
+        assert NULL_PROFILER.snapshot() == {
+            "samples": 0,
+            "idle_samples": 0,
+            "spans": [],
+        }
+
+
+class TestSchema:
+    def _doc(self):
+        return build_profile(
+            _fold(FIXED_STACKS).snapshot(), meta={"command": "t"}, hz=10.0
+        )
+
+    def test_roundtrip_valid(self, tmp_path):
+        doc = self._doc()
+        validate_profile(doc)
+        path = write_profile(tmp_path / "p.json", doc)
+        assert validate_profile_file(path) == json.loads(
+            path.read_text(encoding="utf-8")
+        )
+
+    def test_rejects_wrong_schema(self):
+        doc = self._doc()
+        doc["schema"] = "repro.obs/profile/v0"
+        with pytest.raises(ValueError, match=r"\$\.schema"):
+            validate_profile(doc)
+
+    def test_rejects_inconsistent_counts(self):
+        doc = self._doc()
+        doc["spans"][0]["frames"][0]["self"] += 1
+        with pytest.raises(ValueError, match="samples == self"):
+            validate_profile(doc)
+
+    def test_rejects_span_total_mismatch(self):
+        doc = self._doc()
+        doc["spans"][0]["samples"] += 1
+        with pytest.raises(ValueError, match="frame total"):
+            validate_profile(doc)
+
+    def test_rejects_document_total_mismatch(self):
+        doc = self._doc()
+        doc["samples"] += 1
+        with pytest.raises(ValueError, match="span total"):
+            validate_profile(doc)
+
+    def test_rejects_negative_and_bad_hz(self):
+        doc = self._doc()
+        doc["hz"] = -5
+        with pytest.raises(ValueError, match=r"\$\.hz"):
+            validate_profile(doc)
+        doc = self._doc()
+        doc["idle_samples"] = -1
+        with pytest.raises(ValueError, match="idle_samples"):
+            validate_profile(doc)
+
+    def test_null_hz_allowed(self):
+        doc = build_profile(_fold(FIXED_STACKS).snapshot())
+        assert doc["hz"] is None
+        validate_profile(doc)
+
+    def test_schema_constant(self):
+        assert PROFILE_SCHEMA == "repro.obs/profile/v1"
+        assert self._doc()["schema"] == PROFILE_SCHEMA
+
+
+class TestExports:
+    def test_artifact_paths(self):
+        json_path, collapsed, speedscope = profile_artifact_paths(
+            "/x/p.json"
+        )
+        assert str(json_path) == "/x/p.json"
+        assert collapsed.name == "p.collapsed.txt"
+        assert speedscope.name == "p.speedscope.json"
+
+    def test_collapsed_totals(self, tmp_path):
+        doc = build_profile(_fold(FIXED_STACKS).snapshot())
+        path = write_collapsed(tmp_path / "p.collapsed.txt", doc)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        total = 0
+        for line in lines:
+            stack, count = line.rsplit(" ", 1)
+            assert ";" in stack
+            total += int(count)
+        # every sample reaches exactly one self site
+        assert total == doc["samples"]
+        assert any(line.startswith("(no-span);worker:loop") for line in lines)
+
+    def test_speedscope_parses(self, tmp_path):
+        doc = build_profile(
+            _fold(FIXED_STACKS).snapshot(), meta={"command": "analyze"}
+        )
+        path = write_speedscope(tmp_path / "p.speedscope.json", doc)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        profile = payload["profiles"][0]
+        assert profile["type"] == "sampled"
+        assert sum(profile["weights"]) == profile["endValue"]
+        assert profile["endValue"] == doc["samples"]
+        n_frames = len(payload["shared"]["frames"])
+        assert all(
+            index < n_frames
+            for stack in profile["samples"]
+            for index in stack
+        )
+        assert len(profile["samples"]) == len(profile["weights"])
+
+
+class TestHotspots:
+    def test_aggregation_folds_duplicate_frames(self):
+        doc = build_profile(_fold(FIXED_STACKS).snapshot())
+        totals = aggregate_hotspots(doc)
+        # io:parse appears under two spans and two call sites
+        assert totals[("analyze.shard[shard=0]/shard.load", "io:parse")] == [
+            2,
+            2,
+        ]
+        assert totals[("", "io:parse")] == [1, 1]
+
+    def test_table_orders_by_self(self):
+        doc = build_profile(_fold(FIXED_STACKS).snapshot(), hz=10.0)
+        table = format_hotspot_table(doc, top=3)
+        lines = table.splitlines()
+        assert lines[0].split() == ["self%", "cum%", "frame", "span"]
+        assert "io:parse" in lines[2]
+        assert "10 hz" in lines[-1]
+        assert "more frames" in lines[-2]
+
+    def test_compare_identical_profiles_flat(self):
+        doc = build_profile(_fold(FIXED_STACKS).snapshot())
+        comparison = compare_profiles(doc, doc)
+        assert comparison.deltas
+        assert all(d.share_delta == 0 for d in comparison.deltas)
+        assert "aligned" in comparison.format_table()
+
+    def test_compare_ranks_diverging_frame_first(self):
+        base = build_profile(_fold(FIXED_STACKS).snapshot())
+        shifted_stacks = FIXED_STACKS + [
+            ("analyze.shard[shard=0]/shard.load", ["cli:main", "hot:new"])
+        ] * 10
+        other = build_profile(_fold(shifted_stacks).snapshot())
+        comparison = compare_profiles(base, other)
+        top = comparison.top_diverging(1)[0]
+        assert top.frame == "hot:new"
+        assert top.base_self == 0 and top.other_self == 10
+        assert top.share_delta > 0
+        payload = comparison.to_dict()
+        assert payload["schema"] == "repro.obs/profile-compare/v1"
+        assert payload["frames"]
+
+    def test_compare_empty_profiles(self):
+        empty = build_profile({"samples": 0, "idle_samples": 0, "spans": []})
+        comparison = compare_profiles(empty, empty)
+        assert comparison.deltas == []
+        assert "empty" in comparison.format_table()
+
+    def test_top_frames_by_module(self):
+        stacks = [
+            ("", ["benchmarks.test_perf_io:test_read", "repro.logs.io:parse"]),
+            ("", ["benchmarks.test_perf_io:test_read", "repro.logs.io:parse"]),
+            ("", ["benchmarks.test_perf_io:test_read", "repro.logs.io:coerce"]),
+            ("", ["benchmarks.test_perf_engine:test_run", "repro.simnet.engine:step"]),
+            ("", ["tests.test_other:test_x", "repro.logs.io:parse"]),
+        ]
+        doc = build_profile(_fold(stacks).snapshot())
+        frames = top_frames_by_module(doc)
+        assert set(frames) == {
+            "benchmarks.test_perf_io",
+            "benchmarks.test_perf_engine",
+        }
+        assert frames["benchmarks.test_perf_io"][0] == {
+            "frame": "repro.logs.io:parse",
+            "self": 2,
+        }
+        assert len(frames["benchmarks.test_perf_io"]) == 2

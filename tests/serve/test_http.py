@@ -107,6 +107,71 @@ class TestEndpoints:
         payload = json.loads(body)
         assert payload["meta"]["command"] == "serve"
 
+    def test_obs_profile_schema_valid(self, served):
+        from repro.obs.profiler import validate_profile
+
+        service, base = served
+        status, headers, body = fetch(base + "/obs/profile")
+        assert status == 200
+        payload = json.loads(body)
+        validate_profile(payload)
+        assert payload["meta"]["command"] == "serve"
+        # tests run with ambient profiling disabled: the doc is empty
+        # but schema-valid and says so
+        assert payload["meta"]["enabled"] is False
+        assert payload["samples"] == 0
+        assert headers["ETag"] == f'"g{service.generation}"'
+
+    def test_obs_profile_etag_revalidation(self, served):
+        service, base = served
+        _, headers, _ = fetch(base + "/obs/profile")
+        status, headers, body = fetch(
+            base + "/obs/profile",
+            headers={"If-None-Match": headers["ETag"]},
+        )
+        assert status == 304
+        assert body == b""
+
+    def test_metrics_prometheus_exposition(self, served):
+        _, base = served
+        status, headers, body = fetch(base + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert "version=0.0.4" in headers["Content-Type"]
+        body.decode("utf-8")  # must be text, possibly empty when disabled
+
+    def test_metrics_exposes_live_counters(self, small_trace_dir, tmp_path):
+        # Run a service under an *enabled* ambient obs instance: the
+        # scrape must carry the serve counters with escaped labels.
+        from repro.obs.metrics import escape_label_value
+
+        grow = make_growing_dir(small_trace_dir, tmp_path / "grow")
+        for suffix in ("proxy.csv", "mme.csv"):
+            feed_prefix(small_trace_dir, grow, suffix, 1.0)
+        with obs.observe():
+            service = AnalysisService(
+                ServeConfig(trace_dir=grow, shards=2, seed=0)
+            )
+            drain(service)
+            service.report_resource()
+            server = build_server(service, "127.0.0.1", 0)
+            thread = threading.Thread(
+                target=server.serve_forever, daemon=True
+            )
+            thread.start()
+            try:
+                base = f"http://127.0.0.1:{server.server_address[1]}"
+                status, _, body = fetch(base + "/metrics")
+            finally:
+                server.shutdown()
+                server.server_close()
+                thread.join()
+        assert status == 200
+        text = body.decode("utf-8")
+        assert "# TYPE repro_serve_rows_ingested_total counter" in text
+        assert 'resource="report"' in text
+        assert escape_label_value('a"b\\c\n') == 'a\\"b\\\\c\\n'
+
     def test_unknown_panel_is_404(self, served):
         _, base = served
         status, _, body = fetch(base + "/panels/fig9z")

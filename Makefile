@@ -6,7 +6,7 @@ PYTEST = PYTHONPATH=src $(PY) -m pytest
 
 .PHONY: test coverage chaos soak soak-tests bench bench-perf \
     bench-perf-check bench-gate trace obs-smoke analyze-smoke \
-    convert-smoke serve-smoke prof-smoke clean
+    encounters-smoke convert-smoke serve-smoke prof-smoke clean
 
 # Chaos-soak knobs (override on the command line: make soak EPISODES=10).
 EPISODES ?= 25
@@ -15,7 +15,7 @@ SOAK_DIR ?= soak-run
 
 PERF_MODULES = benchmarks/test_perf_engine.py benchmarks/test_perf_io.py \
     benchmarks/test_perf_primitives.py benchmarks/test_perf_analysis.py \
-    benchmarks/test_perf_serve.py
+    benchmarks/test_perf_serve.py benchmarks/test_perf_encounters.py
 
 ## Tier-1 suite: unit / integration / property tests (the CI gate).
 test:
@@ -152,6 +152,36 @@ analyze-smoke:
 	    f'{len(events)} events, all 4 shards aggregated')"
 	PYTHONPATH=src $(PY) -m repro obs summarize analyze-smoke/run-report.json
 
+## Encounter-join smoke: export the small preset, run the encounters
+## figure through the batch pipeline and through the 4-shard / 2-worker
+## map-reduce, and require the JSON panel and the rendered figure to be
+## byte-identical (the encounter join sits in the bit-exact merge tier).
+## Artifacts land in encounters-smoke/ (gitignored; CI uploads them).
+encounters-smoke:
+	rm -rf encounters-smoke && mkdir -p encounters-smoke
+	PYTHONPATH=src $(PY) -m repro simulate --preset small --seed 7 \
+	    --out encounters-smoke/trace
+	PYTHONPATH=src $(PY) -m repro analyze encounters-smoke/trace \
+	    --figures encounters --out encounters-smoke/batch \
+	    --json encounters-smoke/batch.json
+	PYTHONPATH=src $(PY) -m repro analyze encounters-smoke/trace \
+	    --shards 4 --workers 2 --figures encounters \
+	    --out encounters-smoke/par --json encounters-smoke/par.json
+	PYTHONPATH=src $(PY) -c "\
+	import json, pathlib, sys; \
+	base = pathlib.Path('encounters-smoke'); \
+	batch = json.loads((base / 'batch.json').read_text())['encounters']; \
+	par = json.loads((base / 'par.json').read_text())['encounters']; \
+	sys.exit('encounters-smoke: JSON panel diverged') \
+	    if batch != par else None; \
+	a = (base / 'batch' / 'encounters.txt').read_bytes(); \
+	b = (base / 'par' / 'encounters.txt').read_bytes(); \
+	sys.exit('encounters-smoke: rendered figure diverged') \
+	    if a != b else None; \
+	assert batch['n_pairs'] > 0 and batch['n_events'] >= batch['n_pairs']; \
+	print('encounters-smoke: batch == 4-shard/2-worker, ' \
+	    f\"{batch['n_pairs']} pairs / {batch['n_events']} events\")"
+
 ## Format-conversion smoke: export the small preset as CSV, convert it to
 ## the binary columnar format and back, and require the round trip to be
 ## byte-identical (SHA-256 over both log files).  Proves the shipped
@@ -234,6 +264,6 @@ trace:
 	    --out trace/ --shards 4
 
 clean:
-	rm -rf trace/ obs-smoke/ analyze-smoke/ convert-smoke/ serve-smoke/ \
+	rm -rf trace/ obs-smoke/ analyze-smoke/ encounters-smoke/ convert-smoke/ serve-smoke/ \
 	    prof-smoke/ soak-run/ .pytest_cache
 	find . -name __pycache__ -type d -exec rm -rf {} +

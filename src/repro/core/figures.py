@@ -14,6 +14,7 @@ from repro.core.adoption import AdoptionResult
 from repro.core.apps import AppsResult
 from repro.core.comparison import ComparisonResult
 from repro.core.domains import DomainsResult
+from repro.core.encounters import EncountersResult
 from repro.core.mobility import MobilityResult
 from repro.core.pipeline import StudyReport
 from repro.core.report import format_cdf, format_hourly, format_table
@@ -262,6 +263,78 @@ def render_sec6(through_device: ThroughDeviceResult) -> str:
     )
 
 
+def render_enc_traffic(encounters: EncountersResult) -> str:
+    rows = [
+        (f"{t.bin_low:.0f}-{t.bin_high:.0f} events", t.count, t.mean_y)
+        for t in encounters.encounter_vs_tx_rate
+    ]
+    return (
+        format_table(
+            ("encounter events", "wearables", "mean detailed-window tx"),
+            rows,
+            title="§ext(a) — encounter events vs proxy traffic (wearables)",
+        )
+        + f"\n\nPearson r: {encounters.encounter_tx_correlation:.3f} (tx), "
+        f"{encounters.encounter_bytes_correlation:.3f} (bytes)"
+    )
+
+
+def render_enc_degree(encounters: EncountersResult) -> str:
+    return (
+        format_cdf(encounters.wearable_degree, "wearable partners", points=10)
+        + "\n\n"
+        + format_cdf(encounters.phone_degree, "phone partners", points=10)
+        + f"\n\nmean degree: {encounters.mean_wearable_degree:.2f} wearable vs "
+        f"{encounters.mean_phone_degree:.2f} phone; pair mix "
+        f"w-w {encounters.pairs_wearable_wearable} / "
+        f"w-p {encounters.pairs_wearable_phone} / "
+        f"p-p {encounters.pairs_phone_phone}"
+    )
+
+
+def render_enc_td(encounters: EncountersResult) -> str:
+    return format_table(
+        ("metric", "value"),
+        [
+            ("paired wearables", encounters.paired_wearables),
+            (
+                "co-located with own phone",
+                f"{100 * encounters.colocated_with_phone_fraction:.1f}%",
+            ),
+            (
+                "contacts explained by phone (mean)",
+                f"{100 * encounters.mean_explained_fraction:.1f}%",
+            ),
+            (
+                "fully explained wearables",
+                f"{100 * encounters.fully_explained_fraction:.1f}%",
+            ),
+        ],
+        title="§ext(c) — through-device contact inference",
+    )
+
+
+def render_encounters(encounters: EncountersResult) -> str:
+    """All three encounter panels plus the join's headline counts."""
+    head = format_table(
+        ("metric", "value"),
+        [
+            ("subscribers in join", encounters.n_subscribers),
+            ("encounter pairs", encounters.n_pairs),
+            ("encounter events", encounters.n_events),
+        ],
+        title="§ext — sector-co-presence encounters",
+    )
+    return "\n\n".join(
+        (
+            head,
+            render_enc_traffic(encounters),
+            render_enc_degree(encounters),
+            render_enc_td(encounters),
+        )
+    )
+
+
 #: Figure id → renderer over a full StudyReport.
 FIGURE_RENDERERS = {
     "fig2a": lambda report: render_fig2a(report.adoption),
@@ -281,6 +354,10 @@ FIGURE_RENDERERS = {
     "fig8": lambda report: render_fig8(report.domains),
     "sec42": lambda report: render_sec42(report.weekly),
     "sec6": lambda report: render_sec6(report.through_device),
+    "enc_traffic": lambda report: render_enc_traffic(report.encounters),
+    "enc_degree": lambda report: render_enc_degree(report.encounters),
+    "enc_td": lambda report: render_enc_td(report.encounters),
+    "encounters": lambda report: render_encounters(report.encounters),
 }
 
 

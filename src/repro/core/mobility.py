@@ -36,7 +36,12 @@ class SectorTimeline:
     def __init__(self, events: Sequence[tuple[float, str]]) -> None:
         if not events:
             raise ValueError("timeline needs at least one event")
-        self._events = sorted(events)
+        # Sort by timestamp ONLY: Python's sort is stable, so two
+        # attachments at the same instant keep their MME record order.
+        # Sorting bare tuples would tie-break alphabetically by sector id
+        # and ``sector_at`` could report a sector the subscriber already
+        # left.
+        self._events = sorted(events, key=lambda event: event[0])
 
     def sector_at(self, timestamp: float) -> str | None:
         """The sector attached at ``timestamp`` (last event at or before).
@@ -55,19 +60,31 @@ class SectorTimeline:
         return self._events[lo - 1][1]
 
     def daily_sectors(self, study_start: float) -> dict[int, set[str]]:
-        """Distinct sectors visited per study day."""
+        """Distinct sectors visited per study day.
+
+        Attachments before ``study_start`` are dropped: floor division
+        would file them under negative day indices, silently skewing
+        daily max-displacement and distinct-sector counts.
+        """
         per_day: dict[int, set[str]] = defaultdict(set)
         for timestamp, sector in self._events:
+            if timestamp < study_start:
+                continue
             per_day[int((timestamp - study_start) // SECONDS_PER_DAY)].add(sector)
         return dict(per_day)
 
-    def dwell_seconds(self, study_start: float) -> dict[str, float]:
-        """Total attached time per sector.
+    def dwell_intervals(
+        self, study_start: float
+    ) -> list[tuple[str, float, float]]:
+        """Attachment intervals ``(sector, start, end)`` in time order.
 
-        Each attachment dwells until the next event or the end of its day,
-        whichever comes first (overnight attachment is not extrapolated).
+        Each attachment dwells until the next event or the end of its
+        study day, whichever comes first (overnight attachment is not
+        extrapolated); zero-length intervals are omitted.  This is the
+        interval form of :meth:`dwell_seconds` and the batch-side input
+        to the encounter join (:mod:`repro.core.encounters`).
         """
-        dwell: dict[str, float] = defaultdict(float)
+        intervals: list[tuple[str, float, float]] = []
         for index, (timestamp, sector) in enumerate(self._events):
             day_end = (
                 study_start
@@ -79,7 +96,18 @@ class SectorTimeline:
             else:
                 until = day_end
             if until > timestamp:
-                dwell[sector] += until - timestamp
+                intervals.append((sector, timestamp, until))
+        return intervals
+
+    def dwell_seconds(self, study_start: float) -> dict[str, float]:
+        """Total attached time per sector.
+
+        Each attachment dwells until the next event or the end of its day,
+        whichever comes first (overnight attachment is not extrapolated).
+        """
+        dwell: dict[str, float] = defaultdict(float)
+        for sector, start, until in self.dwell_intervals(study_start):
+            dwell[sector] += until - start
         return dict(dwell)
 
 

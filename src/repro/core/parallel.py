@@ -60,8 +60,20 @@ from repro.core.apps import (
     CategoryStats,
 )
 from repro.core.comparison import ComparisonResult
-from repro.core.dataset import StudyDataset, StudyWindow
+from repro.core.dataset import (
+    StudyDataset,
+    StudyWindow,
+    _scrub_records,
+)
 from repro.core.devices import DeviceResult, ModelStats
+from repro.core.encounters import (
+    EncountersResult,
+    build_cell_index,
+    consume_classification,
+    join_cells,
+    stream_dwell_intervals,
+    summarize_encounters,
+)
 from repro.core.domains import (
     DomainCategoryStats,
     DomainsResult,
@@ -83,8 +95,10 @@ from repro.core.throughdevice import (
     ThroughDeviceResult,
 )
 from repro.devicedb.database import DeviceDatabase
-from repro.logs.quarantine import QuarantineReport
-from repro.logs.records import PROTOCOL_HTTP, record_sort_key
+from repro.logs.io import read_records
+from repro.logs.quarantine import QuarantineCollector, QuarantineReport
+from repro.logs.records import PROTOCOL_HTTP, MmeRecord, record_sort_key
+from repro.simnet.topology import SectorMap
 from repro.logs.timeutil import SECONDS_PER_DAY, hour_of_day, is_weekend
 from repro.simnet.appcatalog import builtin_app_catalog
 from repro.simnet.engine import stream_seed
@@ -1332,6 +1346,112 @@ class ProtocolsPartial(_PartialState):
         )
 
 
+# ================================================================= encounters
+@dataclass
+class EncountersPartial(_PartialState):
+    """§ext encounter join + panels — the first *pair*-keyed partial.
+
+    Two independently sharded sides feed one partial:
+
+    * the **join side** (``pair_events`` / ``partners`` / ``sub_events``
+      / ``seen_subscribers``) partitions by *sector*
+      (:func:`repro.core.encounters.sector_shard`): every worker streams
+      the full MME log but only indexes its own sectors' cells, so each
+      encounter event is produced by exactly one worker and the merge is
+      plain integer addition + partner-set union (bit-exact tier —
+      ``seen_subscribers`` is replicated identically on every worker and
+      unions idempotently);
+    * the **account side** (SIM classification, detailed proxy traffic,
+      billing pairing maps) partitions by account like every other
+      partial, merging as disjoint-key unions (bit-exact tier).
+
+    The float statistics (Pearson correlations, binned trend, explained
+    fractions) are computed only at finalize by
+    :func:`repro.core.encounters.summarize_encounters`, a deterministic
+    sorted-key fold shared with the batch path — equal accumulators give
+    bit-identical results.
+    """
+
+    pair_events: dict[tuple[str, str], int] = field(default_factory=dict)
+    partners: dict[str, set[str]] = field(default_factory=dict)
+    sub_events: dict[str, int] = field(default_factory=dict)
+    seen_subscribers: set[str] = field(default_factory=set)
+    wearable_subs: set[str] = field(default_factory=set)
+    phone_subs: set[str] = field(default_factory=set)
+    tx_count: dict[str, int] = field(default_factory=dict)
+    tx_bytes: dict[str, int] = field(default_factory=dict)
+    account_wearables: dict[str, set[str]] = field(default_factory=dict)
+    account_phones: dict[str, set[str]] = field(default_factory=dict)
+
+    def consume(self, dataset: StudyDataset) -> None:
+        """Account side, from one account shard's dataset."""
+        consume_classification(
+            dataset,
+            wearable_subs=self.wearable_subs,
+            phone_subs=self.phone_subs,
+            tx_count=self.tx_count,
+            tx_bytes=self.tx_bytes,
+            account_wearables=self.account_wearables,
+            account_phones=self.account_phones,
+        )
+
+    def consume_stream(
+        self,
+        records,
+        window: StudyWindow,
+        *,
+        shard: int = 0,
+        shards: int = 1,
+    ) -> int:
+        """Join side: index + join this worker's sector slice.
+
+        ``records`` is the canonically ordered *full* MME stream (not
+        the account shard); sector routing happens inside
+        :func:`build_cell_index`.  Returns the number of encounter
+        events found in this slice.
+        """
+        index = build_cell_index(
+            stream_dwell_intervals(
+                records, window, seen=self.seen_subscribers
+            ),
+            window.study_start,
+            shard=shard,
+            shards=shards,
+        )
+        return join_cells(
+            index,
+            pair_events=self.pair_events,
+            partners=self.partners,
+            sub_events=self.sub_events,
+        )
+
+    def merge(self, other: "EncountersPartial") -> None:
+        _int_add(self.pair_events, other.pair_events)
+        _set_union(self.partners, other.partners)
+        _int_add(self.sub_events, other.sub_events)
+        self.seen_subscribers |= other.seen_subscribers
+        self.wearable_subs |= other.wearable_subs
+        self.phone_subs |= other.phone_subs
+        _int_add(self.tx_count, other.tx_count)
+        _int_add(self.tx_bytes, other.tx_bytes)
+        _set_union(self.account_wearables, other.account_wearables)
+        _set_union(self.account_phones, other.account_phones)
+
+    def finalize(self) -> EncountersResult:
+        return summarize_encounters(
+            pair_events=self.pair_events,
+            partners=self.partners,
+            sub_events=self.sub_events,
+            seen_subscribers=self.seen_subscribers,
+            wearable_subs=self.wearable_subs,
+            phone_subs=self.phone_subs,
+            tx_count=self.tx_count,
+            tx_bytes=self.tx_bytes,
+            account_wearables=self.account_wearables,
+            account_phones=self.account_phones,
+        )
+
+
 # ==================================================================== bundles
 @dataclass
 class ShardPartials(_PartialState):
@@ -1349,6 +1469,7 @@ class ShardPartials(_PartialState):
         "weekly": StreamingWeekly,
         "protocols": ProtocolsPartial,
         "devices": DevicesPartial,
+        "encounters": EncountersPartial,
     }
 
     census: CensusPartial
@@ -1362,6 +1483,7 @@ class ShardPartials(_PartialState):
     weekly: StreamingWeekly
     protocols: ProtocolsPartial
     devices: DevicesPartial
+    encounters: EncountersPartial
 
     @classmethod
     def compute(
@@ -1394,6 +1516,7 @@ class ShardPartials(_PartialState):
             devices=DevicesPartial(
                 total_weeks=max(1, window.total_days // 7)
             ),
+            encounters=EncountersPartial(),
         )
         with obs.span("shard.aggregate"):
             partials.census.consume(dataset)
@@ -1408,6 +1531,11 @@ class ShardPartials(_PartialState):
                 partials.weekly.add(record)
             partials.protocols.consume(dataset, attributed, app_categories)
             partials.devices.consume(dataset)
+            # NOTE: only the encounter *account* side — the sector-routed
+            # join side needs the full MME stream, which the dataset does
+            # not hold when account-sharded; ``_analyze_shard`` (and the
+            # serve finalize) feed it via ``encounters.consume_stream``.
+            partials.encounters.consume(dataset)
         return partials
 
     def merge(self, other: "ShardPartials") -> "ShardPartials":
@@ -1423,6 +1551,7 @@ class ShardPartials(_PartialState):
         self.weekly.merge(other.weekly)
         self.protocols.merge(other.protocols)
         self.devices.merge(other.devices)
+        self.encounters.merge(other.encounters)
         return self
 
     def finalize(
@@ -1450,6 +1579,7 @@ class ShardPartials(_PartialState):
             ("weekly", self.weekly.result),
             ("protocols", lambda: self.protocols.finalize(app_categories)),
             ("devices", lambda: self.devices.finalize(device_db)),
+            ("encounters", self.encounters.finalize),
         )
         for name, step in steps:
             events.emit("phase", stage=f"analyze.{name}")
@@ -1504,6 +1634,36 @@ class _ShardResult:
     stats: AnalysisShardStats
 
 
+def _full_mme_stream(trace_dir: str, *, lenient: bool, format: str):
+    """The unsharded canonical MME stream for the encounter join.
+
+    Strict mode streams straight off the log (engine traces are written
+    in canonical order), holding O(1) rows.  Lenient mode replays the
+    same scrub a lenient :meth:`StudyDataset.load` performs — parse
+    salvage, semantic row drops, dedup, re-sort on disorder — so the
+    kept rows equal the serial lenient load's exactly; the defect
+    accounting is discarded because the shard's own load already shipped
+    the identical stream-global quarantine report.  (The scrub
+    materialises the kept MME rows, the one place the join's
+    O(largest-shard) bound loosens to O(MME log) — acceptable because
+    the MME log is the small log, and only in lenient mode.)
+    """
+    base = Path(trace_dir)
+    if not lenient:
+        return read_records(
+            StudyDataset._log_path(base, "mme", format), MmeRecord
+        )
+    collector = QuarantineCollector()
+    return iter(
+        _scrub_records(
+            StudyDataset._lenient_log(base, "mme", MmeRecord, collector, format),
+            "mme",
+            collector,
+            sector_map=SectorMap.read_csv(base / "sectors.csv"),
+        )
+    )
+
+
 def _analyze_shard(payload: _AnalysisPayload) -> _ShardResult:
     """Worker entry point: load one shard and build its partials.
 
@@ -1547,6 +1707,27 @@ def _analyze_shard(payload: _AnalysisPayload) -> _ShardResult:
                 dataset, seed=payload.seed, shard=shard
             )
             events.emit("progress", shard=shard, stage="aggregate", rows=rows)
+            # Encounter join side: pairs straddle account shards, so the
+            # join partitions by *sector* instead — every worker streams
+            # the full MME log once more and joins only the cells whose
+            # sector hashes to its shard index.
+            with obs.span("shard.encounters"):
+                encounter_events = partials.encounters.consume_stream(
+                    _full_mme_stream(
+                        payload.trace_dir,
+                        lenient=payload.lenient,
+                        format=payload.format,
+                    ),
+                    dataset.window,
+                    shard=shard,
+                    shards=payload.shards,
+                )
+            events.emit(
+                "progress",
+                shard=shard,
+                stage="encounters",
+                rows=encounter_events,
+            )
         if obs.enabled():
             registry = obs.metrics()
             registry.counter(
@@ -1555,6 +1736,9 @@ def _analyze_shard(payload: _AnalysisPayload) -> _ShardResult:
             registry.counter(
                 "repro_analysis_mme_records_total", shard=shard
             ).add(len(dataset.mme_records))
+            registry.counter(
+                "repro_analysis_encounter_events_total", shard=shard
+            ).add(encounter_events)
         elapsed = (
             shard_span.wall_s
             if shard_span is not None

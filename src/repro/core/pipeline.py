@@ -32,6 +32,7 @@ from repro.core.comparison import ComparisonResult, analyze_comparison
 from repro.core.dataset import StudyDataset
 from repro.core.devices import DeviceResult, analyze_devices
 from repro.core.domains import DomainsResult, analyze_domains
+from repro.core.encounters import EncountersResult, analyze_encounters
 from repro.core.identification import DeviceCensus, WearableIdentifier
 from repro.core.mobility import MobilityResult, analyze_mobility
 from repro.logs.quarantine import QuarantineReport
@@ -57,6 +58,7 @@ class StudyReport:
     weekly: WeeklyResult
     protocols: ProtocolResult
     devices: DeviceResult
+    encounters: EncountersResult
     #: What lenient ingestion quarantined to produce the dataset these
     #: results were computed over (None for strict / in-memory datasets).
     quarantine: QuarantineReport | None = None
@@ -164,6 +166,11 @@ class WearableStudy:
         with obs.span("analyze.devices"):
             return analyze_devices(self.dataset)
 
+    @cached_property
+    def encounters(self) -> EncountersResult:
+        with obs.span("analyze.encounters"):
+            return analyze_encounters(self.dataset)
+
     @property
     def quarantine(self) -> QuarantineReport | None:
         """Ingestion quarantine of the underlying dataset, when loaded
@@ -207,6 +214,7 @@ class WearableStudy:
         "weekly",
         "protocols",
         "devices",
+        "encounters",
     )
 
     def _run_all(self) -> StudyReport:

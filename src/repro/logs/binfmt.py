@@ -67,6 +67,7 @@ import time
 import zlib
 from array import array
 from itertools import islice
+from math import gcd
 from pathlib import Path
 from typing import (
     Callable,
@@ -675,16 +676,35 @@ def _shard_block_skipper(
 ) -> Callable[[bytes], bool] | None:
     """Block-level predicate: True when a block cannot contain the shard.
 
-    Valid only when subscriber ids hash directly (no billing directory)
-    and the bucket space folds evenly onto the shard count — then
-    ``crc32(id) % shards == (crc32(id) & 0xFF) % shards`` and the
-    header bitmap is an exact superset test.
+    Valid only when subscriber ids hash directly (no billing directory —
+    the header buckets are ``crc32(id) & 0xFF`` of the *subscriber*, so
+    an account-keyed partition cannot be inferred from them).
+
+    Write ``crc32(id) = 256·q + b`` with ``b`` the header bucket.  Then
+    ``crc32(id) % shards = (256·q + b) % shards``, and as ``q`` varies
+    ``256·q mod shards`` ranges over exactly the multiples of
+    ``g = gcd(256, shards)`` — so bucket ``b`` can hold a subscriber of
+    shard ``s`` **only if** ``(s - b) % g == 0``.  That necessary
+    condition makes the bitmap test conservative (a bucket-superset
+    filter, never skipping a block that could contain the shard) for
+    *every* shard count:
+
+    * ``shards | 256`` (``g == shards``): the condition collapses to
+      ``b % shards == s`` — also sufficient, i.e. an exact filter;
+    * even non-divisors (e.g. 6 → ``g = 2``): half the buckets are
+      excluded — a real, if partial, skip;
+    * odd shard counts (``g == 1``): every bucket passes, the filter
+      cannot exclude anything — return None rather than test bitmaps
+      that always match.
     """
-    if shard is None or account_directory is not None or 256 % shards != 0:
+    if shard is None or account_directory is not None:
+        return None
+    fold = gcd(256, shards)
+    if fold == 1:
         return None
     wanted = 0
     for bucket in range(256):
-        if bucket % shards == shard:
+        if (shard - bucket) % fold == 0:
             wanted |= 1 << bucket
     def skip(bitmap_bytes: bytes) -> bool:
         return not (int.from_bytes(bitmap_bytes, "little") & wanted)

@@ -45,6 +45,7 @@ from repro.core.parallel import (
     ComparisonPartial,
     DevicesPartial,
     DomainsPartial,
+    EncountersPartial,
     MobilityPartial,
     ProtocolsPartial,
     ShardPartials,
@@ -367,12 +368,17 @@ def _replay_partials(
     sort_mme: bool,
     artifacts: TraceArtifacts,
 ) -> dict:
-    """Compute the five cross-row partials from one shard's buffers.
+    """Compute the cross-row partials from one shard's buffers.
 
     Returns their JSON-safe states, keyed by bundle field name.  When
     the scrubber saw disorder the batch pipeline re-sorted the kept log
     before consuming; sorting each buffer is the restriction of that
     global sort, so the replay sees the identical order.
+
+    The encounters partial gets only its *account* side here (SIM
+    classification, detailed traffic, billing pairing) — the sector join
+    needs every shard's MME rows at once and runs globally in
+    :func:`finalize_slots`.
     """
     if sort_proxy:
         proxy_wearable = sorted(proxy_wearable, key=record_sort_key)
@@ -407,12 +413,15 @@ def _replay_partials(
         through_device.consume(dataset)
         protocols = ProtocolsPartial()
         protocols.consume(dataset, attributed, app_categories)
+        encounters = EncountersPartial()
+        encounters.consume(dataset)
     return {
         "mobility": mobility.to_state(),
         "apps": apps.to_state(),
         "domains": domains.to_state(),
         "through_device": through_device.to_state(),
         "protocols": protocols.to_state(),
+        "encounters": encounters.to_state(),
     }
 
 
@@ -499,11 +508,26 @@ def finalize_slots(
                 weekly=StreamingWeekly.from_state(slot.weekly.to_state()),
                 protocols=ProtocolsPartial.from_state(replayed["protocols"]),
                 devices=DevicesPartial.from_state(slot.devices.to_state()),
+                encounters=EncountersPartial.from_state(
+                    replayed["encounters"]
+                ),
             )
         )
     merged = bundles[0]
     for bundle in bundles[1:]:
         merged.merge(bundle)
+    # Encounter join side: pairs straddle account shards, so the sector
+    # join runs once over every shard's detailed MME rows, re-sorted
+    # into the canonical stream order the batch/parallel paths read
+    # (each buffer is in order; the concatenation is not).  Folding into
+    # the merged bundle's partial is the shards=1 routing — the same
+    # cells any sharded routing would produce, merged.
+    with obs.span("serve.encounters"):
+        all_mme = sorted(
+            (r for slot in slots for r in slot.mme_detailed),
+            key=record_sort_key,
+        )
+        merged.encounters.consume_stream(iter(all_mme), artifacts.window)
     catalog = builtin_app_catalog()
     app_categories = {app.name: app.category for app in catalog}
     with obs.span("serve.finalize"):

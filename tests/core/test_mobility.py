@@ -58,6 +58,55 @@ class TestSectorTimeline:
         with pytest.raises(ValueError):
             SectorTimeline([])
 
+    def test_pre_study_events_dropped_from_daily_sectors(self):
+        """Regression: attachments before study_start used to land in
+        negative day buckets (floor division), skewing daily counts."""
+        timeline = SectorTimeline(
+            [(-100.0, "FAR"), (day_ts(0, 100), "HOME"), (day_ts(1, 50), "WORK")]
+        )
+        daily = timeline.daily_sectors(0.0)
+        assert daily == {0: {"HOME"}, 1: {"WORK"}}
+        assert all(day >= 0 for day in daily)
+
+    def test_pre_study_events_dropped_with_non_midnight_start(self):
+        """Same regression against a study_start inside a calendar day."""
+        start = 5_000.0
+        timeline = SectorTimeline([(start - 1.0, "FAR"), (start + 10.0, "HOME")])
+        assert timeline.daily_sectors(start) == {0: {"HOME"}}
+
+    def test_same_timestamp_ties_keep_record_order(self):
+        """Regression: sorting events as bare tuples tie-broke equal
+        timestamps alphabetically by sector id — ``sector_at`` then
+        reported a sector the subscriber had already left."""
+        # WORK would sort before its same-instant ZONE successor
+        # alphabetically reversed; input order must win.
+        timeline = SectorTimeline(
+            [(100.0, "ZONE"), (100.0, "HOME"), (200.0, "WORK")]
+        )
+        assert timeline.sector_at(150.0) == "HOME"
+        timeline = SectorTimeline(
+            [(100.0, "HOME"), (100.0, "ZONE"), (200.0, "WORK")]
+        )
+        assert timeline.sector_at(150.0) == "ZONE"
+
+    def test_dwell_intervals_match_dwell_seconds(self):
+        timeline = SectorTimeline(
+            [
+                (day_ts(0, 0), "HOME"),
+                (day_ts(0, 3600), "WORK"),
+                (day_ts(0, 3600), "HOME"),
+                (day_ts(1, 80_000), "FAR"),
+            ]
+        )
+        intervals = timeline.dwell_intervals(0.0)
+        # Zero-length (WORK) intervals omitted; starts non-decreasing.
+        assert [s for s, _, _ in intervals] == ["HOME", "HOME", "FAR"]
+        assert all(end > start for _, start, end in intervals)
+        totals: dict[str, float] = {}
+        for sector, start, end in intervals:
+            totals[sector] = totals.get(sector, 0.0) + (end - start)
+        assert totals == timeline.dwell_seconds(0.0)
+
     def test_build_timelines_groups_by_subscriber(self):
         records = [
             mme(100.0, "a", sector="HOME"),

@@ -41,6 +41,11 @@ EXACT_FIELDS = [
     "weekly",
     "protocols",
     "devices",
+    # Encounters: integer join counts and set unions merge exactly, and
+    # the float panels are deterministic sorted-key folds shared with
+    # batch (see repro.core.encounters.summarize_encounters) — so the
+    # whole result is bit-identical, not just ~1e-9 close.
+    "encounters",
 ]
 
 #: Activity fields that stay exact under sharding (derived from integer

@@ -26,6 +26,7 @@ from repro.core.parallel import (
     ComparisonPartial,
     DevicesPartial,
     DomainsPartial,
+    EncountersPartial,
     MobilityPartial,
     ProtocolsPartial,
     ShardPartials,
@@ -47,13 +48,21 @@ PARTIAL_CLASSES = {
     "weekly": StreamingWeekly,
     "protocols": ProtocolsPartial,
     "devices": DevicesPartial,
+    "encounters": EncountersPartial,
 }
 
 
 @pytest.fixture(scope="module")
 def computed(small_dataset):
     """Real partials from the small simulation (one full-trace shard)."""
-    return ShardPartials.compute(small_dataset, seed=3, shard=0)
+    partials = ShardPartials.compute(small_dataset, seed=3, shard=0)
+    # The encounter join side is fed separately from the full MME stream
+    # (see _analyze_shard); include it so the pair-keyed accumulators
+    # (tuple dict keys) exercise the state codec too.
+    partials.encounters.consume_stream(
+        iter(small_dataset.mme_records), small_dataset.window
+    )
+    return partials
 
 
 @pytest.fixture(scope="module")
